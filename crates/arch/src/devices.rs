@@ -1,0 +1,77 @@
+//! A catalog of named device instances, sized after real hardware, for
+//! examples and benchmarks that want "a 127-qubit heavy-hex machine"
+//! rather than raw constructor parameters.
+
+use crate::heavyhex::{HeavyHex, HeavyHexLattice};
+use crate::lattice::LatticeSurgery;
+use crate::sycamore::Sycamore;
+
+/// IBM Eagle-class device (127 qubits on the real chip): a heavy-hex
+/// lattice with 7 rows of 15-qubit lines plus bridges. Returns the full
+/// lattice; apply [`HeavyHexLattice::simplify`] for the compiler's
+/// coupling graph.
+pub fn ibm_eagle_like() -> HeavyHexLattice {
+    HeavyHexLattice::new(7, 15)
+}
+
+/// IBM Falcon-class device (27 qubits): 3 rows of 7.
+pub fn ibm_falcon_like() -> HeavyHexLattice {
+    HeavyHexLattice::new(3, 7)
+}
+
+/// The paper's heavy-hex evaluation shape for `n` qubits (`n` must be a
+/// multiple of 5): `n/5` groups of 4 main-line qubits + 1 dangler.
+///
+/// # Panics
+/// Panics if `n` is not a positive multiple of 5.
+pub fn paper_heavyhex(n: usize) -> HeavyHex {
+    assert!(n > 0 && n % 5 == 0, "paper heavy-hex sizes are multiples of 5");
+    HeavyHex::groups(n / 5)
+}
+
+/// Google Sycamore-class device: the paper's `m × m` model with `m = 8`
+/// (64 qubits; the real chip has 54 on a comparable diagonal lattice).
+pub fn google_sycamore_like() -> Sycamore {
+    Sycamore::new(8)
+}
+
+/// A surface-code FT machine with 1024 logical data qubits (32×32 rotated
+/// lattice-surgery grid) — the largest configuration in Fig. 19.
+pub fn ft_1024() -> LatticeSurgery {
+    LatticeSurgery::new(32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_devices_are_well_formed() {
+        assert!(ibm_eagle_like().graph().is_connected());
+        assert!(ibm_falcon_like().graph().is_connected());
+        assert!(google_sycamore_like().graph().is_connected());
+        assert_eq!(ft_1024().n_qubits(), 1024);
+        assert_eq!(paper_heavyhex(100).n_qubits(), 100);
+    }
+
+    #[test]
+    fn eagle_like_size_is_in_the_real_ballpark() {
+        // 7*15 row qubits + bridges: the real Eagle has 127.
+        let n = ibm_eagle_like().graph().n_qubits();
+        assert!((105..=140).contains(&n), "n={n}");
+    }
+
+    #[test]
+    fn eagle_simplifies_and_compiles_shape() {
+        let (hh, deleted) = ibm_eagle_like().simplify();
+        assert!(hh.graph().is_connected());
+        assert!(deleted > 0, "some bridge links must be deleted");
+        assert!(hh.n_danglers() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiples of 5")]
+    fn paper_heavyhex_rejects_bad_sizes() {
+        paper_heavyhex(12);
+    }
+}

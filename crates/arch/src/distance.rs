@@ -1,0 +1,141 @@
+//! All-pairs distances over coupling graphs: hop counts (what SABRE's
+//! heuristic uses) and SWAP-latency-weighted distances (what a
+//! heterogeneity-aware router would want; §2.3 notes SABRE lacks this).
+
+use crate::graph::CouplingGraph;
+use qft_ir::gate::{GateKind, PhysicalQubit};
+use std::collections::BinaryHeap;
+
+/// Dense all-pairs distance matrix.
+#[derive(Debug, Clone)]
+pub struct DistanceMatrix {
+    n: usize,
+    d: Vec<u32>,
+}
+
+/// Marker for unreachable pairs.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+impl DistanceMatrix {
+    /// Unweighted hop distances (BFS from every source).
+    pub fn hops(g: &CouplingGraph) -> Self {
+        let n = g.n_qubits();
+        let mut d = vec![UNREACHABLE; n * n];
+        let mut queue = std::collections::VecDeque::new();
+        for s in 0..n {
+            let row = &mut d[s * n..(s + 1) * n];
+            row[s] = 0;
+            queue.clear();
+            queue.push_back(s as u32);
+            while let Some(v) = queue.pop_front() {
+                let dv = row[v as usize];
+                for &(w, _) in g.neighbors(PhysicalQubit(v)) {
+                    if row[w as usize] == UNREACHABLE {
+                        row[w as usize] = dv + 1;
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+        DistanceMatrix { n, d }
+    }
+
+    /// SWAP-latency-weighted distances (Dijkstra from every source): the
+    /// cost of moving a qubit from `a` to `b` via SWAPs.
+    pub fn swap_weighted(g: &CouplingGraph) -> Self {
+        let n = g.n_qubits();
+        let mut d = vec![UNREACHABLE; n * n];
+        for s in 0..n {
+            let row = &mut d[s * n..(s + 1) * n];
+            row[s] = 0;
+            // Max-heap over Reverse(cost).
+            let mut heap: BinaryHeap<std::cmp::Reverse<(u32, u32)>> = BinaryHeap::new();
+            heap.push(std::cmp::Reverse((0, s as u32)));
+            while let Some(std::cmp::Reverse((cost, v))) = heap.pop() {
+                if cost > row[v as usize] {
+                    continue;
+                }
+                for &(w, class) in g.neighbors(PhysicalQubit(v)) {
+                    let c = cost + class.latency(GateKind::Swap) as u32;
+                    if c < row[w as usize] {
+                        row[w as usize] = c;
+                        heap.push(std::cmp::Reverse((c, w)));
+                    }
+                }
+            }
+        }
+        DistanceMatrix { n, d }
+    }
+
+    /// Distance between two physical qubits.
+    #[inline]
+    pub fn get(&self, a: PhysicalQubit, b: PhysicalQubit) -> u32 {
+        self.d[a.index() * self.n + b.index()]
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Graph diameter (max finite distance), or `None` if disconnected.
+    pub fn diameter(&self) -> Option<u32> {
+        let mut max = 0;
+        for &v in &self.d {
+            if v == UNREACHABLE {
+                return None;
+            }
+            max = max.max(v);
+        }
+        Some(max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid;
+    use crate::lattice::LatticeSurgery;
+    use crate::lnn::lnn;
+
+    #[test]
+    fn line_distances() {
+        let g = lnn(5);
+        let d = DistanceMatrix::hops(&g);
+        assert_eq!(d.get(PhysicalQubit(0), PhysicalQubit(4)), 4);
+        assert_eq!(d.get(PhysicalQubit(2), PhysicalQubit(2)), 0);
+        assert_eq!(d.diameter(), Some(4));
+    }
+
+    #[test]
+    fn grid_manhattan() {
+        let g = Grid::new(4, 4);
+        let d = DistanceMatrix::hops(g.graph());
+        assert_eq!(d.get(g.at(0, 0), g.at(3, 3)), 6);
+    }
+
+    #[test]
+    fn weighted_prefers_fast_rows() {
+        // On lattice surgery, moving along a row costs 2/hop but along a
+        // column costs 6/hop, so an L-path is cheaper than mixing wrongly.
+        let l = LatticeSurgery::new(4);
+        let d = DistanceMatrix::swap_weighted(l.graph());
+        // (0,0) -> (0,3): 3 fast hops = 6.
+        assert_eq!(d.get(l.at(0, 0), l.at(0, 3)), 6);
+        // (0,0) -> (3,0): 3 slow hops = 18.
+        assert_eq!(d.get(l.at(0, 0), l.at(3, 0)), 18);
+        // (0,0) -> (3,3): 3 fast + 3 slow = 24.
+        assert_eq!(d.get(l.at(0, 0), l.at(3, 3)), 24);
+    }
+
+    #[test]
+    fn disconnected_has_no_diameter() {
+        let g = CouplingGraph::new("disc", 3, &[(0, 1, qft_ir::latency::LinkClass::Uniform)]);
+        let d = DistanceMatrix::hops(&g);
+        assert_eq!(d.diameter(), None);
+        assert_eq!(d.get(PhysicalQubit(0), PhysicalQubit(2)), UNREACHABLE);
+    }
+
+    use crate::graph::CouplingGraph;
+}

@@ -1,0 +1,123 @@
+//! Plain 2D grid topology (rows × cols, uniform links).
+//!
+//! Used for the 2×N QFT pattern of Zhang et al. \[43\], for the regular-grid
+//! program-synthesis experiments (Appendix 7), and for Fig. 27's 2×2 device.
+
+use crate::graph::CouplingGraph;
+use qft_ir::gate::PhysicalQubit;
+use qft_ir::latency::LinkClass;
+
+/// A `rows × cols` grid with horizontal and vertical uniform links.
+/// Qubit `(r, c)` has index `r * cols + c`.
+#[derive(Debug, Clone)]
+pub struct Grid {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    graph: CouplingGraph,
+}
+
+impl Grid {
+    /// Builds the grid.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        let mut edges = Vec::new();
+        let idx = |r: usize, c: usize| (r * cols + c) as u32;
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    edges.push((idx(r, c), idx(r, c + 1), LinkClass::Uniform));
+                }
+                if r + 1 < rows {
+                    edges.push((idx(r, c), idx(r + 1, c), LinkClass::Uniform));
+                }
+            }
+        }
+        Grid {
+            rows,
+            cols,
+            graph: CouplingGraph::new(format!("grid-{rows}x{cols}"), rows * cols, &edges),
+        }
+    }
+
+    /// The underlying coupling graph.
+    #[inline]
+    pub fn graph(&self) -> &CouplingGraph {
+        &self.graph
+    }
+
+    /// Physical qubit at `(r, c)`.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> PhysicalQubit {
+        debug_assert!(r < self.rows && c < self.cols);
+        PhysicalQubit((r * self.cols + c) as u32)
+    }
+
+    /// `(row, col)` of a physical qubit.
+    #[inline]
+    pub fn coords(&self, p: PhysicalQubit) -> (usize, usize) {
+        (p.index() / self.cols, p.index() % self.cols)
+    }
+
+    /// The serpentine (boustrophedon) Hamiltonian path: row 0 left→right,
+    /// row 1 right→left, … Always exists on a grid; this is what the LNN
+    /// baseline of Fig. 19 runs on.
+    pub fn serpentine_path(&self) -> Vec<PhysicalQubit> {
+        let mut path = Vec::with_capacity(self.rows * self.cols);
+        for r in 0..self.rows {
+            if r % 2 == 0 {
+                for c in 0..self.cols {
+                    path.push(self.at(r, c));
+                }
+            } else {
+                for c in (0..self.cols).rev() {
+                    path.push(self.at(r, c));
+                }
+            }
+        }
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_edge_count() {
+        let g = Grid::new(3, 4);
+        // 3*(4-1) horizontal rows? horizontal: rows*(cols-1)=9, vertical: (rows-1)*cols=8.
+        assert_eq!(g.graph().n_edges(), 9 + 8);
+        assert!(g.graph().is_connected());
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let g = Grid::new(4, 5);
+        let p = g.at(2, 3);
+        assert_eq!(g.coords(p), (2, 3));
+    }
+
+    #[test]
+    fn serpentine_is_hamiltonian() {
+        let g = Grid::new(4, 4);
+        let path = g.serpentine_path();
+        assert_eq!(path.len(), 16);
+        let mut seen = vec![false; 16];
+        for w in path.windows(2) {
+            assert!(g.graph().are_adjacent(w[0], w[1]), "{:?}", w);
+        }
+        for p in &path {
+            assert!(!seen[p.index()]);
+            seen[p.index()] = true;
+        }
+    }
+
+    #[test]
+    fn two_by_n_has_vertical_links() {
+        let g = Grid::new(2, 6);
+        for c in 0..6 {
+            assert!(g.graph().are_adjacent(g.at(0, c), g.at(1, c)));
+        }
+    }
+}

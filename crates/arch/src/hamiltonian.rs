@@ -1,0 +1,194 @@
+//! Hamiltonian-path search, used to reproduce §2.2's observation: the LNN
+//! solution would apply directly if a Hamiltonian path existed, but on
+//! modern architectures it either does not exist or is expensive to find
+//! (the decision problem is NP-complete).
+
+use crate::graph::CouplingGraph;
+use qft_ir::gate::PhysicalQubit;
+
+/// Result of a bounded Hamiltonian-path search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HamiltonianResult {
+    /// A path visiting every qubit exactly once.
+    Found(Vec<PhysicalQubit>),
+    /// Exhaustive search proved no path exists.
+    NotFound,
+    /// The node budget ran out before the search completed.
+    BudgetExhausted,
+}
+
+/// Quick necessary condition: a Hamiltonian path has at most 2 endpoints,
+/// so a connected graph with 3+ degree-1 vertices has no such path.
+/// Returns `true` if this (or disconnection) already rules a path out.
+pub fn ruled_out_by_degree(g: &CouplingGraph) -> bool {
+    if !g.is_connected() {
+        return g.n_qubits() > 1;
+    }
+    let deg1 = (0..g.n_qubits())
+        .filter(|&v| g.degree(PhysicalQubit(v as u32)) == 1)
+        .count();
+    deg1 > 2
+}
+
+/// Exhaustive DFS with a node budget. Tries every start vertex; prunes via
+/// a connectivity check on the unvisited remainder.
+pub fn find_hamiltonian_path(g: &CouplingGraph, budget: u64) -> HamiltonianResult {
+    let n = g.n_qubits();
+    if n == 0 {
+        return HamiltonianResult::Found(Vec::new());
+    }
+    if ruled_out_by_degree(g) {
+        return HamiltonianResult::NotFound;
+    }
+    let mut budget = budget;
+    for start in 0..n as u32 {
+        let mut visited = vec![false; n];
+        let mut path = vec![PhysicalQubit(start)];
+        visited[start as usize] = true;
+        match dfs(g, &mut path, &mut visited, &mut budget) {
+            SearchOutcome::Found => {
+                return HamiltonianResult::Found(path);
+            }
+            SearchOutcome::Exhausted => return HamiltonianResult::BudgetExhausted,
+            SearchOutcome::Dead => {}
+        }
+    }
+    HamiltonianResult::NotFound
+}
+
+enum SearchOutcome {
+    Found,
+    Dead,
+    Exhausted,
+}
+
+fn dfs(
+    g: &CouplingGraph,
+    path: &mut Vec<PhysicalQubit>,
+    visited: &mut [bool],
+    budget: &mut u64,
+) -> SearchOutcome {
+    if path.len() == g.n_qubits() {
+        return SearchOutcome::Found;
+    }
+    if *budget == 0 {
+        return SearchOutcome::Exhausted;
+    }
+    *budget -= 1;
+    if !remainder_connected(g, visited, path.last().copied().unwrap()) {
+        return SearchOutcome::Dead;
+    }
+    let last = *path.last().unwrap();
+    for &(w, _) in g.neighbors(last) {
+        if !visited[w as usize] {
+            visited[w as usize] = true;
+            path.push(PhysicalQubit(w));
+            match dfs(g, path, visited, budget) {
+                SearchOutcome::Dead => {
+                    path.pop();
+                    visited[w as usize] = false;
+                }
+                other => return other,
+            }
+        }
+    }
+    SearchOutcome::Dead
+}
+
+/// Pruning: the unvisited vertices plus the current endpoint must form one
+/// connected component, or the path can never be completed.
+fn remainder_connected(g: &CouplingGraph, visited: &[bool], endpoint: PhysicalQubit) -> bool {
+    let n = g.n_qubits();
+    let remaining = visited.iter().filter(|&&v| !v).count();
+    if remaining == 0 {
+        return true;
+    }
+    let mut seen = vec![false; n];
+    let mut stack = vec![endpoint.0];
+    seen[endpoint.index()] = true;
+    let mut reached = 0;
+    while let Some(v) = stack.pop() {
+        for &(w, _) in g.neighbors(PhysicalQubit(v)) {
+            if !seen[w as usize] && !visited[w as usize] {
+                seen[w as usize] = true;
+                reached += 1;
+                stack.push(w);
+            }
+        }
+    }
+    reached == remaining
+}
+
+/// Checks that `path` is a Hamiltonian path of `g`.
+pub fn is_hamiltonian_path(g: &CouplingGraph, path: &[PhysicalQubit]) -> bool {
+    if path.len() != g.n_qubits() {
+        return false;
+    }
+    let mut seen = vec![false; g.n_qubits()];
+    for p in path {
+        if seen[p.index()] {
+            return false;
+        }
+        seen[p.index()] = true;
+    }
+    path.windows(2).all(|w| g.are_adjacent(w[0], w[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid;
+    use crate::heavyhex::HeavyHex;
+    use crate::lnn::lnn;
+
+    #[test]
+    fn line_has_trivial_path() {
+        let g = lnn(6);
+        match find_hamiltonian_path(&g, 10_000) {
+            HamiltonianResult::Found(p) => assert!(is_hamiltonian_path(&g, &p)),
+            other => panic!("expected path, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn grid_has_serpentine() {
+        let g = Grid::new(3, 3);
+        match find_hamiltonian_path(g.graph(), 100_000) {
+            HamiltonianResult::Found(p) => assert!(is_hamiltonian_path(g.graph(), &p)),
+            other => panic!("expected path, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn heavy_hex_simplified_has_no_path() {
+        // 3+ danglers => 3+ degree-1 vertices (danglers are degree 1) =>
+        // no Hamiltonian path. This is §2.2's motivating observation.
+        let hh = HeavyHex::groups(3);
+        assert!(ruled_out_by_degree(hh.graph()));
+        assert_eq!(
+            find_hamiltonian_path(hh.graph(), 1_000_000),
+            HamiltonianResult::NotFound
+        );
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        // A large grid with a tiny budget must stop early (grids do have
+        // paths, so only Found or BudgetExhausted are possible).
+        let g = Grid::new(5, 5);
+        match find_hamiltonian_path(g.graph(), 3) {
+            HamiltonianResult::NotFound => panic!("cannot prove absence with budget 3"),
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn path_validator_rejects_garbage() {
+        let g = lnn(4);
+        assert!(!is_hamiltonian_path(
+            &g,
+            &[PhysicalQubit(0), PhysicalQubit(2), PhysicalQubit(1), PhysicalQubit(3)]
+        ));
+        assert!(!is_hamiltonian_path(&g, &[PhysicalQubit(0), PhysicalQubit(1)]));
+    }
+}

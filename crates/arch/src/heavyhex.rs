@@ -1,0 +1,347 @@
+//! IBM heavy-hex topology: the full lattice and the paper's simplified
+//! coupling graph (main line + dangling points, §4 and Appendix 1).
+
+use crate::graph::CouplingGraph;
+use qft_ir::gate::{LogicalQubit, PhysicalQubit};
+use qft_ir::latency::LinkClass;
+use qft_ir::layout::Layout;
+
+/// The simplified heavy-hex coupling graph of §4: a *main line* of
+/// `n_main` qubits with *dangling points* attached below some of them.
+///
+/// Physical numbering: main-line position `p` is physical qubit `p`;
+/// danglers get ids `n_main, n_main+1, …` in attachment order.
+#[derive(Debug, Clone)]
+pub struct HeavyHex {
+    n_main: usize,
+    /// `dangler_at[p]` = physical id of the dangler below main position `p`.
+    dangler_at: Vec<Option<PhysicalQubit>>,
+    /// Attachment main position of each dangler, in id order.
+    dangler_pos: Vec<usize>,
+    graph: CouplingGraph,
+}
+
+impl HeavyHex {
+    /// Builds a main line of `n_main` qubits with danglers below the given
+    /// main positions (strictly increasing).
+    pub fn with_danglers(n_main: usize, positions: &[usize]) -> Self {
+        assert!(n_main >= 2, "need at least 2 main-line qubits");
+        assert!(
+            positions.windows(2).all(|w| w[0] < w[1]),
+            "dangler positions must be strictly increasing"
+        );
+        assert!(
+            positions.iter().all(|&p| p < n_main),
+            "dangler position out of range"
+        );
+        let n = n_main + positions.len();
+        let mut edges: Vec<(u32, u32, LinkClass)> = (0..n_main as u32 - 1)
+            .map(|i| (i, i + 1, LinkClass::Uniform))
+            .collect();
+        let mut dangler_at = vec![None; n_main];
+        let mut dangler_pos = Vec::with_capacity(positions.len());
+        for (k, &p) in positions.iter().enumerate() {
+            let id = (n_main + k) as u32;
+            edges.push((p as u32, id, LinkClass::Uniform));
+            dangler_at[p] = Some(PhysicalQubit(id));
+            dangler_pos.push(p);
+        }
+        HeavyHex {
+            n_main,
+            dangler_at,
+            dangler_pos,
+            graph: CouplingGraph::new(
+                format!("heavyhex-{n_main}+{}", positions.len()),
+                n,
+                &edges,
+            ),
+        }
+    }
+
+    /// The evaluation configuration of §7: `g` groups of 5 qubits — 4 on the
+    /// main line plus 1 dangler attached below the last qubit of each group
+    /// (adjacent danglers are 4 main-line hops apart). `N = 5g`.
+    pub fn groups(g: usize) -> Self {
+        assert!(g >= 1);
+        let positions: Vec<usize> = (0..g).map(|k| 4 * k + 3).collect();
+        HeavyHex::with_danglers(4 * g, &positions)
+    }
+
+    /// The underlying coupling graph.
+    #[inline]
+    pub fn graph(&self) -> &CouplingGraph {
+        &self.graph
+    }
+
+    /// Total qubit count (main + danglers).
+    #[inline]
+    pub fn n_qubits(&self) -> usize {
+        self.graph.n_qubits()
+    }
+
+    /// Main-line length.
+    #[inline]
+    pub fn n_main(&self) -> usize {
+        self.n_main
+    }
+
+    /// Number of dangling points.
+    #[inline]
+    pub fn n_danglers(&self) -> usize {
+        self.dangler_pos.len()
+    }
+
+    /// Physical qubit at main-line position `p`.
+    #[inline]
+    pub fn main(&self, p: usize) -> PhysicalQubit {
+        debug_assert!(p < self.n_main);
+        PhysicalQubit(p as u32)
+    }
+
+    /// The dangler attached below main position `p`, if any.
+    #[inline]
+    pub fn dangler_below(&self, p: usize) -> Option<PhysicalQubit> {
+        self.dangler_at[p]
+    }
+
+    /// Attachment positions of all danglers, ascending.
+    #[inline]
+    pub fn dangler_positions(&self) -> &[usize] {
+        &self.dangler_pos
+    }
+
+    /// The initial mapping of Fig. 10: walk the main line left→right
+    /// assigning consecutive logical indices; when a node has a dangler
+    /// below, the dangler takes the next index before the walk continues.
+    ///
+    /// (So with a dangler below main position 3: main 0..=3 hold `q0..q3`,
+    /// the dangler holds `q4`, main position 4 holds `q5`, …)
+    pub fn initial_layout(&self) -> Layout {
+        let n = self.n_qubits();
+        let mut phys_of: Vec<PhysicalQubit> = Vec::with_capacity(n);
+        for p in 0..self.n_main {
+            phys_of.push(self.main(p));
+            if let Some(d) = self.dangler_at[p] {
+                phys_of.push(d);
+            }
+        }
+        Layout::from_assignment(phys_of, n)
+    }
+
+    /// The final mapping the paper reports (Fig. 23): the first `L` logical
+    /// qubits parked at the danglers (in order), the rest reversed along the
+    /// main line. Returned as `logical → physical`.
+    pub fn expected_final_layout(&self) -> Layout {
+        let n = self.n_qubits();
+        let l = self.n_danglers();
+        let mut phys_of: Vec<PhysicalQubit> = Vec::with_capacity(n);
+        for k in 0..l {
+            phys_of.push(PhysicalQubit((self.n_main + k) as u32));
+        }
+        // Remaining n - l qubits on the main line, reversed: logical l+i sits
+        // at main position n_main - 1 - i.
+        for i in 0..(n - l) {
+            phys_of.push(self.main(self.n_main - 1 - i));
+        }
+        Layout::from_assignment(phys_of, n)
+    }
+
+    /// Convenience: logical qubit initially at main position `p`.
+    pub fn initial_logical_at_main(&self, p: usize) -> LogicalQubit {
+        self.initial_layout().logical(self.main(p)).unwrap()
+    }
+}
+
+/// The full IBM-style heavy-hex lattice: `rows` horizontal lines of `cols`
+/// qubits each, joined by *bridge* qubits. Between rows `r` and `r+1`,
+/// bridges sit at columns `c ≡ offset (mod 4)` with `offset = 0` for even
+/// `r` and `offset = 2` for odd `r` (the staggered IBM pattern), plus a
+/// bridge at the last column so a serpentine main line exists.
+#[derive(Debug, Clone)]
+pub struct HeavyHexLattice {
+    /// Rows of the lattice.
+    pub rows: usize,
+    /// Columns per row.
+    pub cols: usize,
+    graph: CouplingGraph,
+    /// Bridge qubit ids, by (upper row, column).
+    bridges: Vec<(usize, usize, PhysicalQubit)>,
+}
+
+impl HeavyHexLattice {
+    /// Builds the lattice. Row qubit `(r, c)` has id `r * cols + c`; bridge
+    /// ids follow.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows >= 1 && cols >= 2);
+        let row_idx = |r: usize, c: usize| (r * cols + c) as u32;
+        let mut edges: Vec<(u32, u32, LinkClass)> = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols - 1 {
+                edges.push((row_idx(r, c), row_idx(r, c + 1), LinkClass::Uniform));
+            }
+        }
+        let mut next = (rows * cols) as u32;
+        let mut bridges = Vec::new();
+        for r in 0..rows.saturating_sub(1) {
+            let offset = if r % 2 == 0 { 0 } else { 2 };
+            let mut cs: Vec<usize> = (0..cols).filter(|c| c % 4 == offset).collect();
+            let join = if r % 2 == 0 { cols - 1 } else { 0 };
+            if !cs.contains(&join) {
+                cs.push(join);
+                cs.sort_unstable();
+            }
+            for c in cs {
+                edges.push((row_idx(r, c), next, LinkClass::Uniform));
+                edges.push((next, row_idx(r + 1, c), LinkClass::Uniform));
+                bridges.push((r, c, PhysicalQubit(next)));
+                next += 1;
+            }
+        }
+        let n = next as usize;
+        HeavyHexLattice {
+            rows,
+            cols,
+            graph: CouplingGraph::new(format!("heavyhex-lattice-{rows}x{cols}"), n, &edges),
+            bridges,
+        }
+    }
+
+    /// The underlying coupling graph.
+    #[inline]
+    pub fn graph(&self) -> &CouplingGraph {
+        &self.graph
+    }
+
+    /// Bridge qubits as `(upper row, column, id)`.
+    #[inline]
+    pub fn bridges(&self) -> &[(usize, usize, PhysicalQubit)] {
+        &self.bridges
+    }
+
+    /// Appendix-1 simplification: delete links so the remaining graph is a
+    /// serpentine main line through all row qubits (joined by the outermost
+    /// bridges) with every other bridge kept as a dangling point attached to
+    /// its *upper* row.
+    ///
+    /// Returns the simplified [`HeavyHex`] plus, for provenance, how many
+    /// links were deleted.
+    pub fn simplify(&self) -> (HeavyHex, usize) {
+        // Build the serpentine main line over row qubits + joining bridges.
+        let mut main_of_phys: Vec<Option<usize>> = vec![None; self.graph.n_qubits()];
+        let mut line: Vec<PhysicalQubit> = Vec::new();
+        for r in 0..self.rows {
+            let cells: Vec<usize> = if r % 2 == 0 {
+                (0..self.cols).collect()
+            } else {
+                (0..self.cols).rev().collect()
+            };
+            for c in cells {
+                line.push(PhysicalQubit((r * self.cols + c) as u32));
+            }
+            // Joining bridge at the end of this row (if not last row).
+            if r + 1 < self.rows {
+                let join_col = if r % 2 == 0 { self.cols - 1 } else { 0 };
+                let b = self
+                    .bridges
+                    .iter()
+                    .find(|&&(br, bc, _)| br == r && bc == join_col)
+                    .expect("joining bridge exists by construction");
+                line.push(b.2);
+            }
+        }
+        for (i, p) in line.iter().enumerate() {
+            main_of_phys[p.index()] = Some(i);
+        }
+        // Every non-joining bridge dangles below the main-line position of
+        // its upper-row attachment; its link to the lower row is deleted.
+        let mut dangler_positions: Vec<usize> = Vec::new();
+        let mut deleted = 0;
+        for &(r, c, b) in &self.bridges {
+            if main_of_phys[b.index()].is_some() {
+                continue; // joining bridge, part of the line
+            }
+            let upper = PhysicalQubit((r * self.cols + c) as u32);
+            dangler_positions.push(main_of_phys[upper.index()].expect("row qubit on line"));
+            deleted += 1; // the bridge's lower link
+        }
+        dangler_positions.sort_unstable();
+        dangler_positions.dedup();
+        (HeavyHex::with_danglers(line.len(), &dangler_positions), deleted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_shape() {
+        let hh = HeavyHex::groups(3);
+        assert_eq!(hh.n_qubits(), 15);
+        assert_eq!(hh.n_main(), 12);
+        assert_eq!(hh.n_danglers(), 3);
+        assert_eq!(hh.dangler_positions(), &[3, 7, 11]);
+        assert!(hh.graph().is_connected());
+        // Danglers have degree 1.
+        for k in 0..3 {
+            assert_eq!(hh.graph().degree(PhysicalQubit((12 + k) as u32)), 1);
+        }
+    }
+
+    #[test]
+    fn initial_layout_interleaves_danglers() {
+        let hh = HeavyHex::groups(2); // main 0..8, danglers below 3 and 7
+        let lay = hh.initial_layout();
+        // Main 0..=3 -> q0..q3, dangler(3) -> q4, main 4..=7 -> q5..q8,
+        // dangler(7) -> q9.
+        assert_eq!(lay.logical(hh.main(0)), Some(LogicalQubit(0)));
+        assert_eq!(lay.logical(hh.main(3)), Some(LogicalQubit(3)));
+        assert_eq!(lay.logical(hh.dangler_below(3).unwrap()), Some(LogicalQubit(4)));
+        assert_eq!(lay.logical(hh.main(4)), Some(LogicalQubit(5)));
+        assert_eq!(lay.logical(hh.dangler_below(7).unwrap()), Some(LogicalQubit(9)));
+        assert!(lay.is_consistent());
+    }
+
+    #[test]
+    fn expected_final_layout_parks_small_indices() {
+        let hh = HeavyHex::groups(2);
+        let fin = hh.expected_final_layout();
+        // q0 at first dangler, q1 at second; the rest reversed on the line.
+        assert_eq!(fin.phys(LogicalQubit(0)), hh.dangler_below(3).unwrap());
+        assert_eq!(fin.phys(LogicalQubit(1)), hh.dangler_below(7).unwrap());
+        assert_eq!(fin.phys(LogicalQubit(2)), hh.main(7));
+        assert_eq!(fin.phys(LogicalQubit(9)), hh.main(0));
+    }
+
+    #[test]
+    fn lattice_builds_and_connects() {
+        let lat = HeavyHexLattice::new(3, 9);
+        assert!(lat.graph().is_connected());
+        assert!(!lat.bridges().is_empty());
+        // Bridge qubits have degree 2.
+        for &(_, _, b) in lat.bridges() {
+            assert_eq!(lat.graph().degree(b), 2);
+        }
+    }
+
+    #[test]
+    fn simplification_yields_line_plus_danglers() {
+        let lat = HeavyHexLattice::new(3, 9);
+        let (hh, _deleted) = lat.simplify();
+        assert!(hh.graph().is_connected());
+        // Main line covers all row qubits plus joining bridges.
+        assert_eq!(
+            hh.n_qubits(),
+            lat.graph().n_qubits(),
+            "simplification keeps every qubit"
+        );
+        // Danglers exist (non-joining bridges).
+        assert!(hh.n_danglers() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_danglers_rejected() {
+        HeavyHex::with_danglers(8, &[5, 3]);
+    }
+}

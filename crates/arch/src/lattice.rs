@@ -1,0 +1,135 @@
+//! Lattice-surgery FT backend (§2.3 and §6): the rotated grid with
+//! heterogeneous link latencies.
+//!
+//! After the paper's rotation (Fig. 15(a)), all *fast* SWAP edges (the green
+//! diagonal links of Fig. 5, depth-2 SWAP via two ancillas) become the
+//! horizontal links of an `m × m` grid of data qubits, while the remaining
+//! CNOT-only links (SWAP = 3 CNOTs = depth 6) are the vertical links.
+//! A *unit* (§6) is one row.
+
+use crate::graph::CouplingGraph;
+use qft_ir::gate::PhysicalQubit;
+use qft_ir::latency::LinkClass;
+use qft_ir::layout::Layout;
+
+/// The rotated lattice-surgery grid: `m` rows (units) × `m` columns; rows
+/// are fast-SWAP lines, columns are CNOT-only links.
+#[derive(Debug, Clone)]
+pub struct LatticeSurgery {
+    /// Side length `m`.
+    pub m: usize,
+    graph: CouplingGraph,
+}
+
+impl LatticeSurgery {
+    /// Builds the `m × m` rotated lattice-surgery grid.
+    pub fn new(m: usize) -> Self {
+        assert!(m >= 2, "need m >= 2");
+        let idx = |r: usize, c: usize| (r * m + c) as u32;
+        let mut edges = Vec::new();
+        for r in 0..m {
+            for c in 0..m {
+                if c + 1 < m {
+                    edges.push((idx(r, c), idx(r, c + 1), LinkClass::FastSwap));
+                }
+                if r + 1 < m {
+                    edges.push((idx(r, c), idx(r + 1, c), LinkClass::CnotOnly));
+                }
+            }
+        }
+        LatticeSurgery {
+            m,
+            graph: CouplingGraph::new(format!("lattice-surgery-{m}x{m}"), m * m, &edges),
+        }
+    }
+
+    /// The underlying coupling graph.
+    #[inline]
+    pub fn graph(&self) -> &CouplingGraph {
+        &self.graph
+    }
+
+    /// Total data-qubit count `N = m²`.
+    #[inline]
+    pub fn n_qubits(&self) -> usize {
+        self.m * self.m
+    }
+
+    /// Physical qubit at `(row, col)`.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> PhysicalQubit {
+        debug_assert!(r < self.m && c < self.m);
+        PhysicalQubit((r * self.m + c) as u32)
+    }
+
+    /// `(row, col)` of a physical qubit.
+    #[inline]
+    pub fn coords(&self, p: PhysicalQubit) -> (usize, usize) {
+        (p.index() / self.m, p.index() % self.m)
+    }
+
+    /// The §6 initial mapping (Fig. 15(a)): natural ordering, zigzag for
+    /// every two units — unit `2k` left→right, unit `2k+1` right→left — so
+    /// that each unit *pair* starts in the interleaved order the 2×N QFT
+    /// pattern wants.
+    pub fn initial_layout(&self) -> Layout {
+        let m = self.m;
+        let mut phys_of = Vec::with_capacity(m * m);
+        for r in 0..m {
+            if r % 2 == 0 {
+                for c in 0..m {
+                    phys_of.push(self.at(r, c));
+                }
+            } else {
+                for c in (0..m).rev() {
+                    phys_of.push(self.at(r, c));
+                }
+            }
+        }
+        Layout::from_assignment(phys_of, m * m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qft_ir::gate::{GateKind, LogicalQubit};
+
+    #[test]
+    fn link_classes_match_paper() {
+        let l = LatticeSurgery::new(4);
+        assert_eq!(l.graph().link(l.at(1, 1), l.at(1, 2)), Some(LinkClass::FastSwap));
+        assert_eq!(l.graph().link(l.at(1, 1), l.at(2, 1)), Some(LinkClass::CnotOnly));
+        assert_eq!(l.graph().link(l.at(0, 0), l.at(1, 1)), None);
+    }
+
+    #[test]
+    fn swap_latencies() {
+        let l = LatticeSurgery::new(3);
+        let fast = l.graph().link(l.at(0, 0), l.at(0, 1)).unwrap();
+        let slow = l.graph().link(l.at(0, 0), l.at(1, 0)).unwrap();
+        assert_eq!(fast.latency(GateKind::Swap), 2);
+        assert_eq!(slow.latency(GateKind::Swap), 6);
+        assert_eq!(slow.latency(GateKind::Cphase { k: 2 }), 1);
+    }
+
+    #[test]
+    fn zigzag_initial_layout() {
+        let l = LatticeSurgery::new(4);
+        let lay = l.initial_layout();
+        assert_eq!(lay.logical(l.at(0, 0)), Some(LogicalQubit(0)));
+        assert_eq!(lay.logical(l.at(0, 3)), Some(LogicalQubit(3)));
+        // Second row is reversed.
+        assert_eq!(lay.logical(l.at(1, 3)), Some(LogicalQubit(4)));
+        assert_eq!(lay.logical(l.at(1, 0)), Some(LogicalQubit(7)));
+        assert_eq!(lay.logical(l.at(2, 0)), Some(LogicalQubit(8)));
+        assert!(lay.is_consistent());
+    }
+
+    #[test]
+    fn connected() {
+        for m in [2, 5, 10] {
+            assert!(LatticeSurgery::new(m).graph().is_connected());
+        }
+    }
+}

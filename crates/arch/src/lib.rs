@@ -1,0 +1,36 @@
+//! # qft-arch — architecture models
+//!
+//! Coupling graphs for every backend the paper evaluates:
+//!
+//! * [`lnn`](mod@crate::lnn) — the linear-nearest-neighbor line (base case, §2.2);
+//! * [`grid`] — plain 2D grids (2×N pattern, Appendix 7, Fig. 27's 2×2);
+//! * [`sycamore`] — the Google Sycamore diagonal lattice with the paper's
+//!   2-row *unit* structure (§5);
+//! * [`heavyhex`] — IBM heavy-hex: full lattice and the simplified
+//!   main-line-plus-danglers coupling graph (§4, Appendix 1);
+//! * [`lattice`] — the rotated lattice-surgery grid with heterogeneous
+//!   fast/slow links (§2.3, §6);
+//! * [`distance`] — hop and SWAP-weighted all-pairs distances;
+//! * [`hamiltonian`] — Hamiltonian-path search (§2.2's impossibility
+//!   demonstrations).
+
+#![warn(missing_docs)]
+
+pub mod devices;
+pub mod distance;
+pub mod graph;
+pub mod grid;
+pub mod hamiltonian;
+pub mod heavyhex;
+pub mod lattice;
+pub mod lnn;
+pub mod sycamore;
+
+pub use distance::DistanceMatrix;
+
+pub use graph::CouplingGraph;
+pub use grid::Grid;
+pub use heavyhex::{HeavyHex, HeavyHexLattice};
+pub use lattice::LatticeSurgery;
+pub use lnn::lnn;
+pub use sycamore::Sycamore;

@@ -1,0 +1,38 @@
+//! Linear-nearest-neighbor (LNN) line topology — the base case of every
+//! solution in the paper (§2.2).
+
+use crate::graph::CouplingGraph;
+use qft_ir::latency::LinkClass;
+
+/// A line of `n` qubits: `Q0 — Q1 — … — Q_{n-1}`, uniform links.
+pub fn lnn(n: usize) -> CouplingGraph {
+    let edges: Vec<(u32, u32, LinkClass)> = (0..n.saturating_sub(1) as u32)
+        .map(|i| (i, i + 1, LinkClass::Uniform))
+        .collect();
+    CouplingGraph::new(format!("lnn-{n}"), n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qft_ir::gate::PhysicalQubit;
+
+    #[test]
+    fn line_structure() {
+        let g = lnn(5);
+        assert_eq!(g.n_qubits(), 5);
+        assert_eq!(g.n_edges(), 4);
+        assert!(g.is_connected());
+        assert!(g.are_adjacent(PhysicalQubit(2), PhysicalQubit(3)));
+        assert!(!g.are_adjacent(PhysicalQubit(0), PhysicalQubit(2)));
+        assert_eq!(g.degree(PhysicalQubit(0)), 1);
+        assert_eq!(g.degree(PhysicalQubit(2)), 2);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(lnn(0).n_edges(), 0);
+        assert_eq!(lnn(1).n_edges(), 0);
+        assert!(lnn(2).are_adjacent(PhysicalQubit(0), PhysicalQubit(1)));
+    }
+}

@@ -1,0 +1,189 @@
+//! Google Sycamore topology model (§5 of the paper).
+//!
+//! Sycamore is a diagonal (rotated-square) lattice. We model the `m × m`
+//! abstraction the paper compiles to:
+//!
+//! * qubits at `(r, c)`, `0 ≤ r, c < m`;
+//! * for **even** `r`: links `(r,c) — (r+1,c)` and `(r,c) — (r+1,c−1)`;
+//! * for **odd** `r`: links `(r,c) — (r+1,c)` and `(r,c) — (r+1,c+1)`;
+//! * no same-row links.
+//!
+//! A *unit* (Fig. 12) is two consecutive rows `2u, 2u+1`, which the even-row
+//! rule connects into a zigzag **line** of `2m` qubits: line position `2c` is
+//! `(2u, c)`, position `2c+1` is `(2u+1, c)`. Between adjacent units the
+//! odd-row rule yields exactly `2m−1` links, connecting line position `p` of
+//! the upper unit to positions `p±1` of the lower unit — and **never** the
+//! same line position (the paper's "no link between qubits in the same
+//! column", which forces the SWAP–CPHASE–SWAP fix-up of §5).
+
+use crate::graph::CouplingGraph;
+use qft_ir::gate::PhysicalQubit;
+use qft_ir::latency::LinkClass;
+
+/// The `m × m` Sycamore model (`m` even), with the unit structure of §5.
+#[derive(Debug, Clone)]
+pub struct Sycamore {
+    /// Side length `m` (even).
+    pub m: usize,
+    graph: CouplingGraph,
+}
+
+impl Sycamore {
+    /// Builds the `m × m` Sycamore model.
+    ///
+    /// # Panics
+    /// Panics if `m` is odd or zero (the paper evaluates even `m` only; units
+    /// are pairs of rows).
+    pub fn new(m: usize) -> Self {
+        assert!(m >= 2 && m % 2 == 0, "Sycamore model needs even m >= 2, got {m}");
+        let idx = |r: usize, c: usize| (r * m + c) as u32;
+        let mut edges = Vec::new();
+        for r in 0..m - 1 {
+            for c in 0..m {
+                edges.push((idx(r, c), idx(r + 1, c), LinkClass::Uniform));
+                if r % 2 == 0 {
+                    if c > 0 {
+                        edges.push((idx(r, c), idx(r + 1, c - 1), LinkClass::Uniform));
+                    }
+                } else if c + 1 < m {
+                    edges.push((idx(r, c), idx(r + 1, c + 1), LinkClass::Uniform));
+                }
+            }
+        }
+        Sycamore {
+            m,
+            graph: CouplingGraph::new(format!("sycamore-{m}x{m}"), m * m, &edges),
+        }
+    }
+
+    /// The underlying coupling graph.
+    #[inline]
+    pub fn graph(&self) -> &CouplingGraph {
+        &self.graph
+    }
+
+    /// Total qubit count `N = m²`.
+    #[inline]
+    pub fn n_qubits(&self) -> usize {
+        self.m * self.m
+    }
+
+    /// Number of units (`m / 2`).
+    #[inline]
+    pub fn n_units(&self) -> usize {
+        self.m / 2
+    }
+
+    /// Line length of each unit (`2m`).
+    #[inline]
+    pub fn unit_len(&self) -> usize {
+        2 * self.m
+    }
+
+    /// Physical qubit at `(r, c)`.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> PhysicalQubit {
+        debug_assert!(r < self.m && c < self.m);
+        PhysicalQubit((r * self.m + c) as u32)
+    }
+
+    /// `(row, col)` of a physical qubit.
+    #[inline]
+    pub fn coords(&self, p: PhysicalQubit) -> (usize, usize) {
+        (p.index() / self.m, p.index() % self.m)
+    }
+
+    /// Physical qubit at line position `pos` of unit `u` (Fig. 12's zigzag):
+    /// even positions on the unit's top row, odd on the bottom row.
+    #[inline]
+    pub fn unit_line(&self, u: usize, pos: usize) -> PhysicalQubit {
+        debug_assert!(u < self.n_units() && pos < self.unit_len());
+        let r = 2 * u + (pos % 2);
+        let c = pos / 2;
+        self.at(r, c)
+    }
+
+    /// Inverse of [`Self::unit_line`]: `(unit, line position)` of `p`.
+    #[inline]
+    pub fn unit_pos(&self, p: PhysicalQubit) -> (usize, usize) {
+        let (r, c) = self.coords(p);
+        (r / 2, 2 * c + (r % 2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_line_is_connected_path() {
+        let s = Sycamore::new(6);
+        for u in 0..s.n_units() {
+            for pos in 0..s.unit_len() - 1 {
+                let a = s.unit_line(u, pos);
+                let b = s.unit_line(u, pos + 1);
+                assert!(s.graph().are_adjacent(a, b), "unit {u} pos {pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn inter_unit_links_are_pos_plus_minus_one_and_never_equal() {
+        let s = Sycamore::new(6);
+        let n = s.unit_len();
+        for u in 0..s.n_units() - 1 {
+            let mut count = 0;
+            for p_top in 0..n {
+                for p_bot in 0..n {
+                    let a = s.unit_line(u, p_top);
+                    let b = s.unit_line(u + 1, p_bot);
+                    let adjacent = s.graph().are_adjacent(a, b);
+                    if p_top == p_bot {
+                        assert!(!adjacent, "same line position must not be linked");
+                    }
+                    if adjacent {
+                        assert_eq!(p_top.abs_diff(p_bot), 1, "u={u} {p_top}~{p_bot}");
+                        count += 1;
+                    }
+                }
+            }
+            assert_eq!(count, n - 1, "paper: row size - 1 inter-unit links");
+        }
+    }
+
+    #[test]
+    fn same_column_rows_within_unit_are_linked() {
+        // Even-row rule gives (2u,c)~(2u+1,c): needed for the 3-step unit
+        // swap's transversal matchings.
+        let s = Sycamore::new(4);
+        for r in 0..3 {
+            for c in 0..4 {
+                assert!(s.graph().are_adjacent(s.at(r, c), s.at(r + 1, c)));
+            }
+        }
+    }
+
+    #[test]
+    fn unit_pos_roundtrip() {
+        let s = Sycamore::new(8);
+        for u in 0..s.n_units() {
+            for pos in 0..s.unit_len() {
+                let p = s.unit_line(u, pos);
+                assert_eq!(s.unit_pos(p), (u, pos));
+            }
+        }
+    }
+
+    #[test]
+    fn graph_is_connected() {
+        for m in [2, 4, 6, 10] {
+            assert!(Sycamore::new(m).graph().is_connected(), "m={m}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even m")]
+    fn odd_m_rejected() {
+        Sycamore::new(5);
+    }
+}

@@ -1,0 +1,18 @@
+//! # qft-baselines — the comparison compilers of §7
+//!
+//! * [`sabre`] — SABRE \[21\] reimplemented from scratch (front layer +
+//!   lookahead + decay, seeded randomness);
+//! * [`optimal`] — exact minimum-SWAP A* search with a deadline, the
+//!   substitute for SATMAP \[29\] (same solve-tiny / time-out-big contract);
+//! * [`lnn_path`] — the analytical LNN QFT along a Hamiltonian path
+//!   (Fig. 19's "LNN" series).
+
+#![warn(missing_docs)]
+
+pub mod lnn_path;
+pub mod optimal;
+pub mod sabre;
+
+pub use lnn_path::{lnn_on_lattice, lnn_on_path};
+pub use optimal::{optimal_compile, OptimalConfig, OptimalResult};
+pub use sabre::{sabre_compile, sabre_qft, SabreConfig};

@@ -1,0 +1,55 @@
+//! Criterion benches: compile time of the analytical compilers (the §7.1.1
+//! claim — ours is O(N) schedule emission with no search).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qft_arch::heavyhex::HeavyHex;
+use qft_arch::lattice::LatticeSurgery;
+use qft_arch::sycamore::Sycamore;
+use qft_core::{compile_heavyhex, compile_lattice, compile_lnn, compile_sycamore};
+
+fn bench_compilers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile");
+    g.sample_size(10);
+    for n in [64usize, 256] {
+        g.bench_with_input(BenchmarkId::new("lnn", n), &n, |b, &n| {
+            b.iter(|| compile_lnn(n))
+        });
+    }
+    for groups in [8usize, 20] {
+        let hh = HeavyHex::groups(groups);
+        g.bench_with_input(BenchmarkId::new("heavyhex", 5 * groups), &hh, |b, hh| {
+            b.iter(|| compile_heavyhex(hh))
+        });
+    }
+    for m in [6usize, 10] {
+        let s = Sycamore::new(m);
+        g.bench_with_input(BenchmarkId::new("sycamore", m * m), &s, |b, s| {
+            b.iter(|| compile_sycamore(s))
+        });
+    }
+    for m in [10usize, 16] {
+        let l = LatticeSurgery::new(m);
+        g.bench_with_input(BenchmarkId::new("lattice", m * m), &l, |b, l| {
+            b.iter(|| compile_lattice(l))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sabre_small(c: &mut Criterion) {
+    use qft_baselines::sabre::{sabre_qft, SabreConfig};
+    use qft_ir::dag::DagMode;
+    let mut g = c.benchmark_group("sabre");
+    g.sample_size(10);
+    for groups in [2usize, 6] {
+        let hh = HeavyHex::groups(groups);
+        let n = hh.n_qubits();
+        g.bench_with_input(BenchmarkId::new("heavyhex", n), &hh, |b, hh| {
+            b.iter(|| sabre_qft(n, hh.graph(), DagMode::Strict, &SabreConfig::default()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compilers, bench_sabre_small);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion benches for the schedule substrates: the abstract LNN line
+//! generator and the synthesized IE movement patterns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qft_core::line_qft_schedule;
+use qft_synth::engine::Sketch;
+use qft_synth::patterns::{GridIeRelaxedSketch, GRID_RELAXED_SOLUTION};
+
+fn bench_line_schedule(c: &mut Criterion) {
+    let mut g = c.benchmark_group("line_schedule");
+    for n in [64usize, 256, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| line_qft_schedule(n))
+        });
+    }
+    g.finish();
+}
+
+fn bench_ie_check(c: &mut Criterion) {
+    c.bench_function("grid_ie_relaxed_check_L64", |b| {
+        b.iter(|| GridIeRelaxedSketch.check(&GRID_RELAXED_SOLUTION, 64))
+    });
+}
+
+criterion_group!(benches, bench_line_schedule, bench_ie_check);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Complexity claims (§4, §5, §6, Appendices 2–3): measured depth against
+//! the paper's closed forms —
+//!
+//! * LNN:            4N − 6 two-qubit cycles (exact);
+//! * heavy-hex 4+1:  5N + O(1);
+//! * heavy-hex any:  ≤ 6N + O(1);
+//! * Sycamore:       7N + O(√N);
+//! * lattice:        c·N (ours is row-granular; the paper's fused variant
+//!                   reaches c = 5 — see DESIGN.md §5).
+
+use qft_arch::heavyhex::HeavyHex;
+use qft_arch::lattice::LatticeSurgery;
+use qft_arch::sycamore::Sycamore;
+use qft_bench::{print_table, timed, write_json, Row};
+use qft_core::{compile_heavyhex, compile_lattice, compile_lnn, compile_sycamore};
+
+fn main() {
+    let mut rows = Vec::new();
+
+    println!("## LNN: two-qubit depth vs 4N-6");
+    for n in [8usize, 32, 128, 512] {
+        let (mc, secs) = timed(|| compile_lnn(n));
+        let d = mc.two_qubit_depth();
+        println!("N={n:>5}: depth={d:>6}  4N-6={}", 4 * n - 6);
+        assert_eq!(d, (4 * n - 6) as u64);
+        rows.push(Row {
+            arch: format!("lnn-{n}"),
+            compiler: "ours".into(),
+            n,
+            depth: d,
+            swaps: mc.swap_count(),
+            compile_s: secs,
+            note: format!("formula 4N-6 = {}", 4 * n - 6),
+        });
+    }
+
+    println!("\n## Heavy-hex (4+1 groups): two-qubit depth vs 5N");
+    for g in [4usize, 10, 20, 40] {
+        let hh = HeavyHex::groups(g);
+        let n = hh.n_qubits();
+        let (mc, secs) = timed(|| compile_heavyhex(&hh));
+        let d = mc.two_qubit_depth();
+        println!("N={n:>5}: depth={d:>6}  5N={}  ratio={:.3}", 5 * n, d as f64 / n as f64);
+        rows.push(Row {
+            arch: format!("heavyhex-{n}"),
+            compiler: "ours".into(),
+            n,
+            depth: d,
+            swaps: mc.swap_count(),
+            compile_s: secs,
+            note: format!("5N = {}", 5 * n),
+        });
+    }
+
+    println!("\n## Sycamore: depth vs 7N + O(sqrt N)");
+    for m in [4usize, 8, 12, 16] {
+        let s = Sycamore::new(m);
+        let n = s.n_qubits();
+        let (mc, secs) = timed(|| compile_sycamore(&s));
+        let d = mc.depth_uniform();
+        println!("N={n:>5}: depth={d:>6}  7N={}  ratio={:.3}", 7 * n, d as f64 / n as f64);
+        rows.push(Row {
+            arch: format!("sycamore-{n}"),
+            compiler: "ours".into(),
+            n,
+            depth: d,
+            swaps: mc.swap_count(),
+            compile_s: secs,
+            note: format!("7N = {}", 7 * n),
+        });
+    }
+
+    println!("\n## Lattice surgery: weighted depth / N (linearity)");
+    for m in [8usize, 12, 16, 24] {
+        let l = LatticeSurgery::new(m);
+        let n = l.n_qubits();
+        let (mc, secs) = timed(|| compile_lattice(&l));
+        let d = l.graph().depth_of(&mc);
+        println!("N={n:>5}: depth={d:>7}  depth/N={:.2}", d as f64 / n as f64);
+        rows.push(Row {
+            arch: format!("lattice-{n}"),
+            compiler: "ours".into(),
+            n,
+            depth: d,
+            swaps: mc.swap_count(),
+            compile_s: secs,
+            note: format!("depth/N = {:.2}", d as f64 / n as f64),
+        });
+    }
+
+    print_table("Complexity summary", &rows);
+    write_json("complexity", &rows);
+}

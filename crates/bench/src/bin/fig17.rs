@@ -1,0 +1,44 @@
+//! Fig. 17: depth (a) and #SWAP (b) on heavy-hex, ours vs SABRE, N ≤ 100
+//! (multiples of 5 per §7's group construction).
+
+use qft_baselines::sabre::{sabre_qft, SabreConfig};
+use qft_bench::{print_table, timed, write_json, Row};
+use qft_core::compile_heavyhex;
+use qft_arch::heavyhex::HeavyHex;
+use qft_ir::dag::DagMode;
+use qft_sim::symbolic::verify_qft_mapping;
+
+fn main() {
+    let mut rows = Vec::new();
+    for g in (2..=20).step_by(2) {
+        let hh = HeavyHex::groups(g);
+        let graph = hh.graph();
+        let n = hh.n_qubits();
+        let arch = graph.name().to_string();
+
+        let (mc, secs) = timed(|| compile_heavyhex(&hh));
+        verify_qft_mapping(&mc, graph).expect("ours must verify");
+        rows.push(Row::from_circuit(&arch, "ours", graph, &mc, secs));
+
+        let (mc, secs) = timed(|| sabre_qft(n, graph, DagMode::Strict, &SabreConfig::default()));
+        verify_qft_mapping(&mc, graph).expect("sabre must verify");
+        rows.push(Row::from_circuit(&arch, "sabre", graph, &mc, secs));
+    }
+    print_table("Fig. 17: heavy-hex, ours vs SABRE (N = 10..100)", &rows);
+    write_json("fig17", &rows);
+
+    // Series summary like the paper's text: depth ratio at the top end.
+    let ours: Vec<&Row> = rows.iter().filter(|r| r.compiler == "ours").collect();
+    let sabre: Vec<&Row> = rows.iter().filter(|r| r.compiler == "sabre").collect();
+    let last = ours.len() - 1;
+    println!(
+        "\nAt N={}: our depth = {} vs SABRE = {} ({:.0}% of SABRE); our #SWAP = {} vs {} ({:.0}%)",
+        ours[last].n,
+        ours[last].depth,
+        sabre[last].depth,
+        100.0 * ours[last].depth as f64 / sabre[last].depth as f64,
+        ours[last].swaps,
+        sabre[last].swaps,
+        100.0 * ours[last].swaps as f64 / sabre[last].swaps as f64,
+    );
+}

@@ -1,0 +1,43 @@
+//! Fig. 18: depth (a) and #SWAP (b) on Sycamore, ours vs SABRE, N ≤ 100
+//! (m = 2, 4, 6, 8, 10).
+
+use qft_arch::sycamore::Sycamore;
+use qft_baselines::sabre::{sabre_qft, SabreConfig};
+use qft_bench::{print_table, timed, write_json, Row};
+use qft_core::compile_sycamore;
+use qft_ir::dag::DagMode;
+use qft_sim::symbolic::verify_qft_mapping;
+
+fn main() {
+    let mut rows = Vec::new();
+    for m in [2usize, 4, 6, 8, 10] {
+        let s = Sycamore::new(m);
+        let graph = s.graph();
+        let n = s.n_qubits();
+        let arch = graph.name().to_string();
+
+        let (mc, secs) = timed(|| compile_sycamore(&s));
+        verify_qft_mapping(&mc, graph).expect("ours must verify");
+        rows.push(Row::from_circuit(&arch, "ours", graph, &mc, secs));
+
+        let (mc, secs) = timed(|| sabre_qft(n, graph, DagMode::Strict, &SabreConfig::default()));
+        verify_qft_mapping(&mc, graph).expect("sabre must verify");
+        rows.push(Row::from_circuit(&arch, "sabre", graph, &mc, secs));
+    }
+    print_table("Fig. 18: Sycamore, ours vs SABRE (N = 4..100)", &rows);
+    write_json("fig18", &rows);
+
+    let ours: Vec<&Row> = rows.iter().filter(|r| r.compiler == "ours").collect();
+    let sabre: Vec<&Row> = rows.iter().filter(|r| r.compiler == "sabre").collect();
+    let last = ours.len() - 1;
+    println!(
+        "\nAt N={}: our depth = {} vs SABRE = {} ({:.0}%); our #SWAP = {} vs {} ({:.0}%)",
+        ours[last].n,
+        ours[last].depth,
+        sabre[last].depth,
+        100.0 * ours[last].depth as f64 / sabre[last].depth as f64,
+        ours[last].swaps,
+        sabre[last].swaps,
+        100.0 * ours[last].swaps as f64 / sabre[last].swaps as f64,
+    );
+}

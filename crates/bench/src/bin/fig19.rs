@@ -1,0 +1,89 @@
+//! Fig. 19: depth (a) and #SWAP (b) on lattice surgery for N = 100…1024
+//! (m = 10…32), ours vs SABRE vs the LNN-on-Hamiltonian-path baseline.
+//!
+//! Depths are weighted by the heterogeneous link latencies (fast SWAP = 2,
+//! CNOT-only SWAP = 6, two-qubit gates = 2); SABRE and the LNN path are
+//! latency-blind, which is the point of the comparison (§7.2).
+//!
+//! SABRE on 1024 qubits routes ~524k gates; sweep points run in parallel
+//! worker threads (crossbeam). `--fast` caps m at 16.
+
+use qft_arch::lattice::LatticeSurgery;
+use qft_baselines::lnn_path::lnn_on_lattice;
+use qft_baselines::sabre::{sabre_qft, SabreConfig};
+use qft_bench::{has_flag, print_table, timed, write_json, Row};
+use qft_core::compile_lattice;
+use qft_ir::dag::DagMode;
+use qft_sim::symbolic::verify_qft_mapping;
+
+fn main() {
+    let max_m = if has_flag("--fast") { 16 } else { 32 };
+    let ms: Vec<usize> = (10..=max_m).step_by(2).collect();
+
+    let results = parking_lot::Mutex::new(Vec::<Row>::new());
+    crossbeam::scope(|scope| {
+        for &m in &ms {
+            let results = &results;
+            scope.spawn(move |_| {
+                let l = LatticeSurgery::new(m);
+                let graph = l.graph();
+                let n = l.n_qubits();
+                let arch = graph.name().to_string();
+                let mut local = Vec::new();
+
+                let (mc, secs) = timed(|| compile_lattice(&l));
+                verify_qft_mapping(&mc, graph).expect("ours must verify");
+                local.push(Row::from_circuit(&arch, "ours", graph, &mc, secs));
+
+                let (mc, secs) = timed(|| lnn_on_lattice(&l));
+                verify_qft_mapping(&mc, graph).expect("lnn-path must verify");
+                local.push(Row::from_circuit(&arch, "lnn-path", graph, &mc, secs));
+
+                let (mc, secs) =
+                    timed(|| sabre_qft(n, graph, DagMode::Strict, &SabreConfig::default()));
+                verify_qft_mapping(&mc, graph).expect("sabre must verify");
+                // §7.2: SABRE cannot express heterogeneous links, so the
+                // paper charges it uniform (all-links-equal) latencies —
+                // the concession that favours SABRE.
+                let mut row = Row::from_circuit(&arch, "sabre", graph, &mc, secs);
+                row.depth = mc.depth_uniform();
+                row.note = "uniform-latency depth".into();
+                local.push(row);
+
+                results.lock().extend(local);
+            });
+        }
+    })
+    .expect("sweep threads");
+
+    let mut rows = results.into_inner();
+    rows.sort_by_key(|r| (r.n, r.compiler.clone()));
+    print_table(
+        "Fig. 19: lattice surgery, ours vs SABRE vs LNN path (N = 100..1024)",
+        &rows,
+    );
+    write_json("fig19", &rows);
+
+    // Headline shape checks from §7.2.
+    let get = |compiler: &str, n: usize| rows.iter().find(|r| r.compiler == compiler && r.n == n);
+    if let (Some(o), Some(s)) = (get("ours", max_m * max_m), get("sabre", max_m * max_m)) {
+        println!(
+            "\nAt N={}: our depth is {:.0}% lower than SABRE's ({} vs {}); \
+             SABRE CT grew to {:.1}s while ours stayed at {:.3}s.",
+            o.n,
+            100.0 * (1.0 - o.depth as f64 / s.depth as f64),
+            o.depth,
+            s.depth,
+            s.compile_s,
+            o.compile_s
+        );
+    }
+    // SWAP crossover: the paper sees ours winning on #SWAP for N > 144.
+    for pair in ms.windows(1) {
+        let m = pair[0];
+        if let (Some(o), Some(s)) = (get("ours", m * m), get("sabre", m * m)) {
+            let who = if o.swaps <= s.swaps { "ours" } else { "sabre" };
+            println!("N={:>5}: fewer SWAPs -> {who}", m * m);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! # qft-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §4):
+//! `table1`, `fig17`, `fig18`, `fig19`, `fig27`, `complexity`,
+//! `ablation_relaxed`, `synth_patterns`. Each prints the paper's
+//! rows/series and writes machine-readable JSON under
+//! `target/experiments/`.
+
+#![warn(missing_docs)]
+
+use qft_arch::graph::CouplingGraph;
+use qft_ir::circuit::MappedCircuit;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One measured configuration: the columns the paper reports.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Architecture name (e.g. `sycamore-6x6`).
+    pub arch: String,
+    /// Compiler name (`ours`, `sabre`, `optimal`, `lnn-path`).
+    pub compiler: String,
+    /// Number of logical qubits.
+    pub n: usize,
+    /// Depth in cycles (weighted by link latencies where heterogeneous).
+    pub depth: u64,
+    /// Inserted SWAP count.
+    pub swaps: usize,
+    /// Compile time in seconds.
+    pub compile_s: f64,
+    /// Notes (e.g. `TLE`).
+    pub note: String,
+}
+
+impl Row {
+    /// Builds a row by costing `mc` on `graph`.
+    pub fn from_circuit(
+        arch: &str,
+        compiler: &str,
+        graph: &CouplingGraph,
+        mc: &MappedCircuit,
+        compile_s: f64,
+    ) -> Row {
+        Row {
+            arch: arch.to_string(),
+            compiler: compiler.to_string(),
+            n: mc.n_logical(),
+            depth: graph.depth_of(mc),
+            swaps: mc.swap_count(),
+            compile_s,
+            note: String::new(),
+        }
+    }
+
+    /// A timeout row (the paper's "TLE").
+    pub fn tle(arch: &str, compiler: &str, n: usize, budget_s: f64) -> Row {
+        Row {
+            arch: arch.to_string(),
+            compiler: compiler.to_string(),
+            n,
+            depth: 0,
+            swaps: 0,
+            compile_s: budget_s,
+            note: "TLE".to_string(),
+        }
+    }
+}
+
+/// Pretty-prints rows as a fixed-width table.
+pub fn print_table(title: &str, rows: &[Row]) {
+    println!("\n## {title}");
+    println!(
+        "{:<24} {:<10} {:>6} {:>10} {:>10} {:>10}  {}",
+        "architecture", "compiler", "N", "depth", "#SWAP", "CT(s)", "note"
+    );
+    for r in rows {
+        if r.note == "TLE" {
+            println!(
+                "{:<24} {:<10} {:>6} {:>10} {:>10} {:>10.2}  TLE",
+                r.arch, r.compiler, r.n, "-", "-", r.compile_s
+            );
+        } else {
+            println!(
+                "{:<24} {:<10} {:>6} {:>10} {:>10} {:>10.4}  {}",
+                r.arch, r.compiler, r.n, r.depth, r.swaps, r.compile_s, r.note
+            );
+        }
+    }
+}
+
+/// Writes rows as JSON to `target/experiments/<name>.json`.
+pub fn write_json(name: &str, rows: &[Row]) {
+    let dir = std::path::Path::new("target/experiments");
+    std::fs::create_dir_all(dir).expect("create target/experiments");
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(rows).expect("serialize rows");
+    std::fs::write(&path, json).expect("write json");
+    println!("[wrote {}]", path.display());
+}
+
+/// Times a closure, returning (result, seconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+/// Parses a `--flag` style argument from the command line.
+pub fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_measures_something() {
+        let (v, s) = timed(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(s >= 0.0);
+    }
+
+    #[test]
+    fn tle_row_has_note() {
+        let r = Row::tle("x", "optimal", 10, 2.0);
+        assert_eq!(r.note, "TLE");
+    }
+}

@@ -1,0 +1,89 @@
+//! One-call façade over the four backend compilers.
+
+use crate::{compile_heavyhex, compile_lattice, compile_lnn, compile_sycamore};
+use qft_arch::graph::CouplingGraph;
+use qft_arch::heavyhex::HeavyHex;
+use qft_arch::lattice::LatticeSurgery;
+use qft_arch::sycamore::Sycamore;
+use qft_ir::circuit::MappedCircuit;
+use qft_ir::metrics::Metrics;
+
+/// A backend the domain-specific QFT compiler supports.
+#[derive(Debug, Clone)]
+pub enum Backend {
+    /// A line of `n` qubits.
+    Lnn(usize),
+    /// Google Sycamore, `m × m` (even `m`).
+    Sycamore(usize),
+    /// IBM heavy-hex with `g` groups of 5 qubits (§7's configuration).
+    HeavyHexGroups(usize),
+    /// Lattice surgery, `m × m`.
+    LatticeSurgery(usize),
+}
+
+impl Backend {
+    /// Total number of qubits this backend holds.
+    pub fn n_qubits(&self) -> usize {
+        match *self {
+            Backend::Lnn(n) => n,
+            Backend::Sycamore(m) => m * m,
+            Backend::HeavyHexGroups(g) => 5 * g,
+            Backend::LatticeSurgery(m) => m * m,
+        }
+    }
+
+    /// The coupling graph of this backend.
+    pub fn graph(&self) -> CouplingGraph {
+        match *self {
+            Backend::Lnn(n) => qft_arch::lnn::lnn(n),
+            Backend::Sycamore(m) => Sycamore::new(m).graph().clone(),
+            Backend::HeavyHexGroups(g) => HeavyHex::groups(g).graph().clone(),
+            Backend::LatticeSurgery(m) => LatticeSurgery::new(m).graph().clone(),
+        }
+    }
+
+    /// Compiles the full-device QFT kernel. No per-instance search happens:
+    /// this is the paper's *analytical* mapping, so "compile time" is just
+    /// schedule emission.
+    pub fn compile_qft(&self) -> MappedCircuit {
+        match *self {
+            Backend::Lnn(n) => compile_lnn(n),
+            Backend::Sycamore(m) => compile_sycamore(&Sycamore::new(m)),
+            Backend::HeavyHexGroups(g) => compile_heavyhex(&HeavyHex::groups(g)),
+            Backend::LatticeSurgery(m) => compile_lattice(&LatticeSurgery::new(m)),
+        }
+    }
+
+    /// Compiles and reports metrics with this backend's link latencies.
+    pub fn compile_qft_with_metrics(&self) -> (MappedCircuit, Metrics) {
+        let graph = self.graph();
+        let mc = self.compile_qft();
+        let m = graph.metrics_of(&mc);
+        (mc, m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qft_sim::symbolic::verify_qft_mapping;
+
+    #[test]
+    fn all_backends_compile_and_verify() {
+        let backends = [
+            Backend::Lnn(16),
+            Backend::Sycamore(4),
+            Backend::HeavyHexGroups(3),
+            Backend::LatticeSurgery(5),
+        ];
+        for b in backends {
+            let graph = b.graph();
+            let (mc, m) = b.compile_qft_with_metrics();
+            verify_qft_mapping(&mc, &graph).unwrap_or_else(|e| panic!("{b:?}: {e}"));
+            assert_eq!(m.n, b.n_qubits());
+            assert_eq!(m.cphases, m.n * (m.n - 1) / 2);
+            assert_eq!(m.hadamards, m.n);
+            assert!(m.depth > 0);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # qft-core — linear-depth QFT kernel compilers
+//!
+//! The paper's contribution: analytical, search-free QFT mapping for LNN,
+//! IBM heavy-hex, Google Sycamore, and the lattice-surgery FT backend.
+
+#![warn(missing_docs)]
+
+pub mod compiler;
+pub mod heavyhex;
+pub mod lattice;
+pub mod line;
+pub mod lnn;
+pub mod progress;
+pub mod sycamore;
+pub mod two_row;
+
+pub use line::{line_qft_schedule, LineOp, LineSchedule};
+pub use compiler::Backend;
+pub use heavyhex::compile_heavyhex;
+pub use lattice::{compile_lattice, compile_lattice_with, IeMode};
+pub use lnn::{compile_lnn, run_line_qft, PathOrder};
+pub use progress::QftProgress;
+pub use sycamore::compile_sycamore;
+pub use two_row::{column_snake, compile_two_row, compile_two_row_interleaved};

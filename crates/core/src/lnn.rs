@@ -1,0 +1,181 @@
+//! The concrete LNN QFT compiler: instantiates the abstract line schedule
+//! ([`crate::line`]) on a physical path with real gates.
+
+use crate::line::{line_qft_schedule, LineOp};
+use qft_ir::circuit::{MappedCircuit, MappedCircuitBuilder};
+use qft_ir::gate::{GateKind, LogicalQubit, PhysicalQubit};
+use qft_ir::layout::Layout;
+use qft_ir::qft::rotation_order;
+
+/// Orientation of logical qubits along a path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathOrder {
+    /// Path position `p` initially holds logical `base + p`.
+    Ascending,
+    /// Path position `p` initially holds logical `base + len-1 - p`.
+    Descending,
+}
+
+/// Runs the LNN QFT schedule for the `len` logical qubits
+/// `base .. base+len` currently sitting on `path` (in `order`), emitting
+/// H / CPHASE / SWAP ops into `builder`.
+///
+/// The caller is responsible for the precondition of the unit-level flows
+/// (§5/§6): every interaction `(k, q)` with `k < base` must already have
+/// happened, so that activating `q` here is globally Type-II-valid.
+///
+/// After the call the qubits sit on the path in the opposite `order`.
+pub fn run_line_qft(
+    builder: &mut MappedCircuitBuilder,
+    path: &[PhysicalQubit],
+    base: u32,
+    order: PathOrder,
+) {
+    let len = path.len();
+    if len == 0 {
+        return;
+    }
+    // Check the precondition: path position p holds the expected logical.
+    let logical_of_item = |item: usize| -> LogicalQubit { LogicalQubit(base + item as u32) };
+    let item_pos = |pos: usize| match order {
+        PathOrder::Ascending => pos,
+        PathOrder::Descending => len - 1 - pos,
+    };
+    for pos in 0..len {
+        let expect = logical_of_item(item_pos(pos));
+        debug_assert_eq!(
+            builder.layout().logical(path[pos]),
+            Some(expect),
+            "path position {pos} does not hold {expect}"
+        );
+    }
+
+    let schedule = line_qft_schedule(len);
+    for layer in &schedule.layers {
+        for op in layer {
+            match *op {
+                LineOp::Activate { item, pos } => {
+                    let _ = item;
+                    builder.push_1q_phys(GateKind::H, path[item_pos_inv(pos, order, len)]);
+                }
+                LineOp::Interact { lo, hi, pos_lo, pos_hi } => {
+                    let (a, b) = (
+                        path[item_pos_inv(pos_lo, order, len)],
+                        path[item_pos_inv(pos_hi, order, len)],
+                    );
+                    let k = rotation_order(base + lo as u32, base + hi as u32);
+                    builder.push_2q_phys(GateKind::Cphase { k }, a, b);
+                }
+                LineOp::Swap { pos_left, pos_right, .. } => {
+                    builder.push_swap_phys(
+                        path[item_pos_inv(pos_left, order, len)],
+                        path[item_pos_inv(pos_right, order, len)],
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Maps an abstract schedule position to a path index honouring orientation.
+#[inline]
+fn item_pos_inv(pos: usize, order: PathOrder, len: usize) -> usize {
+    match order {
+        PathOrder::Ascending => pos,
+        PathOrder::Descending => len - 1 - pos,
+    }
+}
+
+/// Compiles the full QFT for `n` qubits on the LNN line (identity initial
+/// mapping, reversed final mapping) — the paper's base case.
+pub fn compile_lnn(n: usize) -> MappedCircuit {
+    let mut builder = MappedCircuitBuilder::new(Layout::identity(n, n));
+    let path: Vec<PhysicalQubit> = (0..n as u32).map(PhysicalQubit).collect();
+    run_line_qft(&mut builder, &path, 0, PathOrder::Ascending);
+    builder.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qft_arch::lnn::lnn;
+    use qft_ir::metrics::Metrics;
+    use qft_sim::symbolic::verify_qft_mapping;
+
+    #[test]
+    fn lnn_qft_verifies_symbolically() {
+        for n in 1..=30 {
+            let mc = compile_lnn(n);
+            let g = lnn(n);
+            let report = verify_qft_mapping(&mc, &g).unwrap_or_else(|e| panic!("n={n}: {e}"));
+            assert_eq!(report.pairs, n * (n - 1) / 2);
+        }
+    }
+
+    #[test]
+    fn lnn_qft_is_unitarily_correct() {
+        for n in 1..=8 {
+            let mc = compile_lnn(n);
+            assert!(qft_sim::equiv::mapped_equals_qft(&mc, 3), "n={n}");
+        }
+    }
+
+    #[test]
+    fn lnn_two_qubit_depth_is_4n_minus_6() {
+        for n in 2..=50 {
+            let mc = compile_lnn(n);
+            assert_eq!(mc.two_qubit_depth(), (4 * n - 6) as u64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn lnn_swap_count_is_n_choose_2() {
+        for n in [2, 5, 10, 25] {
+            let m = Metrics::of(&compile_lnn(n));
+            assert_eq!(m.swaps, n * (n - 1) / 2);
+            assert_eq!(m.cphases, n * (n - 1) / 2);
+            assert_eq!(m.hadamards, n);
+        }
+    }
+
+    #[test]
+    fn lnn_final_mapping_is_reversed() {
+        let n = 9;
+        let mc = compile_lnn(n);
+        for q in 0..n as u32 {
+            assert_eq!(
+                mc.final_layout().phys(LogicalQubit(q)),
+                PhysicalQubit(n as u32 - 1 - q)
+            );
+        }
+    }
+
+    #[test]
+    fn descending_orientation_works() {
+        // Place qubits descending on the path, run, verify.
+        let n = 7;
+        let phys_of: Vec<PhysicalQubit> =
+            (0..n as u32).map(|l| PhysicalQubit(n as u32 - 1 - l)).collect();
+        let lay = Layout::from_assignment(phys_of, n);
+        let mut b = MappedCircuitBuilder::new(lay);
+        let path: Vec<PhysicalQubit> = (0..n as u32).map(PhysicalQubit).collect();
+        run_line_qft(&mut b, &path, 0, PathOrder::Descending);
+        let mc = b.finish();
+        let g = lnn(n);
+        verify_qft_mapping(&mc, &g).unwrap();
+        // Ends ascending (mirror of the usual reversal).
+        for q in 0..n as u32 {
+            assert_eq!(mc.final_layout().phys(LogicalQubit(q)), PhysicalQubit(q));
+        }
+    }
+
+    #[test]
+    fn depth_grows_linearly() {
+        // Total depth (H layers included) is 4n-4 + small constant.
+        for n in 3..=40 {
+            let mc = compile_lnn(n);
+            let d = mc.depth_uniform();
+            assert!(d <= (4 * n) as u64, "n={n} depth={d}");
+        }
+    }
+}

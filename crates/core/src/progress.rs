@@ -1,0 +1,144 @@
+//! Global QFT progress tracking shared by the structured compilers: which
+//! pairs have interacted, which qubits are *active* (H fired), and the
+//! Type-II eligibility rules of §3.1.
+
+use crate::line::PairSet;
+
+/// Tracks interaction/activation state for an `n`-qubit QFT build.
+#[derive(Debug, Clone)]
+pub struct QftProgress {
+    n: usize,
+    pair_done: PairSet,
+    activated: Vec<bool>,
+    /// Number of done pairs `(k, q)` with `k < q`, per `q`.
+    low_done: Vec<u32>,
+    n_pairs_done: usize,
+    n_activated: usize,
+}
+
+impl QftProgress {
+    /// Fresh state for `n` qubits.
+    pub fn new(n: usize) -> Self {
+        QftProgress {
+            n,
+            pair_done: PairSet::new(n.max(1)),
+            activated: vec![false; n],
+            low_done: vec![0; n],
+            n_pairs_done: 0,
+            n_activated: 0,
+        }
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the unordered pair `{a, b}` has interacted.
+    #[inline]
+    pub fn pair_done(&self, a: u32, b: u32) -> bool {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        self.pair_done.get(lo as usize, hi as usize)
+    }
+
+    /// Whether `H(q)` has fired.
+    #[inline]
+    pub fn activated(&self, q: u32) -> bool {
+        self.activated[q as usize]
+    }
+
+    /// Type-II eligibility of `CPHASE(a, b)`: pair not done and the smaller
+    /// qubit already active.
+    #[inline]
+    pub fn cphase_eligible(&self, a: u32, b: u32) -> bool {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        !self.pair_done.get(lo as usize, hi as usize) && self.activated[lo as usize]
+    }
+
+    /// Type-II eligibility of `H(q)`: not yet active and all pairs `(k, q)`,
+    /// `k < q`, done.
+    #[inline]
+    pub fn h_eligible(&self, q: u32) -> bool {
+        !self.activated[q as usize] && self.low_done[q as usize] as usize == q as usize
+    }
+
+    /// Records `CPHASE(a, b)`.
+    ///
+    /// # Panics
+    /// Panics if the pair was already recorded (duplicate interaction).
+    pub fn mark_pair(&mut self, a: u32, b: u32) {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        assert!(
+            !self.pair_done.get(lo as usize, hi as usize),
+            "pair ({lo},{hi}) already done"
+        );
+        self.pair_done.set(lo as usize, hi as usize);
+        self.low_done[hi as usize] += 1;
+        self.n_pairs_done += 1;
+    }
+
+    /// Records `H(q)`.
+    ///
+    /// # Panics
+    /// Panics on double activation.
+    pub fn mark_h(&mut self, q: u32) {
+        assert!(!self.activated[q as usize], "H({q}) already done");
+        self.activated[q as usize] = true;
+        self.n_activated += 1;
+    }
+
+    /// True when every pair and every H is done.
+    #[inline]
+    pub fn complete(&self) -> bool {
+        self.n_pairs_done == self.n * (self.n - 1) / 2 && self.n_activated == self.n
+    }
+
+    /// `(pairs done, total pairs, activations done)` — for stall messages.
+    pub fn status(&self) -> (usize, usize, usize) {
+        (self.n_pairs_done, self.n * (self.n - 1) / 2, self.n_activated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eligibility_follows_type_ii() {
+        let mut p = QftProgress::new(3);
+        assert!(p.h_eligible(0));
+        assert!(!p.h_eligible(1)); // needs pair (0,1)
+        assert!(!p.cphase_eligible(0, 1)); // needs H(0)
+        p.mark_h(0);
+        assert!(p.cphase_eligible(0, 1));
+        assert!(p.cphase_eligible(1, 0)); // symmetric
+        p.mark_pair(0, 1);
+        assert!(!p.cphase_eligible(0, 1)); // done
+        assert!(p.h_eligible(1));
+        assert!(!p.h_eligible(2)); // needs (0,2) and (1,2)
+        p.mark_pair(2, 0);
+        p.mark_h(1);
+        p.mark_pair(1, 2);
+        assert!(p.h_eligible(2));
+        p.mark_h(2);
+        assert!(p.complete());
+    }
+
+    #[test]
+    #[should_panic(expected = "already done")]
+    fn duplicate_pair_panics() {
+        let mut p = QftProgress::new(2);
+        p.mark_h(0);
+        p.mark_pair(0, 1);
+        p.mark_pair(1, 0);
+    }
+
+    #[test]
+    fn single_qubit_completes_with_one_h() {
+        let mut p = QftProgress::new(1);
+        assert!(!p.complete());
+        p.mark_h(0);
+        assert!(p.complete());
+    }
+}

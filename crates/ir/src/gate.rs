@@ -1,0 +1,260 @@
+//! Gate and qubit primitives shared by every layer of the stack.
+//!
+//! The paper's circuits are built from three gate families: Hadamard (`H`),
+//! controlled-phase (`CPHASE`, written `R_k` in the textbook QFT), and `SWAP`
+//! (plus `CNOT`, into which a `SWAP` decomposes on CNOT-only lattice-surgery
+//! links). We keep the rotation order `k` of `R_k` exact (the angle is
+//! `2π / 2^k`) instead of a floating-point angle so that circuit equality and
+//! QASM export are exact.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A logical qubit index (`q_i` in the paper).
+///
+/// Logical qubits are the program's qubits; they move between physical
+/// locations as SWAPs are inserted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LogicalQubit(pub u32);
+
+/// A physical qubit index (`Q_i` in the paper): a fixed location on the chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PhysicalQubit(pub u32);
+
+impl LogicalQubit {
+    /// The index as a `usize`, for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl PhysicalQubit {
+    /// The index as a `usize`, for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LogicalQubit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl fmt::Display for PhysicalQubit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}", self.0)
+    }
+}
+
+/// The kind of a gate, with exact parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GateKind {
+    /// Hadamard gate.
+    H,
+    /// Controlled-phase rotation `R_k`: `diag(1, 1, 1, e^{2πi/2^k})`.
+    ///
+    /// In the textbook QFT the gate between `q_i` (target) and `q_j`
+    /// (control), `i < j`, is `R_{j-i+1}`. `CPHASE` is symmetric in its two
+    /// operands (it is diagonal), so control/target distinction matters only
+    /// for presentation.
+    Cphase {
+        /// Rotation order `k ≥ 1`; the phase angle is `2π / 2^k`.
+        k: u32,
+    },
+    /// SWAP gate: exchanges the states of its two operands.
+    Swap,
+    /// Controlled-NOT, used when decomposing SWAPs on CNOT-only links.
+    Cnot,
+    /// Pauli-X, used in tests and examples.
+    X,
+    /// Z-axis rotation by `2π / 2^k`, used in tests.
+    Rz {
+        /// Rotation order; the phase angle is `2π / 2^k`.
+        k: u32,
+    },
+}
+
+impl GateKind {
+    /// Number of qubits the gate acts on (1 or 2).
+    #[inline]
+    pub fn arity(self) -> usize {
+        match self {
+            GateKind::H | GateKind::X | GateKind::Rz { .. } => 1,
+            GateKind::Cphase { .. } | GateKind::Swap | GateKind::Cnot => 2,
+        }
+    }
+
+    /// Whether the gate is diagonal in the computational basis.
+    ///
+    /// Diagonal gates mutually commute — this is the algebraic fact behind
+    /// the paper's Key Insight 1 (§3.1): any two `CPHASE` gates commute, even
+    /// when they share a qubit, so Type I dependences can be dropped.
+    #[inline]
+    pub fn is_diagonal(self) -> bool {
+        matches!(self, GateKind::Cphase { .. } | GateKind::Rz { .. })
+    }
+
+    /// Whether the operands can be exchanged without changing the unitary.
+    #[inline]
+    pub fn is_symmetric(self) -> bool {
+        matches!(self, GateKind::Cphase { .. } | GateKind::Swap)
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GateKind::H => write!(f, "H"),
+            GateKind::Cphase { k } => write!(f, "CP(pi/2^{})", k.saturating_sub(1)),
+            GateKind::Swap => write!(f, "SWAP"),
+            GateKind::Cnot => write!(f, "CNOT"),
+            GateKind::X => write!(f, "X"),
+            GateKind::Rz { k } => write!(f, "RZ(2pi/2^{k})"),
+        }
+    }
+}
+
+/// A gate applied to logical qubits (a *logical circuit* element).
+///
+/// For two-qubit gates `a` is the first operand (target for `CPHASE` in the
+/// textbook drawing, control for `CNOT`) and `b` the second.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Gate {
+    /// What the gate does.
+    pub kind: GateKind,
+    /// First operand.
+    pub a: LogicalQubit,
+    /// Second operand for two-qubit gates.
+    pub b: Option<LogicalQubit>,
+}
+
+impl Gate {
+    /// Single-qubit gate constructor.
+    #[inline]
+    pub fn one(kind: GateKind, a: LogicalQubit) -> Self {
+        debug_assert_eq!(kind.arity(), 1);
+        Gate { kind, a, b: None }
+    }
+
+    /// Two-qubit gate constructor.
+    #[inline]
+    pub fn two(kind: GateKind, a: LogicalQubit, b: LogicalQubit) -> Self {
+        debug_assert_eq!(kind.arity(), 2);
+        debug_assert_ne!(a, b, "two-qubit gate with identical operands");
+        Gate { kind, a, b: Some(b) }
+    }
+
+    /// Hadamard on `q`.
+    #[inline]
+    pub fn h(q: u32) -> Self {
+        Gate::one(GateKind::H, LogicalQubit(q))
+    }
+
+    /// `R_k`-controlled phase between `target` and `control`.
+    #[inline]
+    pub fn cphase(k: u32, target: u32, control: u32) -> Self {
+        Gate::two(GateKind::Cphase { k }, LogicalQubit(target), LogicalQubit(control))
+    }
+
+    /// SWAP between `a` and `b`.
+    #[inline]
+    pub fn swap(a: u32, b: u32) -> Self {
+        Gate::two(GateKind::Swap, LogicalQubit(a), LogicalQubit(b))
+    }
+
+    /// The qubits this gate touches, in operand order.
+    #[inline]
+    pub fn qubits(&self) -> impl Iterator<Item = LogicalQubit> + '_ {
+        std::iter::once(self.a).chain(self.b)
+    }
+
+    /// True if the gate acts on `q`.
+    #[inline]
+    pub fn touches(&self, q: LogicalQubit) -> bool {
+        self.a == q || self.b == Some(q)
+    }
+
+    /// True if this gate shares at least one qubit with `other`.
+    pub fn overlaps(&self, other: &Gate) -> bool {
+        other.qubits().any(|q| self.touches(q))
+    }
+
+    /// Whether this gate commutes with `other`.
+    ///
+    /// Disjoint gates always commute. Overlapping gates commute iff both are
+    /// diagonal (`CPHASE`/`RZ`) — the relaxation of §3.1.
+    pub fn commutes_with(&self, other: &Gate) -> bool {
+        if !self.overlaps(other) {
+            return true;
+        }
+        self.kind.is_diagonal() && other.kind.is_diagonal()
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.b {
+            Some(b) => write!(f, "{}({}, {})", self.kind, self.a, b),
+            None => write!(f, "{}({})", self.kind, self.a),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_constructor() {
+        assert_eq!(GateKind::H.arity(), 1);
+        assert_eq!(GateKind::Cphase { k: 2 }.arity(), 2);
+        assert_eq!(GateKind::Swap.arity(), 2);
+        assert_eq!(GateKind::Cnot.arity(), 2);
+    }
+
+    #[test]
+    fn diagonal_classification() {
+        assert!(GateKind::Cphase { k: 3 }.is_diagonal());
+        assert!(GateKind::Rz { k: 1 }.is_diagonal());
+        assert!(!GateKind::H.is_diagonal());
+        assert!(!GateKind::Swap.is_diagonal());
+        assert!(!GateKind::Cnot.is_diagonal());
+    }
+
+    #[test]
+    fn cphase_gates_sharing_a_qubit_commute() {
+        let g1 = Gate::cphase(2, 0, 1);
+        let g2 = Gate::cphase(3, 0, 2);
+        assert!(g1.commutes_with(&g2));
+        assert!(g2.commutes_with(&g1));
+    }
+
+    #[test]
+    fn h_does_not_commute_with_overlapping_cphase() {
+        let h = Gate::h(1);
+        let cp = Gate::cphase(2, 0, 1);
+        assert!(!h.commutes_with(&cp));
+        // ... but it commutes with a disjoint CPHASE.
+        let cp2 = Gate::cphase(2, 2, 3);
+        assert!(h.commutes_with(&cp2));
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let g1 = Gate::swap(0, 1);
+        let g2 = Gate::swap(1, 2);
+        let g3 = Gate::swap(2, 3);
+        assert!(g1.overlaps(&g2));
+        assert!(!g1.overlaps(&g3));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Gate::h(3).to_string(), "H(q3)");
+        assert_eq!(Gate::swap(0, 1).to_string(), "SWAP(q0, q1)");
+        assert_eq!(Gate::cphase(2, 0, 1).to_string(), "CP(pi/2^1)(q0, q1)");
+    }
+}

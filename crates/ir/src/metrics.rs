@@ -1,0 +1,73 @@
+//! Compilation-quality metrics: the columns of every table and figure.
+
+use crate::circuit::MappedCircuit;
+use crate::gate::GateKind;
+use serde::{Deserialize, Serialize};
+
+/// Summary of a mapped circuit's cost, in the units the paper reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Number of logical qubits.
+    pub n: usize,
+    /// Uniform-latency depth (cycles; the NISQ "Depth" column).
+    pub depth: u64,
+    /// Depth counting only two-qubit layers (the complexity-formula cycles).
+    pub two_qubit_depth: u64,
+    /// Inserted SWAP gates (the "# SWAP" column).
+    pub swaps: usize,
+    /// CPHASE count (must equal `n(n-1)/2` for a valid QFT).
+    pub cphases: usize,
+    /// Hadamard count (must equal `n`).
+    pub hadamards: usize,
+    /// All ops.
+    pub total_ops: usize,
+}
+
+impl Metrics {
+    /// Computes metrics with uniform latencies (NISQ backends).
+    pub fn of(mc: &MappedCircuit) -> Metrics {
+        Metrics {
+            n: mc.n_logical(),
+            depth: mc.depth_uniform(),
+            two_qubit_depth: mc.two_qubit_depth(),
+            swaps: mc.swap_count(),
+            cphases: mc.cphase_count(),
+            hadamards: mc.ops().iter().filter(|o| o.kind == GateKind::H).count(),
+            total_ops: mc.ops().len(),
+        }
+    }
+
+    /// Computes metrics with a per-op latency function (FT backends; the
+    /// depth field uses the weighted schedule).
+    pub fn of_weighted(
+        mc: &MappedCircuit,
+        latency: impl Fn(&crate::circuit::PhysOp) -> u64,
+    ) -> Metrics {
+        let mut m = Metrics::of(mc);
+        m.depth = mc.depth_with(latency);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::MappedCircuitBuilder;
+    use crate::gate::{GateKind, PhysicalQubit};
+    use crate::layout::Layout;
+
+    #[test]
+    fn metrics_count_kinds() {
+        let mut b = MappedCircuitBuilder::new(Layout::identity(2, 2));
+        b.push_1q_phys(GateKind::H, PhysicalQubit(0));
+        b.push_2q_phys(GateKind::Cphase { k: 2 }, PhysicalQubit(0), PhysicalQubit(1));
+        b.push_swap_phys(PhysicalQubit(0), PhysicalQubit(1));
+        let m = Metrics::of(&b.finish());
+        assert_eq!(m.swaps, 1);
+        assert_eq!(m.cphases, 1);
+        assert_eq!(m.hadamards, 1);
+        assert_eq!(m.total_ops, 3);
+        assert_eq!(m.depth, 3);
+        assert_eq!(m.two_qubit_depth, 2);
+    }
+}

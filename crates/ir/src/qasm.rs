@@ -1,0 +1,234 @@
+//! OpenQASM 2.0 export for logical and mapped circuits.
+//!
+//! Exports use `cu1` for controlled-phase rotations (the Qiskit-compatible
+//! spelling) with exact dyadic angles rendered as `pi/2^(k-1)` expressions.
+
+use crate::circuit::{Circuit, MappedCircuit};
+use crate::gate::GateKind;
+use std::fmt::Write as _;
+
+fn angle_expr(k: u32) -> String {
+    // R_k has phase 2*pi / 2^k = pi / 2^(k-1).
+    match k {
+        0 => "2*pi".to_string(),
+        1 => "pi".to_string(),
+        k => format!("pi/{}", 1u64 << (k - 1).min(62)),
+    }
+}
+
+fn emit_gate(out: &mut String, kind: GateKind, a: usize, b: Option<usize>) {
+    match (kind, b) {
+        (GateKind::H, _) => writeln!(out, "h q[{a}];").unwrap(),
+        (GateKind::X, _) => writeln!(out, "x q[{a}];").unwrap(),
+        (GateKind::Rz { k }, _) => writeln!(out, "rz({}) q[{a}];", angle_expr(k)).unwrap(),
+        (GateKind::Cphase { k }, Some(b)) => {
+            writeln!(out, "cu1({}) q[{b}],q[{a}];", angle_expr(k)).unwrap()
+        }
+        (GateKind::Swap, Some(b)) => writeln!(out, "swap q[{a}],q[{b}];").unwrap(),
+        (GateKind::Cnot, Some(b)) => writeln!(out, "cx q[{a}],q[{b}];").unwrap(),
+        _ => unreachable!("two-qubit gate without second operand"),
+    }
+}
+
+fn header(n: usize) -> String {
+    format!("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[{n}];\n")
+}
+
+/// Renders a logical circuit as OpenQASM 2.0.
+pub fn circuit_to_qasm(c: &Circuit) -> String {
+    let mut out = header(c.n_qubits());
+    for g in c.gates() {
+        emit_gate(&mut out, g.kind, g.a.index(), g.b.map(|q| q.index()));
+    }
+    out
+}
+
+/// Renders a mapped circuit as OpenQASM 2.0 over the *physical* register.
+///
+/// The initial layout is recorded as a comment line per logical qubit so the
+/// output is self-describing.
+pub fn mapped_to_qasm(mc: &MappedCircuit) -> String {
+    let mut out = header(mc.n_physical());
+    for l in 0..mc.n_logical() as u32 {
+        let p = mc.initial_layout().phys(crate::gate::LogicalQubit(l));
+        writeln!(out, "// initial: q{l} -> Q{}", p.0).unwrap();
+    }
+    for op in mc.ops() {
+        emit_gate(&mut out, op.kind, op.p1.index(), op.p2.map(|p| p.index()));
+    }
+    out
+}
+
+/// Errors from [`parse_circuit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QasmError {
+    /// A statement could not be parsed.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// No `qreg` declaration found before the first gate.
+    MissingRegister,
+}
+
+impl std::fmt::Display for QasmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QasmError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            QasmError::MissingRegister => write!(f, "missing qreg declaration"),
+        }
+    }
+}
+
+impl std::error::Error for QasmError {}
+
+fn parse_operands(rest: &str) -> Option<Vec<usize>> {
+    rest.trim_end_matches(';')
+        .split(',')
+        .map(|t| {
+            let t = t.trim();
+            t.strip_prefix("q[")?.strip_suffix(']')?.parse::<usize>().ok()
+        })
+        .collect()
+}
+
+fn parse_dyadic_angle(expr: &str) -> Option<u32> {
+    // Accepts "pi", "pi/2", "pi/16", ...: R_k with k = 1 + log2(divisor).
+    let expr = expr.trim();
+    if expr == "pi" {
+        return Some(1);
+    }
+    let d: u64 = expr.strip_prefix("pi/")?.parse().ok()?;
+    d.is_power_of_two().then(|| 1 + d.trailing_zeros())
+}
+
+/// Parses the OpenQASM 2.0 subset this crate emits (`h`, `x`, `rz`, `cu1`
+/// with dyadic angles, `swap`, `cx`) back into a logical [`Circuit`].
+///
+/// Comment lines and the header statements are skipped; any other
+/// construct is a [`QasmError::Syntax`].
+pub fn parse_circuit(text: &str) -> Result<Circuit, QasmError> {
+    let mut n: Option<usize> = None;
+    let mut gates: Vec<crate::gate::Gate> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with("//") || line.starts_with("OPENQASM")
+            || line.starts_with("include")
+        {
+            continue;
+        }
+        let err = |message: &str| QasmError::Syntax { line: lineno, message: message.into() };
+        if let Some(rest) = line.strip_prefix("qreg q[") {
+            let size = rest
+                .strip_suffix("];")
+                .and_then(|s| s.parse::<usize>().ok())
+                .ok_or_else(|| err("bad qreg"))?;
+            n = Some(size);
+            continue;
+        }
+        let (op, rest) = line.split_once(' ').ok_or_else(|| err("missing operands"))?;
+        let operands = parse_operands(rest).ok_or_else(|| err("bad operand list"))?;
+        use crate::gate::{Gate, GateKind, LogicalQubit};
+        let q = |i: usize| LogicalQubit(operands[i] as u32);
+        let gate = match (op, operands.len()) {
+            ("h", 1) => Gate::one(GateKind::H, q(0)),
+            ("x", 1) => Gate::one(GateKind::X, q(0)),
+            ("swap", 2) => Gate::two(GateKind::Swap, q(0), q(1)),
+            ("cx", 2) => Gate::two(GateKind::Cnot, q(0), q(1)),
+            _ if op.starts_with("rz(") && operands.len() == 1 => {
+                let k = parse_dyadic_angle(op.strip_prefix("rz(").unwrap().trim_end_matches(')'))
+                    .ok_or_else(|| err("non-dyadic rz angle"))?;
+                Gate::one(GateKind::Rz { k }, q(0))
+            }
+            _ if op.starts_with("cu1(") && operands.len() == 2 => {
+                let k = parse_dyadic_angle(op.strip_prefix("cu1(").unwrap().trim_end_matches(')'))
+                    .ok_or_else(|| err("non-dyadic cu1 angle"))?;
+                // Export order is (control, target): invert it back.
+                Gate::two(GateKind::Cphase { k }, q(1), q(0))
+            }
+            _ => return Err(err(&format!("unsupported statement `{op}`"))),
+        };
+        gates.push(gate);
+    }
+    let n = n.ok_or(QasmError::MissingRegister)?;
+    let mut c = Circuit::new(n);
+    for g in gates {
+        c.push(g);
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+    use crate::qft::qft_circuit;
+
+    #[test]
+    fn roundtrip_qft_circuit() {
+        for n in [1usize, 2, 5, 9] {
+            let c = qft_circuit(n);
+            let text = circuit_to_qasm(&c);
+            let back = parse_circuit(&text).unwrap_or_else(|e| panic!("n={n}: {e}"));
+            assert_eq!(&c, &back, "n={n}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_mixed_gates() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::h(0));
+        c.push(Gate::swap(0, 2));
+        c.push(Gate::two(crate::gate::GateKind::Cnot, crate::gate::LogicalQubit(1), crate::gate::LogicalQubit(2)));
+        c.push(Gate::cphase(4, 1, 0));
+        let back = parse_circuit(&circuit_to_qasm(&c)).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(matches!(
+            parse_circuit("OPENQASM 2.0;\nqreg q[2];\nfrobnicate q[0];"),
+            Err(QasmError::Syntax { line: 3, .. })
+        ));
+        assert_eq!(parse_circuit("h q[0];"), Err(QasmError::MissingRegister));
+    }
+
+    #[test]
+    fn parse_dyadic_angles() {
+        assert_eq!(parse_dyadic_angle("pi"), Some(1));
+        assert_eq!(parse_dyadic_angle("pi/8"), Some(4));
+        assert_eq!(parse_dyadic_angle("pi/3"), None);
+    }
+
+    #[test]
+    fn qasm_header_and_gates() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::h(0));
+        c.push(Gate::cphase(2, 0, 1));
+        let q = circuit_to_qasm(&c);
+        assert!(q.starts_with("OPENQASM 2.0;"));
+        assert!(q.contains("qreg q[2];"));
+        assert!(q.contains("h q[0];"));
+        assert!(q.contains("cu1(pi/2) q[1],q[0];"));
+    }
+
+    #[test]
+    fn qft_qasm_has_all_gates() {
+        let c = qft_circuit(6);
+        let q = circuit_to_qasm(&c);
+        let lines = q.lines().filter(|l| l.ends_with(';')).count();
+        // 3 header statements + gates.
+        assert_eq!(lines, 3 + c.len());
+    }
+
+    #[test]
+    fn angle_expressions_are_dyadic() {
+        assert_eq!(angle_expr(1), "pi");
+        assert_eq!(angle_expr(2), "pi/2");
+        assert_eq!(angle_expr(5), "pi/16");
+    }
+}

@@ -1,0 +1,78 @@
+//! ASCII rendering of mapped circuits as time×qubit grids — the textual
+//! analogue of the paper's Fig. 3 (each column a cycle, each row a
+//! physical qubit, cells showing the logical occupant and gate).
+
+use crate::circuit::MappedCircuit;
+use crate::gate::GateKind;
+use std::fmt::Write as _;
+
+/// Renders up to `max_layers` uniform-latency layers. Cells show
+/// `H`, `C` (CPHASE), `x` (SWAP) with the logical qubit index, `.` idle.
+pub fn render_layers(mc: &MappedCircuit, max_layers: usize) -> String {
+    let layers = mc.layers_uniform();
+    let shown = layers.len().min(max_layers);
+    let n = mc.n_physical();
+    // cell[q][t]
+    let mut cells = vec![vec!["   .".to_string(); shown]; n];
+    for (t, layer) in layers.iter().take(shown).enumerate() {
+        for op in layer {
+            let sym = match op.kind {
+                GateKind::H => 'H',
+                GateKind::Cphase { .. } => 'C',
+                GateKind::Swap => 'x',
+                GateKind::Cnot => '@',
+                GateKind::X => 'X',
+                GateKind::Rz { .. } => 'Z',
+            };
+            let l1 = op.l1.map(|l| l.0.to_string()).unwrap_or_else(|| "-".into());
+            cells[op.p1.index()][t] = format!("{sym}{l1:>3}");
+            if let (Some(p2), l2) = (op.p2, op.l2) {
+                let l2 = l2.map(|l| l.0.to_string()).unwrap_or_else(|| "-".into());
+                cells[p2.index()][t] = format!("{sym}{l2:>3}");
+            }
+        }
+    }
+    let mut out = String::new();
+    for (q, row) in cells.iter().enumerate() {
+        let _ = write!(out, "Q{q:<3}|");
+        for c in row {
+            let _ = write!(out, "{c}|");
+        }
+        out.push('\n');
+    }
+    if layers.len() > shown {
+        let _ = writeln!(out, "... ({} more layers)", layers.len() - shown);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::MappedCircuitBuilder;
+    use crate::gate::PhysicalQubit;
+    use crate::layout::Layout;
+
+    #[test]
+    fn renders_small_circuit() {
+        let mut b = MappedCircuitBuilder::new(Layout::identity(2, 2));
+        b.push_1q_phys(GateKind::H, PhysicalQubit(0));
+        b.push_2q_phys(GateKind::Cphase { k: 2 }, PhysicalQubit(0), PhysicalQubit(1));
+        b.push_swap_phys(PhysicalQubit(0), PhysicalQubit(1));
+        let s = render_layers(&b.finish(), 10);
+        assert!(s.contains("H  0"));
+        assert!(s.contains("C  0") && s.contains("C  1"));
+        assert!(s.contains("x"));
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    fn truncates_long_circuits() {
+        let mut b = MappedCircuitBuilder::new(Layout::identity(2, 2));
+        for _ in 0..20 {
+            b.push_swap_phys(PhysicalQubit(0), PhysicalQubit(1));
+        }
+        let s = render_layers(&b.finish(), 5);
+        assert!(s.contains("more layers"));
+    }
+}

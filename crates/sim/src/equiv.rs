@@ -1,0 +1,89 @@
+//! Small-N unitary equivalence: the redundant, state-vector cross-check of
+//! the symbolic verifier (DESIGN.md invariant 5).
+
+use crate::reference::qft_circuit_reference;
+use crate::state::StateVector;
+use qft_ir::circuit::MappedCircuit;
+use qft_ir::qft::logical_interactions;
+
+/// Fidelity tolerance for equivalence (|⟨a|b⟩|² ≥ 1 − ε).
+pub const FIDELITY_EPS: f64 = 1e-9;
+
+/// Applies the *logical* gate stream of a mapped circuit to `input`.
+///
+/// SWAPs move qubits between physical locations but act as identity on the
+/// logical state, so only the H/CPHASE interactions (with their logical
+/// annotations) are applied.
+pub fn apply_mapped_logically(mc: &MappedCircuit, input: &StateVector) -> StateVector {
+    assert_eq!(mc.n_logical(), input.n_qubits());
+    let mut s = input.clone();
+    for g in logical_interactions(mc.ops()) {
+        s.apply_gate(&g);
+    }
+    s
+}
+
+/// Checks that a mapped circuit implements the textbook QFT on `n_seeds`
+/// random states (plus `|0…0⟩` and `|1…1⟩`), up to global phase.
+///
+/// Only feasible for small `n` (≤ ~14); larger circuits rely on the
+/// symbolic verifier, whose soundness this function cross-validates.
+pub fn mapped_equals_qft(mc: &MappedCircuit, n_seeds: u64) -> bool {
+    let n = mc.n_logical();
+    let mut inputs: Vec<StateVector> = vec![
+        StateVector::basis(n, 0),
+        StateVector::basis(n, (1usize << n) - 1),
+    ];
+    for seed in 0..n_seeds {
+        inputs.push(StateVector::random(n, seed * 2 + 1));
+    }
+    inputs.iter().all(|input| {
+        let got = apply_mapped_logically(mc, input);
+        let want = qft_circuit_reference(input);
+        (got.fidelity(&want) - 1.0).abs() < FIDELITY_EPS
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qft_ir::circuit::MappedCircuitBuilder;
+    use qft_ir::gate::{GateKind, PhysicalQubit};
+    use qft_ir::layout::Layout;
+
+    fn p(i: u32) -> PhysicalQubit {
+        PhysicalQubit(i)
+    }
+
+    #[test]
+    fn swap_reordered_qft3_is_equivalent() {
+        // The same valid 3-qubit line QFT as in symbolic.rs tests.
+        let mut b = MappedCircuitBuilder::new(Layout::identity(3, 3));
+        b.push_1q_phys(GateKind::H, p(0));
+        b.push_2q_phys(GateKind::Cphase { k: 2 }, p(0), p(1));
+        b.push_swap_phys(p(0), p(1));
+        b.push_2q_phys(GateKind::Cphase { k: 3 }, p(1), p(2));
+        b.push_1q_phys(GateKind::H, p(0));
+        b.push_swap_phys(p(1), p(2));
+        b.push_2q_phys(GateKind::Cphase { k: 2 }, p(0), p(1));
+        b.push_1q_phys(GateKind::H, p(1));
+        assert!(mapped_equals_qft(&b.finish(), 4));
+    }
+
+    #[test]
+    fn wrong_angle_fails_equivalence() {
+        let mut b = MappedCircuitBuilder::new(Layout::identity(2, 2));
+        b.push_1q_phys(GateKind::H, p(0));
+        b.push_2q_phys(GateKind::Cphase { k: 5 }, p(0), p(1)); // should be k=2
+        b.push_1q_phys(GateKind::H, p(1));
+        assert!(!mapped_equals_qft(&b.finish(), 2));
+    }
+
+    #[test]
+    fn missing_interaction_fails_equivalence() {
+        let mut b = MappedCircuitBuilder::new(Layout::identity(2, 2));
+        b.push_1q_phys(GateKind::H, p(0));
+        b.push_1q_phys(GateKind::H, p(1));
+        assert!(!mapped_equals_qft(&b.finish(), 2));
+    }
+}

@@ -1,0 +1,27 @@
+//! # qft-sim — simulation and verification
+//!
+//! The paper verifies its compiler outputs with an open-source simulator;
+//! this crate is that component:
+//!
+//! * [`complex`] / [`state`] — a dense state-vector simulator for the QFT
+//!   gate set (H, CPHASE, SWAP, CNOT, …);
+//! * [`mod@reference`] — the exact DFT and the textbook-circuit ↔ DFT relation
+//!   (bit-reversed outputs), pinning down gate conventions;
+//! * [`equiv`] — small-N unitary equivalence checks for mapped circuits;
+//! * [`symbolic`] — the scalable verifier (adjacency, SWAP-replay layout
+//!   consistency, QFT interaction semantics) that works at thousands of
+//!   qubits.
+
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod equiv;
+pub mod reference;
+pub mod state;
+pub mod symbolic;
+
+pub use complex::Complex64;
+pub use equiv::{apply_mapped_logically, mapped_equals_qft};
+pub use reference::{bit_reverse, dft, qft_circuit_reference};
+pub use state::StateVector;
+pub use symbolic::{verify_qft_mapping, VerifyError, VerifyReport};

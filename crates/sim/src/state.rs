@@ -1,0 +1,358 @@
+//! Dense state-vector simulation of the gate set used by QFT kernels.
+//!
+//! Basis convention: computational basis index `b` has qubit `q` at bit `q`
+//! (little-endian: `|b_{n-1} … b_1 b_0⟩`).
+
+use crate::complex::Complex64;
+use qft_ir::gate::{Gate, GateKind};
+use std::f64::consts::PI;
+
+/// A normalized `n`-qubit state vector.
+#[derive(Debug, Clone)]
+pub struct StateVector {
+    n: usize,
+    amps: Vec<Complex64>,
+}
+
+impl StateVector {
+    /// `|0…0⟩` on `n` qubits.
+    pub fn zero(n: usize) -> Self {
+        assert!(n <= 26, "state vector too large ({n} qubits)");
+        let mut amps = vec![Complex64::ZERO; 1 << n];
+        amps[0] = Complex64::ONE;
+        StateVector { n, amps }
+    }
+
+    /// The computational basis state `|b⟩`.
+    pub fn basis(n: usize, b: usize) -> Self {
+        assert!(b < (1 << n));
+        let mut s = StateVector::zero(n);
+        s.amps[0] = Complex64::ZERO;
+        s.amps[b] = Complex64::ONE;
+        s
+    }
+
+    /// A reproducible pseudo-random normalized state (xorshift64*; no
+    /// external RNG dependency so downstream crates can use this in tests).
+    pub fn random(n: usize, seed: u64) -> Self {
+        let mut x = seed.wrapping_mul(2685821657736338717).max(1);
+        let mut next = move || {
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            let v = x.wrapping_mul(0x2545F4914F6CDD1D);
+            // Map to (-1, 1).
+            (v >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+        };
+        let mut amps: Vec<Complex64> =
+            (0..1usize << n).map(|_| Complex64::new(next(), next())).collect();
+        let norm = amps.iter().map(|a| a.abs2()).sum::<f64>().sqrt();
+        for a in &mut amps {
+            *a = a.scale(1.0 / norm);
+        }
+        StateVector { n, amps }
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The raw amplitudes (length `2^n`).
+    #[inline]
+    pub fn amplitudes(&self) -> &[Complex64] {
+        &self.amps
+    }
+
+    /// `⟨self|other⟩`.
+    pub fn inner(&self, other: &StateVector) -> Complex64 {
+        assert_eq!(self.n, other.n);
+        let mut acc = Complex64::ZERO;
+        for (a, b) in self.amps.iter().zip(&other.amps) {
+            acc += a.conj() * *b;
+        }
+        acc
+    }
+
+    /// `|⟨self|other⟩|²` — 1.0 iff equal up to global phase.
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        self.inner(other).abs2()
+    }
+
+    /// Total probability (should stay 1 within rounding).
+    pub fn norm2(&self) -> f64 {
+        self.amps.iter().map(|a| a.abs2()).sum()
+    }
+
+    /// Applies a Hadamard on qubit `q`.
+    pub fn apply_h(&mut self, q: usize) {
+        debug_assert!(q < self.n);
+        let mask = 1usize << q;
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        for b in 0..self.amps.len() {
+            if b & mask == 0 {
+                let (a0, a1) = (self.amps[b], self.amps[b | mask]);
+                self.amps[b] = (a0 + a1).scale(s);
+                self.amps[b | mask] = (a0 - a1).scale(s);
+            }
+        }
+    }
+
+    /// Applies Pauli-X on qubit `q`.
+    pub fn apply_x(&mut self, q: usize) {
+        let mask = 1usize << q;
+        for b in 0..self.amps.len() {
+            if b & mask == 0 {
+                self.amps.swap(b, b | mask);
+            }
+        }
+    }
+
+    /// Applies `RZ` with angle `2π/2^k` on qubit `q` (phase on the |1⟩
+    /// component).
+    pub fn apply_rz(&mut self, q: usize, k: u32) {
+        let mask = 1usize << q;
+        let phase = Complex64::from_angle(2.0 * PI / f64::from(1u32 << k.min(30)));
+        for (b, a) in self.amps.iter_mut().enumerate() {
+            if b & mask != 0 {
+                *a = *a * phase;
+            }
+        }
+    }
+
+    /// Applies `CPHASE` with rotation order `k` (phase `2π/2^k`) between
+    /// qubits `q1` and `q2` (symmetric).
+    pub fn apply_cphase(&mut self, q1: usize, q2: usize, k: u32) {
+        debug_assert!(q1 != q2 && q1 < self.n && q2 < self.n);
+        let mask = (1usize << q1) | (1usize << q2);
+        let phase = Complex64::from_angle(2.0 * PI / f64::from(1u32 << k.min(30)));
+        for (b, a) in self.amps.iter_mut().enumerate() {
+            if b & mask == mask {
+                *a = *a * phase;
+            }
+        }
+    }
+
+    /// Applies a SWAP between qubits `q1` and `q2`.
+    pub fn apply_swap(&mut self, q1: usize, q2: usize) {
+        debug_assert!(q1 != q2);
+        let (m1, m2) = (1usize << q1, 1usize << q2);
+        for b in 0..self.amps.len() {
+            // Visit each pair once: swap where bit q1 = 1, q2 = 0.
+            if b & m1 != 0 && b & m2 == 0 {
+                self.amps.swap(b, b ^ m1 ^ m2);
+            }
+        }
+    }
+
+    /// Applies a CNOT with control `c` and target `t`.
+    pub fn apply_cnot(&mut self, c: usize, t: usize) {
+        debug_assert!(c != t);
+        let (mc, mt) = (1usize << c, 1usize << t);
+        for b in 0..self.amps.len() {
+            if b & mc != 0 && b & mt == 0 {
+                self.amps.swap(b, b | mt);
+            }
+        }
+    }
+
+    /// Applies a logical gate (operands are qubit indices).
+    pub fn apply_gate(&mut self, g: &Gate) {
+        let a = g.a.index();
+        match (g.kind, g.b) {
+            (GateKind::H, _) => self.apply_h(a),
+            (GateKind::X, _) => self.apply_x(a),
+            (GateKind::Rz { k }, _) => self.apply_rz(a, k),
+            (GateKind::Cphase { k }, Some(b)) => self.apply_cphase(a, b.index(), k),
+            (GateKind::Swap, Some(b)) => self.apply_swap(a, b.index()),
+            (GateKind::Cnot, Some(b)) => self.apply_cnot(a, b.index()),
+            _ => unreachable!("malformed gate {g}"),
+        }
+    }
+
+    /// Applies the *inverse* of a logical gate (used to run inverse-QFT
+    /// applications such as phase estimation on top of the forward kernel).
+    pub fn apply_gate_inverse(&mut self, g: &Gate) {
+        let a = g.a.index();
+        match (g.kind, g.b) {
+            // Self-inverse gates.
+            (GateKind::H, _) => self.apply_h(a),
+            (GateKind::X, _) => self.apply_x(a),
+            (GateKind::Swap, Some(b)) => self.apply_swap(a, b.index()),
+            (GateKind::Cnot, Some(b)) => self.apply_cnot(a, b.index()),
+            // Diagonal gates: conjugate the phase.
+            (GateKind::Rz { k }, _) => self.apply_phase_masked(1usize << a, k, true),
+            (GateKind::Cphase { k }, Some(b)) => {
+                self.apply_phase_masked((1usize << a) | (1usize << b.index()), k, true)
+            }
+            _ => unreachable!("malformed gate {g}"),
+        }
+    }
+
+    /// Multiplies amplitudes whose basis index contains all bits of `mask`
+    /// by `e^{±2πi/2^k}`.
+    fn apply_phase_masked(&mut self, mask: usize, k: u32, inverse: bool) {
+        let theta = 2.0 * PI / f64::from(1u32 << k.min(30));
+        let phase = Complex64::from_angle(if inverse { -theta } else { theta });
+        for (b, a) in self.amps.iter_mut().enumerate() {
+            if b & mask == mask {
+                *a = *a * phase;
+            }
+        }
+    }
+
+    /// Applies every gate of a logical circuit in order.
+    pub fn apply_circuit(&mut self, c: &qft_ir::circuit::Circuit) {
+        assert_eq!(c.n_qubits(), self.n);
+        for g in c.gates() {
+            self.apply_gate(g);
+        }
+    }
+
+    /// Overwrites the amplitude vector (crate-internal; used by reference
+    /// constructions).
+    pub(crate) fn set_amplitudes(&mut self, amps: Vec<Complex64>) {
+        assert_eq!(amps.len(), self.amps.len());
+        self.amps = amps;
+    }
+
+    /// Permutes qubits: qubit `q` of `self` moves to position `perm[q]`.
+    pub fn permute_qubits(&mut self, perm: &[usize]) {
+        assert_eq!(perm.len(), self.n);
+        let mut out = vec![Complex64::ZERO; self.amps.len()];
+        for (b, &a) in self.amps.iter().enumerate() {
+            let mut nb = 0usize;
+            for (q, &target) in perm.iter().enumerate() {
+                if b & (1 << q) != 0 {
+                    nb |= 1 << target;
+                }
+            }
+            out[nb] = a;
+        }
+        self.amps = out;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-10;
+
+    #[test]
+    fn h_twice_is_identity() {
+        let mut s = StateVector::random(4, 7);
+        let orig = s.clone();
+        s.apply_h(2);
+        s.apply_h(2);
+        assert!((s.fidelity(&orig) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn h_creates_uniform_superposition() {
+        let mut s = StateVector::zero(1);
+        s.apply_h(0);
+        assert!((s.amplitudes()[0].re - std::f64::consts::FRAC_1_SQRT_2).abs() < EPS);
+        assert!((s.amplitudes()[1].re - std::f64::consts::FRAC_1_SQRT_2).abs() < EPS);
+    }
+
+    #[test]
+    fn cphase_only_phases_11() {
+        let mut s = StateVector::basis(2, 0b11);
+        s.apply_cphase(0, 1, 1); // k=1 => phase pi => factor -1
+        assert!((s.amplitudes()[3].re + 1.0).abs() < EPS);
+        let mut s = StateVector::basis(2, 0b01);
+        s.apply_cphase(0, 1, 1);
+        assert!((s.amplitudes()[1].re - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn cphase_is_symmetric() {
+        let mut a = StateVector::random(3, 11);
+        let mut b = a.clone();
+        a.apply_cphase(0, 2, 3);
+        b.apply_cphase(2, 0, 3);
+        assert!((a.fidelity(&b) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn cphases_commute_even_sharing_a_qubit() {
+        // The algebraic heart of §3.1.
+        let mut a = StateVector::random(3, 13);
+        let mut b = a.clone();
+        a.apply_cphase(0, 1, 2);
+        a.apply_cphase(0, 2, 3);
+        b.apply_cphase(0, 2, 3);
+        b.apply_cphase(0, 1, 2);
+        assert!((a.fidelity(&b) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn h_and_cphase_do_not_commute() {
+        let mut a = StateVector::random(2, 17);
+        let mut b = a.clone();
+        a.apply_h(0);
+        a.apply_cphase(0, 1, 2);
+        b.apply_cphase(0, 1, 2);
+        b.apply_h(0);
+        assert!(a.fidelity(&b) < 1.0 - 1e-3);
+    }
+
+    #[test]
+    fn swap_exchanges_basis_bits() {
+        let mut s = StateVector::basis(3, 0b001);
+        s.apply_swap(0, 2);
+        assert!((s.amplitudes()[0b100].re - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn swap_equals_three_cnots() {
+        let mut a = StateVector::random(2, 23);
+        let mut b = a.clone();
+        a.apply_swap(0, 1);
+        b.apply_cnot(0, 1);
+        b.apply_cnot(1, 0);
+        b.apply_cnot(0, 1);
+        assert!((a.fidelity(&b) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn permute_matches_swaps() {
+        let mut a = StateVector::random(3, 29);
+        let mut b = a.clone();
+        a.apply_swap(0, 2);
+        b.permute_qubits(&[2, 1, 0]);
+        assert!((a.fidelity(&b) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn inverse_gates_undo_forward_gates() {
+        use qft_ir::gate::Gate;
+        let gates = [
+            Gate::h(1),
+            Gate::cphase(3, 0, 2),
+            Gate::swap(1, 2),
+            Gate::two(qft_ir::gate::GateKind::Cnot, qft_ir::gate::LogicalQubit(0), qft_ir::gate::LogicalQubit(1)),
+        ];
+        let orig = StateVector::random(3, 99);
+        let mut s = orig.clone();
+        for g in &gates {
+            s.apply_gate(g);
+        }
+        for g in gates.iter().rev() {
+            s.apply_gate_inverse(g);
+        }
+        assert!((s.fidelity(&orig) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn norm_preserved_by_gates() {
+        let mut s = StateVector::random(5, 31);
+        s.apply_h(3);
+        s.apply_cphase(1, 4, 2);
+        s.apply_swap(0, 2);
+        s.apply_cnot(2, 3);
+        assert!((s.norm2() - 1.0).abs() < EPS);
+    }
+}

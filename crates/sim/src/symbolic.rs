@@ -1,0 +1,236 @@
+//! Scalable (state-vector-free) verification of mapped QFT circuits.
+//!
+//! This is the role of the paper's "open-source simulator \[2\]": checking
+//! that a compiler's output is a correct, hardware-compliant realization of
+//! the QFT, at sizes (up to thousands of qubits) where state vectors are
+//! impossible. Checks performed:
+//!
+//! 1. **Adjacency** — every two-qubit op acts on a coupling-graph link;
+//! 2. **Layout consistency** — replaying the SWAPs from the initial layout
+//!    reproduces every op's logical annotations and the recorded final
+//!    layout;
+//! 3. **QFT semantics** — the logical H/CPHASE stream has exactly one H per
+//!    qubit, one CPHASE per pair with the right rotation order, and
+//!    respects Type II dependences (`H(i) < CP(i,j) < H(j)` for `i < j`).
+//!
+//! Together with the CPHASE commutation theorem (all same-segment diagonal
+//! gates commute — cross-checked against state vectors in this crate's
+//! tests), (3) implies unitary equivalence to the textbook QFT.
+
+use qft_arch::graph::CouplingGraph;
+use qft_ir::circuit::MappedCircuit;
+use qft_ir::gate::GateKind;
+use qft_ir::qft::{logical_interactions, QftOrderError};
+use std::fmt;
+
+/// Everything that can be wrong with a mapped circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifyError {
+    /// A two-qubit op spans physically non-adjacent qubits.
+    NonAdjacent {
+        /// Index of the op in the stream.
+        op_index: usize,
+    },
+    /// An op's logical annotation disagrees with the replayed layout.
+    WrongAnnotation {
+        /// Index of the op in the stream.
+        op_index: usize,
+    },
+    /// The recorded final layout is not what SWAP replay produces.
+    FinalLayoutMismatch,
+    /// The interaction stream is not a valid QFT realization.
+    Semantics(QftOrderError),
+    /// The device is smaller than the program, sizes disagree, etc.
+    Shape(String),
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::NonAdjacent { op_index } => {
+                write!(f, "op #{op_index} acts on non-adjacent physical qubits")
+            }
+            VerifyError::WrongAnnotation { op_index } => {
+                write!(f, "op #{op_index} has logical annotations inconsistent with SWAP replay")
+            }
+            VerifyError::FinalLayoutMismatch => write!(f, "final layout mismatch"),
+            VerifyError::Semantics(e) => write!(f, "QFT semantics violated: {e}"),
+            VerifyError::Shape(s) => write!(f, "shape error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Statistics gathered during verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Total ops checked.
+    pub ops: usize,
+    /// Two-qubit ops checked for adjacency.
+    pub two_qubit_ops: usize,
+    /// SWAPs replayed.
+    pub swaps: usize,
+    /// CPHASE pairs covered.
+    pub pairs: usize,
+}
+
+/// Verifies a mapped circuit against a coupling graph and the QFT contract.
+pub fn verify_qft_mapping(
+    mc: &MappedCircuit,
+    graph: &CouplingGraph,
+) -> Result<VerifyReport, VerifyError> {
+    if mc.n_physical() != graph.n_qubits() {
+        return Err(VerifyError::Shape(format!(
+            "circuit has {} physical qubits, device has {}",
+            mc.n_physical(),
+            graph.n_qubits()
+        )));
+    }
+    if mc.n_logical() > mc.n_physical() {
+        return Err(VerifyError::Shape("more logical than physical qubits".into()));
+    }
+
+    // (1) + (2): adjacency and layout replay.
+    let mut layout = mc.initial_layout().clone();
+    let mut two_qubit_ops = 0;
+    let mut swaps = 0;
+    for (i, op) in mc.ops().iter().enumerate() {
+        match op.p2 {
+            None => {
+                if layout.logical(op.p1) != op.l1 {
+                    return Err(VerifyError::WrongAnnotation { op_index: i });
+                }
+            }
+            Some(p2) => {
+                two_qubit_ops += 1;
+                if !graph.are_adjacent(op.p1, p2) {
+                    return Err(VerifyError::NonAdjacent { op_index: i });
+                }
+                if layout.logical(op.p1) != op.l1 || layout.logical(p2) != op.l2 {
+                    return Err(VerifyError::WrongAnnotation { op_index: i });
+                }
+                if op.kind == GateKind::Swap {
+                    swaps += 1;
+                    layout.swap_phys(op.p1, p2);
+                }
+            }
+        }
+    }
+    if &layout != mc.final_layout() {
+        return Err(VerifyError::FinalLayoutMismatch);
+    }
+
+    // (3): QFT semantics over the logical interaction stream.
+    let interactions: Vec<_> = logical_interactions(mc.ops()).collect();
+    let pairs = interactions
+        .iter()
+        .filter(|g| matches!(g.kind, GateKind::Cphase { .. }))
+        .count();
+    qft_ir::qft::check_qft_order(interactions, mc.n_logical())
+        .map_err(VerifyError::Semantics)?;
+
+    Ok(VerifyReport { ops: mc.ops().len(), two_qubit_ops, swaps, pairs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qft_arch::lnn::lnn;
+    use qft_ir::circuit::MappedCircuitBuilder;
+    use qft_ir::gate::{GateKind, PhysicalQubit};
+    use qft_ir::layout::Layout;
+
+    fn p(i: u32) -> PhysicalQubit {
+        PhysicalQubit(i)
+    }
+
+    /// Hand-built valid 2-qubit QFT on a 2-qubit line:
+    /// H(q0); CP(q0,q1); H(q1).
+    fn tiny_valid() -> MappedCircuitBuilder {
+        let mut b = MappedCircuitBuilder::new(Layout::identity(2, 2));
+        b.push_1q_phys(GateKind::H, p(0));
+        b.push_2q_phys(GateKind::Cphase { k: 2 }, p(0), p(1));
+        b.push_1q_phys(GateKind::H, p(1));
+        b
+    }
+
+    #[test]
+    fn valid_tiny_circuit_passes() {
+        let g = lnn(2);
+        let report = verify_qft_mapping(&tiny_valid().finish(), &g).unwrap();
+        assert_eq!(report.pairs, 1);
+        assert_eq!(report.two_qubit_ops, 1);
+    }
+
+    #[test]
+    fn non_adjacent_op_detected() {
+        let g = lnn(3);
+        let mut b = MappedCircuitBuilder::new(Layout::identity(3, 3));
+        b.push_1q_phys(GateKind::H, p(0));
+        b.push_2q_phys(GateKind::Cphase { k: 2 }, p(0), p(2)); // not adjacent
+        let err = verify_qft_mapping(&b.finish(), &g).unwrap_err();
+        assert_eq!(err, VerifyError::NonAdjacent { op_index: 1 });
+    }
+
+    #[test]
+    fn missing_pair_detected() {
+        let g = lnn(3);
+        let mut b = MappedCircuitBuilder::new(Layout::identity(3, 3));
+        for q in 0..3 {
+            b.push_1q_phys(GateKind::H, p(q));
+        }
+        let err = verify_qft_mapping(&b.finish(), &g).unwrap_err();
+        assert!(matches!(err, VerifyError::Semantics(_)));
+    }
+
+    #[test]
+    fn type_ii_violation_detected() {
+        let g = lnn(2);
+        let mut b = MappedCircuitBuilder::new(Layout::identity(2, 2));
+        // CP before H(q0): Type II broken.
+        b.push_2q_phys(GateKind::Cphase { k: 2 }, p(0), p(1));
+        b.push_1q_phys(GateKind::H, p(0));
+        b.push_1q_phys(GateKind::H, p(1));
+        let err = verify_qft_mapping(&b.finish(), &g).unwrap_err();
+        assert!(matches!(
+            err,
+            VerifyError::Semantics(QftOrderError::TypeII { pair: (0, 1) })
+        ));
+    }
+
+    #[test]
+    fn swap_changes_logical_annotations() {
+        // A 3-qubit line QFT done with one SWAP: H0; CP01; H1; SWAP(Q0,Q1);
+        // then Q1 holds q0: CP(q0,q2) via Q1-Q2; H(q2).
+        let g = lnn(3);
+        let mut b = MappedCircuitBuilder::new(Layout::identity(3, 3));
+        b.push_1q_phys(GateKind::H, p(0));
+        b.push_2q_phys(GateKind::Cphase { k: 2 }, p(0), p(1));
+        b.push_swap_phys(p(0), p(1));
+        b.push_2q_phys(GateKind::Cphase { k: 3 }, p(1), p(2)); // q0 with q2
+        b.push_1q_phys(GateKind::H, p(0)); // q1 now at Q0
+        b.push_2q_phys(GateKind::Cphase { k: 2 }, p(1), p(2)); // wait: Q1=q0 -- wrong
+        let err = verify_qft_mapping(&b.finish(), &g).unwrap_err();
+        // The second CP(Q1,Q2) re-pairs q0 with q2: duplicate pair.
+        assert!(matches!(err, VerifyError::Semantics(_)));
+    }
+
+    #[test]
+    fn correct_swap_based_qft3_passes() {
+        let g = lnn(3);
+        let mut b = MappedCircuitBuilder::new(Layout::identity(3, 3));
+        b.push_1q_phys(GateKind::H, p(0)); // H q0
+        b.push_2q_phys(GateKind::Cphase { k: 2 }, p(0), p(1)); // q0-q1
+        b.push_swap_phys(p(0), p(1)); // q1 at Q0, q0 at Q1
+        b.push_2q_phys(GateKind::Cphase { k: 3 }, p(1), p(2)); // q0-q2
+        b.push_1q_phys(GateKind::H, p(0)); // H q1
+        b.push_swap_phys(p(1), p(2)); // q2 at Q1, q0 at Q2
+        b.push_2q_phys(GateKind::Cphase { k: 2 }, p(0), p(1)); // q1-q2
+        b.push_1q_phys(GateKind::H, p(1)); // H q2
+        let mc = b.finish();
+        let report = verify_qft_mapping(&mc, &g).unwrap();
+        assert_eq!(report.pairs, 3);
+        assert_eq!(report.swaps, 2);
+    }
+}

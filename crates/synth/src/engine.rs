@@ -1,0 +1,127 @@
+//! The enumerative synthesis engine: a small-scale substitute for SKETCH
+//! \[37\] specialized to the affine-loop schedule sketches of the paper
+//! (Appendices 5 and 7).
+//!
+//! A [`Sketch`] declares integer *holes* with finite ranges and knows how to
+//! instantiate itself into a checkable schedule for a given problem size.
+//! [`synthesize`] enumerates the hole space, keeps assignments that satisfy
+//! the specification on every *training* size, and returns the first one
+//! that also generalizes to the (larger) *verification* sizes — the same
+//! find-on-small / trust-on-large methodology the paper describes.
+
+/// A parameter sketch: holes plus an instantiation/check procedure.
+pub trait Sketch {
+    /// Inclusive ranges, one per hole.
+    fn hole_ranges(&self) -> Vec<(i32, i32)>;
+
+    /// Checks the specification for hole assignment `holes` at problem size
+    /// `m`. Returns `false` for structurally invalid assignments too.
+    fn check(&self, holes: &[i32], m: usize) -> bool;
+}
+
+/// Outcome of a synthesis run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthResult {
+    /// A hole assignment satisfying the spec on all training and
+    /// verification sizes, plus how many candidates were examined.
+    Found {
+        /// The hole values, in `hole_ranges` order.
+        holes: Vec<i32>,
+        /// Candidates enumerated before success.
+        tried: u64,
+    },
+    /// The whole space was enumerated without success.
+    Unsatisfiable {
+        /// Total candidates enumerated.
+        tried: u64,
+    },
+}
+
+/// Enumerates the hole space of `sketch`, first filtering on `train_sizes`
+/// (cheap, small), then confirming on `verify_sizes`.
+pub fn synthesize<S: Sketch>(sketch: &S, train_sizes: &[usize], verify_sizes: &[usize]) -> SynthResult {
+    let ranges = sketch.hole_ranges();
+    let mut holes: Vec<i32> = ranges.iter().map(|&(lo, _)| lo).collect();
+    let mut tried: u64 = 0;
+    loop {
+        tried += 1;
+        if train_sizes.iter().all(|&m| sketch.check(&holes, m))
+            && verify_sizes.iter().all(|&m| sketch.check(&holes, m))
+        {
+            return SynthResult::Found { holes, tried };
+        }
+        // Odometer increment.
+        let mut i = 0;
+        loop {
+            if i == holes.len() {
+                return SynthResult::Unsatisfiable { tried };
+            }
+            if holes[i] < ranges[i].1 {
+                holes[i] += 1;
+                break;
+            }
+            holes[i] = ranges[i].0;
+            i += 1;
+        }
+    }
+}
+
+/// Evaluates the affine form `ci·i + cm·m + c` common to the paper's
+/// sketches, clamped to `isize` arithmetic.
+#[inline]
+pub fn affine(ci: i32, cm: i32, c: i32, i: usize, m: usize) -> i64 {
+    ci as i64 * i as i64 + cm as i64 * m as i64 + c as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy sketch: find (a, b) with a·m + b == 2m + 1 for all m.
+    struct Toy;
+    impl Sketch for Toy {
+        fn hole_ranges(&self) -> Vec<(i32, i32)> {
+            vec![(-3, 3), (-3, 3)]
+        }
+        fn check(&self, holes: &[i32], m: usize) -> bool {
+            affine(0, holes[0], holes[1], 0, m) == 2 * m as i64 + 1
+        }
+    }
+
+    #[test]
+    fn toy_synthesis_finds_unique_solution() {
+        match synthesize(&Toy, &[2, 3], &[10, 17]) {
+            SynthResult::Found { holes, .. } => assert_eq!(holes, vec![2, 1]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    /// Unsatisfiable sketch: a·m + b == m² has no affine solution.
+    struct Unsat;
+    impl Sketch for Unsat {
+        fn hole_ranges(&self) -> Vec<(i32, i32)> {
+            vec![(-2, 2), (-2, 2)]
+        }
+        fn check(&self, holes: &[i32], m: usize) -> bool {
+            affine(0, holes[0], holes[1], 0, m) == (m * m) as i64
+        }
+    }
+
+    #[test]
+    fn reports_unsatisfiable_after_full_enumeration() {
+        match synthesize(&Unsat, &[2, 3, 4], &[]) {
+            SynthResult::Unsatisfiable { tried } => assert_eq!(tried, 25),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn training_filter_rejects_overfits() {
+        // With only m=2 as training, many (a,b) pass (2a+b==5); verification
+        // on m=5 must prune them down to (2,1).
+        match synthesize(&Toy, &[2], &[5]) {
+            SynthResult::Found { holes, .. } => assert_eq!(holes, vec![2, 1]),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # qft-synth — program synthesis for qubit-movement schedules
+//!
+//! The paper discovers its inter-unit interaction patterns with SKETCH
+//! \[37\]: a loop skeleton with integer holes (`??·i + ??·m + ??` bounds,
+//! `mod 2` offsets) plus a coverage specification. This crate is a
+//! self-contained enumerative substitute:
+//!
+//! * [`engine`] — hole enumeration with train-small / verify-large
+//!   generalization checking;
+//! * [`patterns`] — the paper's three sketches (Sycamore relaxed inter-unit
+//!   of Appendix 5; 2D-grid relaxed and strict of Appendix 7 / Figs. 29–30)
+//!   over an abstract two-row model, with the shipped solutions as
+//!   constants re-derived by the test suite.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod patterns;
+
+pub use engine::{affine, synthesize, Sketch, SynthResult};
+pub use patterns::{
+    GridIeRelaxedSketch, GridIeStrictSketch, LinkShape, SycamoreIeRelaxedSketch, TwoRows,
+    GRID_RELAXED_SOLUTION, GRID_STRICT_SOLUTION, SYCAMORE_RELAXED_SOLUTION,
+};

@@ -1,0 +1,380 @@
+//! The paper's inter-unit interaction sketches (Appendices 5 and 7),
+//! expressed over an abstract two-row model and re-derivable by the
+//! [`crate::engine`].
+//!
+//! Two rows of `L` cells face each other. Labels are initial positions
+//! (`0..L` in each row). Two link shapes occur in the paper:
+//!
+//! * [`LinkShape::SamePosition`] — the regular 2D grid / lattice surgery:
+//!   cell `p` of the top row is linked to cell `p` of the bottom row;
+//! * [`LinkShape::DiagonalOddTop`] — Sycamore's inter-unit links: top cell
+//!   `p` (odd) is linked to bottom cells `p±1`; same positions are *never*
+//!   linked.
+//!
+//! A schedule interleaves link-CPHASE layers with intra-row transposition
+//! layers; the specification requires full bipartite coverage (minus the
+//! unlinkable same-position pairs for Sycamore), mirrored final positions,
+//! and — for the strict variants — Type-I order (gates sharing a row cell
+//! fire in label order).
+
+use crate::engine::{affine, Sketch};
+
+/// Which physical links exist between the two rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkShape {
+    /// Grid / lattice surgery: `p ↔ p`.
+    SamePosition,
+    /// Sycamore: odd top `p` ↔ bottom `p−1` and `p+1`.
+    DiagonalOddTop,
+}
+
+/// Simulation state of the two-row model.
+#[derive(Debug, Clone)]
+pub struct TwoRows {
+    /// `top[pos]` = label.
+    pub top: Vec<usize>,
+    /// `bot[pos]` = label.
+    pub bot: Vec<usize>,
+    /// Fired (top label, bottom label) pairs, in order.
+    pub fired: Vec<(usize, usize)>,
+    seen: Vec<bool>,
+    cnt_top: Vec<usize>,
+    cnt_bot: Vec<usize>,
+    strict_ok: bool,
+}
+
+impl TwoRows {
+    /// Fresh state with identity placement.
+    pub fn new(l: usize) -> Self {
+        TwoRows {
+            top: (0..l).collect(),
+            bot: (0..l).collect(),
+            fired: Vec::new(),
+            seen: vec![false; l * l],
+            cnt_top: vec![0; l],
+            cnt_bot: vec![0; l],
+            strict_ok: true,
+        }
+    }
+
+    fn l(&self) -> usize {
+        self.top.len()
+    }
+
+    /// Fires the pair currently at top position `pt` / bottom position `pb`
+    /// unless already fired; tracks strict-order compliance.
+    pub fn fire(&mut self, pt: usize, pb: usize) {
+        let (x, y) = (self.top[pt], self.bot[pb]);
+        let idx = x * self.l() + y;
+        if self.seen[idx] {
+            return;
+        }
+        if self.cnt_top[x] != y || self.cnt_bot[y] != x {
+            self.strict_ok = false;
+        }
+        self.seen[idx] = true;
+        self.cnt_top[x] += 1;
+        self.cnt_bot[y] += 1;
+        self.fired.push((x, y));
+    }
+
+    /// Fires every existing link whose column index is below `end`
+    /// (for [`LinkShape::SamePosition`]) or every diagonal link (for
+    /// [`LinkShape::DiagonalOddTop`], `end` is ignored — all links fire).
+    pub fn fire_links(&mut self, shape: LinkShape, end: usize) {
+        match shape {
+            LinkShape::SamePosition => {
+                for p in 0..end.min(self.l()) {
+                    self.fire(p, p);
+                }
+            }
+            LinkShape::DiagonalOddTop => {
+                let l = self.l();
+                for a in (1..l).step_by(2) {
+                    self.fire(a, a - 1);
+                    if a + 1 < l {
+                        self.fire(a, a + 1);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Transposition layer on one row: swap pairs `(j, j+1)` for
+    /// `j = beg, beg+2, …` while `j + 1 ≤ end`.
+    pub fn swap_layer(row: &mut [usize], beg: usize, end: usize) {
+        let l = row.len();
+        let mut j = beg;
+        while j + 1 <= end && j + 1 < l {
+            row.swap(j, j + 1);
+            j += 2;
+        }
+    }
+
+    /// Swap layer on the top row.
+    pub fn swap_top(&mut self, beg: usize, end: usize) {
+        Self::swap_layer(&mut self.top, beg, end);
+    }
+
+    /// Swap layer on the bottom row.
+    pub fn swap_bot(&mut self, beg: usize, end: usize) {
+        Self::swap_layer(&mut self.bot, beg, end);
+    }
+
+    /// Whether every bipartite pair fired (excluding same-label pairs when
+    /// `exclude_same`).
+    pub fn full_coverage(&self, exclude_same: bool) -> bool {
+        let l = self.l();
+        (0..l).all(|x| {
+            (0..l).all(|y| {
+                if exclude_same && x == y {
+                    true
+                } else {
+                    self.seen[x * l + y]
+                }
+            })
+        })
+    }
+
+    /// Whether any same-label pair fired (must be none for Sycamore —
+    /// there is no physical link for them).
+    pub fn any_same_label_fired(&self) -> bool {
+        (0..self.l()).any(|x| self.seen[x * self.l() + x])
+    }
+
+    /// Whether both rows ended mirrored.
+    pub fn mirrored(&self) -> bool {
+        let l = self.l();
+        (0..l).all(|p| self.top[p] == l - 1 - p && self.bot[p] == l - 1 - p)
+    }
+
+    /// Whether the firing order respected strict Type-I order.
+    pub fn strict_order_ok(&self) -> bool {
+        self.strict_ok
+    }
+}
+
+/// Sketch for the **relaxed grid** two-unit interaction (Fig. 30):
+/// holes = `[cT_L, cT_c, off_u, off_d]`; `T = cT_L·L + cT_c` iterations of
+/// "fire all columns; swap top from `(i+off_u) mod 2`; swap bottom from
+/// `(i+off_u+off_d) mod 2`", full-width swaps, plus a final fire layer.
+pub struct GridIeRelaxedSketch;
+
+impl Sketch for GridIeRelaxedSketch {
+    fn hole_ranges(&self) -> Vec<(i32, i32)> {
+        vec![(0, 2), (-2, 2), (0, 1), (0, 1)]
+    }
+
+    fn check(&self, holes: &[i32], l: usize) -> bool {
+        let t = affine(0, holes[0], holes[1], 0, l);
+        if t <= 0 || t > 4 * l as i64 {
+            return false;
+        }
+        let mut st = TwoRows::new(l);
+        for i in 0..t as usize {
+            st.fire_links(LinkShape::SamePosition, l);
+            let bu = (i + holes[2] as usize) % 2;
+            let bd = (bu + holes[3] as usize) % 2;
+            st.swap_top(bu, l - 1);
+            st.swap_bot(bd, l - 1);
+        }
+        st.fire_links(LinkShape::SamePosition, l);
+        st.full_coverage(false) && st.mirrored()
+    }
+}
+
+/// Sketch for the **relaxed Sycamore** inter-unit interaction (Fig. 13 /
+/// Appendix 5): holes = `[cT_L, cT_c, off]`; both rows move in sync
+/// (offset `(i+off) mod 2`), all diagonal links fire each iteration.
+pub struct SycamoreIeRelaxedSketch;
+
+impl Sketch for SycamoreIeRelaxedSketch {
+    fn hole_ranges(&self) -> Vec<(i32, i32)> {
+        vec![(0, 2), (-2, 2), (0, 1)]
+    }
+
+    fn check(&self, holes: &[i32], l: usize) -> bool {
+        if l % 2 != 0 {
+            return true; // Sycamore unit lines are even; skip odd sizes
+        }
+        let t = affine(0, holes[0], holes[1], 0, l);
+        if t <= 0 || t > 4 * l as i64 {
+            return false;
+        }
+        let mut st = TwoRows::new(l);
+        for i in 0..t as usize {
+            st.fire_links(LinkShape::DiagonalOddTop, l);
+            let b = (i + holes[2] as usize) % 2;
+            st.swap_top(b, l - 1);
+            st.swap_bot(b, l - 1);
+        }
+        st.fire_links(LinkShape::DiagonalOddTop, l);
+        st.full_coverage(true) && !st.any_same_label_fired() && st.mirrored()
+    }
+}
+
+/// Sketch for the **strict grid** two-unit interaction (Fig. 29): the
+/// dependency-respecting variant whose swap/CPHASE ranges are bounded by
+/// piecewise-affine functions. Holes =
+/// `[cT_L, cT_c, off_d, au, cu, bu, ad, cd, bd, ac, cc, bc]` giving
+/// `T = cT_L·L + cT_c`, `beg_d = (beg_u + off_d) mod 2`, and the three
+/// range ends `min(i + a, c·L + b − i)` for top swaps, bottom swaps, and
+/// CPHASEs.
+pub struct GridIeStrictSketch;
+
+impl Sketch for GridIeStrictSketch {
+    fn hole_ranges(&self) -> Vec<(i32, i32)> {
+        vec![
+            (1, 2),
+            (-1, 1), // T
+            (0, 1), // off_d
+            (0, 1),
+            (1, 2),
+            (-2, -1), // end_u = min(i+au, cu*L+bu-i)
+            (0, 1),
+            (1, 2),
+            (-2, -1), // end_d
+            (0, 1),
+            (1, 2),
+            (-2, -1), // end_cp
+        ]
+    }
+
+    fn check(&self, holes: &[i32], l: usize) -> bool {
+        let t = affine(0, holes[0], holes[1], 0, l);
+        if t <= 0 || t > 4 * l as i64 {
+            return false;
+        }
+        let range_end = |i: usize, a: i32, c: i32, b: i32| -> i64 {
+            affine(1, 0, a, i, l).min(affine(-1, c, b, i, l))
+        };
+        let mut st = TwoRows::new(l);
+        for i in 0..t as usize {
+            let end_cp = range_end(i, holes[9], holes[10], holes[11]);
+            if end_cp > 0 {
+                st.fire_links(LinkShape::SamePosition, end_cp as usize);
+            }
+            let bu = i % 2;
+            let bd = (bu + holes[2] as usize) % 2;
+            let eu = range_end(i, holes[3], holes[4], holes[5]);
+            let ed = range_end(i, holes[6], holes[7], holes[8]);
+            if eu > 0 {
+                st.swap_top(bu, eu as usize);
+            }
+            if ed > 0 {
+                st.swap_bot(bd, ed as usize);
+            }
+        }
+        st.fire_links(LinkShape::SamePosition, l);
+        st.full_coverage(false) && st.mirrored() && st.strict_order_ok()
+    }
+}
+
+/// The Fig. 30(b) solution for the relaxed grid pattern, as hole values of
+/// [`GridIeRelaxedSketch`]: `T = L`, `beg_u = (i+1) mod 2`,
+/// `beg_d = i mod 2`.
+pub const GRID_RELAXED_SOLUTION: [i32; 4] = [1, 0, 1, 1];
+
+/// The Appendix-5 solution for the relaxed Sycamore pattern: `T = L`
+/// iterations, offset 0.
+pub const SYCAMORE_RELAXED_SOLUTION: [i32; 3] = [1, 0, 0];
+
+/// The Fig. 29(b) solution for the strict grid pattern: `T = 2L − 1`,
+/// `beg_d = (beg_u + 1) mod 2`, `end_u = min(i+1, 2L−2−i)`,
+/// `end_d = min(i, 2L−2−i)`, `end_cp = min(i+1, 2L−1−i)`.
+pub const GRID_STRICT_SOLUTION: [i32; 12] = [2, -1, 1, 1, 2, -2, 0, 2, -2, 1, 2, -1];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{synthesize, SynthResult};
+
+    #[test]
+    fn shipped_solutions_satisfy_their_sketches() {
+        for l in [3usize, 4, 5, 6, 8, 10] {
+            assert!(GridIeRelaxedSketch.check(&GRID_RELAXED_SOLUTION, l), "grid relaxed L={l}");
+            assert!(GridIeStrictSketch.check(&GRID_STRICT_SOLUTION, l), "grid strict L={l}");
+        }
+        for l in [4usize, 6, 8, 12] {
+            assert!(
+                SycamoreIeRelaxedSketch.check(&SYCAMORE_RELAXED_SOLUTION, l),
+                "sycamore relaxed L={l}"
+            );
+        }
+    }
+
+    #[test]
+    fn synthesis_rederives_grid_relaxed() {
+        match synthesize(&GridIeRelaxedSketch, &[3, 4], &[7, 10]) {
+            SynthResult::Found { holes, .. } => {
+                // Any found solution must itself generalize; the canonical
+                // one is reachable.
+                for l in [5usize, 9, 12] {
+                    assert!(GridIeRelaxedSketch.check(&holes, l), "holes={holes:?} L={l}");
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn synthesis_rederives_sycamore_relaxed() {
+        match synthesize(&SycamoreIeRelaxedSketch, &[4, 6], &[10, 14]) {
+            SynthResult::Found { holes, .. } => {
+                for l in [8usize, 12, 16] {
+                    assert!(SycamoreIeRelaxedSketch.check(&holes, l), "holes={holes:?} L={l}");
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn synthesis_rederives_grid_strict() {
+        match synthesize(&GridIeStrictSketch, &[3, 4], &[6, 9]) {
+            SynthResult::Found { holes, .. } => {
+                for l in [5usize, 8, 11] {
+                    assert!(GridIeStrictSketch.check(&holes, l), "holes={holes:?} L={l}");
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn strict_takes_about_twice_the_iterations_of_relaxed() {
+        // §3.3 / Appendix 7: QFT-IE-relaxed is 2× faster than strict. The
+        // shipped solutions make that exact: T_relaxed = L, T_strict = 2L−1.
+        let l = 10i64;
+        let t_rel = GRID_RELAXED_SOLUTION[0] as i64 * l + GRID_RELAXED_SOLUTION[1] as i64;
+        let t_str = GRID_STRICT_SOLUTION[0] as i64 * l + GRID_STRICT_SOLUTION[1] as i64;
+        assert_eq!(t_rel, l);
+        assert_eq!(t_str, 2 * l - 1);
+    }
+
+    #[test]
+    fn relaxed_order_violates_strictness() {
+        // The relaxed schedule must NOT satisfy the strict-order predicate
+        // (otherwise the distinction would be vacuous).
+        let l = 6;
+        let mut st = TwoRows::new(l);
+        for i in 0..l {
+            st.fire_links(LinkShape::SamePosition, l);
+            let bu = (i + 1) % 2;
+            st.swap_top(bu, l - 1);
+            st.swap_bot(i % 2, l - 1);
+        }
+        st.fire_links(LinkShape::SamePosition, l);
+        assert!(st.full_coverage(false));
+        assert!(!st.strict_order_ok(), "relaxed coverage order happened to be strict?");
+    }
+
+    #[test]
+    fn two_rows_swap_layer_semantics() {
+        let mut row = vec![0, 1, 2, 3, 4];
+        TwoRows::swap_layer(&mut row, 0, 4);
+        assert_eq!(row, vec![1, 0, 3, 2, 4]);
+        TwoRows::swap_layer(&mut row, 1, 3);
+        assert_eq!(row, vec![1, 3, 0, 2, 4]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Side-by-side comparison on one device: our analytical kernel vs SABRE
+//! (strict and relaxed DAGs) vs the exact-optimal search — a miniature of
+//! the paper's evaluation story.
+//!
+//! ```sh
+//! cargo run --release --example compare_compilers
+//! ```
+
+use qft_kernels::arch::heavyhex::HeavyHex;
+use qft_kernels::baselines::optimal::{optimal_compile, OptimalConfig, OptimalResult};
+use qft_kernels::baselines::sabre::{sabre_qft, SabreConfig};
+use qft_kernels::core::compile_heavyhex;
+use qft_kernels::ir::dag::{CircuitDag, DagMode};
+use qft_kernels::ir::qft::qft_circuit;
+use qft_kernels::sim::symbolic::verify_qft_mapping;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let hh = HeavyHex::groups(3); // 15 qubits
+    let graph = hh.graph();
+    let n = hh.n_qubits();
+    println!("device: {} ({n} qubits)\n", graph.name());
+    println!("{:<22} {:>7} {:>7} {:>10}", "compiler", "depth", "#SWAP", "CT");
+
+    let t0 = Instant::now();
+    let ours = compile_heavyhex(&hh);
+    let ct = t0.elapsed();
+    verify_qft_mapping(&ours, graph).unwrap();
+    println!(
+        "{:<22} {:>7} {:>7} {:>9.1?}",
+        "ours (analytical)",
+        ours.depth_uniform(),
+        ours.swap_count(),
+        ct
+    );
+
+    for (mode, name) in [
+        (DagMode::Strict, "sabre (strict dag)"),
+        (DagMode::Relaxed, "sabre (relaxed dag)"),
+    ] {
+        let t0 = Instant::now();
+        let mc = sabre_qft(n, graph, mode, &SabreConfig::default());
+        let ct = t0.elapsed();
+        verify_qft_mapping(&mc, graph).unwrap();
+        println!(
+            "{:<22} {:>7} {:>7} {:>9.1?}",
+            name,
+            mc.depth_uniform(),
+            mc.swap_count(),
+            ct
+        );
+    }
+
+    let dag = CircuitDag::build(&qft_circuit(n), DagMode::Strict);
+    let cfg = OptimalConfig { deadline: Duration::from_secs(3), max_nodes: u64::MAX };
+    let t0 = Instant::now();
+    match optimal_compile(&dag, graph, &cfg) {
+        OptimalResult::Solved { circuit, .. } => {
+            verify_qft_mapping(&circuit, graph).unwrap();
+            println!(
+                "{:<22} {:>7} {:>7} {:>9.1?}",
+                "optimal (A*)",
+                circuit.depth_uniform(),
+                circuit.swap_count(),
+                t0.elapsed()
+            );
+        }
+        OptimalResult::TimedOut { nodes } => {
+            println!(
+                "{:<22} {:>7} {:>7} {:>9.1?}  (TLE after {nodes} nodes — the paper's SATMAP behaviour)",
+                "optimal (A*)", "-", "-", t0.elapsed()
+            );
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Large-scale FT compilation (§7.2): compile the 1024-qubit QFT kernel
+//! for a 32×32 lattice-surgery backend, verify it symbolically, and report
+//! the latency-weighted cost — all in well under a second, because the
+//! mapping is analytical (no per-instance search).
+//!
+//! ```sh
+//! cargo run --release --example ft_scale
+//! ```
+
+use qft_kernels::arch::lattice::LatticeSurgery;
+use qft_kernels::core::compile_lattice;
+use qft_kernels::sim::symbolic::verify_qft_mapping;
+use std::time::Instant;
+
+fn main() {
+    for m in [16usize, 24, 32] {
+        let l = LatticeSurgery::new(m);
+        let n = l.n_qubits();
+
+        let t0 = Instant::now();
+        let mc = compile_lattice(&l);
+        let compile_s = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let report = verify_qft_mapping(&mc, l.graph()).expect("kernel must verify");
+        let verify_s = t0.elapsed().as_secs_f64();
+
+        let depth = l.graph().depth_of(&mc);
+        println!(
+            "{}: N={n:<5} pairs={:<7} depth={depth:<7} ({:.2}/qubit) swaps={:<7} \
+             compile {compile_s:.3}s, verify {verify_s:.3}s",
+            l.graph().name(),
+            report.pairs,
+            depth as f64 / n as f64,
+            mc.swap_count(),
+        );
+        assert_eq!(report.pairs, n * (n - 1) / 2);
+        // Linear depth: the per-qubit cost must stay bounded as N grows 4x.
+        assert!(depth < 14 * n as u64);
+    }
+    println!("\n1024-qubit FT QFT kernel compiled and verified — linear depth, no search.");
+}

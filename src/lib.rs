@@ -1,0 +1,38 @@
+//! # qft-kernels — linear-depth QFT compilation for NISQ and FT backends
+//!
+//! A full reproduction of "Optimizing Quantum Fourier Transformation (QFT)
+//! Kernels for Modern NISQ and FT Architectures" (SC 2024): analytical
+//! (search-free) qubit mapping that produces linear-depth hardware QFT
+//! circuits on IBM heavy-hex, Google Sycamore, and surface-code lattice
+//! surgery, plus the baselines, simulator, and program-synthesis tooling
+//! the paper's evaluation depends on.
+//!
+//! Crate map:
+//! * [`ir`] — circuit IR, dependency DAGs (Type I/II), metrics, QASM;
+//! * [`arch`] — coupling-graph models of every backend;
+//! * [`sim`] — state-vector simulator + scalable symbolic verifier;
+//! * [`synth`] — enumerative SKETCH-substitute for movement patterns;
+//! * [`baselines`] — SABRE, exact-optimal A* (SATMAP substitute), LNN path;
+//! * [`core`] — the paper's compilers and the [`core::Backend`] façade.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qft_kernels::core::Backend;
+//! use qft_kernels::sim::symbolic::verify_qft_mapping;
+//!
+//! let backend = Backend::HeavyHexGroups(2); // 10-qubit heavy-hex device
+//! let graph = backend.graph();
+//! let (circuit, metrics) = backend.compile_qft_with_metrics();
+//! verify_qft_mapping(&circuit, &graph).unwrap();
+//! assert_eq!(metrics.cphases, 10 * 9 / 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use qft_arch as arch;
+pub use qft_baselines as baselines;
+pub use qft_core as core;
+pub use qft_ir as ir;
+pub use qft_sim as sim;
+pub use qft_synth as synth;
