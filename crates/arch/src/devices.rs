@@ -25,7 +25,10 @@ pub fn ibm_falcon_like() -> HeavyHexLattice {
 /// # Panics
 /// Panics if `n` is not a positive multiple of 5.
 pub fn paper_heavyhex(n: usize) -> HeavyHex {
-    assert!(n > 0 && n % 5 == 0, "paper heavy-hex sizes are multiples of 5");
+    assert!(
+        n > 0 && n.is_multiple_of(5),
+        "paper heavy-hex sizes are multiples of 5"
+    );
     HeavyHex::groups(n / 5)
 }
 

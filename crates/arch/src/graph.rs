@@ -24,7 +24,10 @@ impl CouplingGraph {
         let mut adj: Vec<Vec<(u32, LinkClass)>> = vec![Vec::new(); n];
         for &(a, b, class) in edges {
             assert!(a != b, "self-loop on Q{a}");
-            assert!((a as usize) < n && (b as usize) < n, "edge ({a},{b}) out of range");
+            assert!(
+                (a as usize) < n && (b as usize) < n,
+                "edge ({a},{b}) out of range"
+            );
             assert!(
                 !adj[a as usize].iter().any(|&(x, _)| x == b),
                 "duplicate edge ({a},{b})"
@@ -35,7 +38,12 @@ impl CouplingGraph {
         for l in &mut adj {
             l.sort_unstable_by_key(|&(x, _)| x);
         }
-        CouplingGraph { name: name.into(), n, adj, n_edges: edges.len() }
+        CouplingGraph {
+            name: name.into(),
+            n,
+            adj,
+            n_edges: edges.len(),
+        }
     }
 
     /// Human-readable architecture name (e.g. `"sycamore-6x6"`).
@@ -86,7 +94,7 @@ impl CouplingGraph {
     pub fn edges(&self) -> impl Iterator<Item = (PhysicalQubit, PhysicalQubit, LinkClass)> + '_ {
         self.adj.iter().enumerate().flat_map(|(a, l)| {
             l.iter().filter_map(move |&(b, c)| {
-                ((a as u32) < b).then(|| (PhysicalQubit(a as u32), PhysicalQubit(b), c))
+                ((a as u32) < b).then_some((PhysicalQubit(a as u32), PhysicalQubit(b), c))
             })
         })
     }

@@ -103,7 +103,7 @@ mod tests {
         let g = Grid::new(4, 4);
         let path = g.serpentine_path();
         assert_eq!(path.len(), 16);
-        let mut seen = vec![false; 16];
+        let mut seen = [false; 16];
         for w in path.windows(2) {
             assert!(g.graph().are_adjacent(w[0], w[1]), "{:?}", w);
         }

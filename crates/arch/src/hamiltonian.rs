@@ -176,9 +176,8 @@ mod tests {
         // A large grid with a tiny budget must stop early (grids do have
         // paths, so only Found or BudgetExhausted are possible).
         let g = Grid::new(5, 5);
-        match find_hamiltonian_path(g.graph(), 3) {
-            HamiltonianResult::NotFound => panic!("cannot prove absence with budget 3"),
-            _ => {}
+        if find_hamiltonian_path(g.graph(), 3) == HamiltonianResult::NotFound {
+            panic!("cannot prove absence with budget 3")
         }
     }
 
@@ -187,8 +186,16 @@ mod tests {
         let g = lnn(4);
         assert!(!is_hamiltonian_path(
             &g,
-            &[PhysicalQubit(0), PhysicalQubit(2), PhysicalQubit(1), PhysicalQubit(3)]
+            &[
+                PhysicalQubit(0),
+                PhysicalQubit(2),
+                PhysicalQubit(1),
+                PhysicalQubit(3)
+            ]
         ));
-        assert!(!is_hamiltonian_path(&g, &[PhysicalQubit(0), PhysicalQubit(1)]));
+        assert!(!is_hamiltonian_path(
+            &g,
+            &[PhysicalQubit(0), PhysicalQubit(1)]
+        ));
     }
 }

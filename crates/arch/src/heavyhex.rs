@@ -50,11 +50,7 @@ impl HeavyHex {
             n_main,
             dangler_at,
             dangler_pos,
-            graph: CouplingGraph::new(
-                format!("heavyhex-{n_main}+{}", positions.len()),
-                n,
-                &edges,
-            ),
+            graph: CouplingGraph::new(format!("heavyhex-{n_main}+{}", positions.len()), n, &edges),
         }
     }
 
@@ -266,7 +262,10 @@ impl HeavyHexLattice {
         }
         dangler_positions.sort_unstable();
         dangler_positions.dedup();
-        (HeavyHex::with_danglers(line.len(), &dangler_positions), deleted)
+        (
+            HeavyHex::with_danglers(line.len(), &dangler_positions),
+            deleted,
+        )
     }
 }
 
@@ -296,9 +295,15 @@ mod tests {
         // dangler(7) -> q9.
         assert_eq!(lay.logical(hh.main(0)), Some(LogicalQubit(0)));
         assert_eq!(lay.logical(hh.main(3)), Some(LogicalQubit(3)));
-        assert_eq!(lay.logical(hh.dangler_below(3).unwrap()), Some(LogicalQubit(4)));
+        assert_eq!(
+            lay.logical(hh.dangler_below(3).unwrap()),
+            Some(LogicalQubit(4))
+        );
         assert_eq!(lay.logical(hh.main(4)), Some(LogicalQubit(5)));
-        assert_eq!(lay.logical(hh.dangler_below(7).unwrap()), Some(LogicalQubit(9)));
+        assert_eq!(
+            lay.logical(hh.dangler_below(7).unwrap()),
+            Some(LogicalQubit(9))
+        );
         assert!(lay.is_consistent());
     }
 

@@ -98,8 +98,14 @@ mod tests {
     #[test]
     fn link_classes_match_paper() {
         let l = LatticeSurgery::new(4);
-        assert_eq!(l.graph().link(l.at(1, 1), l.at(1, 2)), Some(LinkClass::FastSwap));
-        assert_eq!(l.graph().link(l.at(1, 1), l.at(2, 1)), Some(LinkClass::CnotOnly));
+        assert_eq!(
+            l.graph().link(l.at(1, 1), l.at(1, 2)),
+            Some(LinkClass::FastSwap)
+        );
+        assert_eq!(
+            l.graph().link(l.at(1, 1), l.at(2, 1)),
+            Some(LinkClass::CnotOnly)
+        );
         assert_eq!(l.graph().link(l.at(0, 0), l.at(1, 1)), None);
     }
 

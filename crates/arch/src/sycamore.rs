@@ -35,7 +35,10 @@ impl Sycamore {
     /// Panics if `m` is odd or zero (the paper evaluates even `m` only; units
     /// are pairs of rows).
     pub fn new(m: usize) -> Self {
-        assert!(m >= 2 && m % 2 == 0, "Sycamore model needs even m >= 2, got {m}");
+        assert!(
+            m >= 2 && m.is_multiple_of(2),
+            "Sycamore model needs even m >= 2, got {m}"
+        );
         let idx = |r: usize, c: usize| (r * m + c) as u32;
         let mut edges = Vec::new();
         for r in 0..m - 1 {

@@ -6,13 +6,20 @@
 //!   substitute for SATMAP \[29\] (same solve-tiny / time-out-big contract);
 //! * [`lnn_path`] — the analytical LNN QFT along a Hamiltonian path
 //!   (Fig. 19's "LNN" series).
+//!
+//! All three also implement [`qft_core::QftCompiler`] (see [`pipeline`]),
+//! so they are interchangeable with the paper's analytical mappers through
+//! the registry: `register_baselines` adds them under the names `sabre`,
+//! `optimal`, and `lnn-path`.
 
 #![warn(missing_docs)]
 
 pub mod lnn_path;
 pub mod optimal;
+pub mod pipeline;
 pub mod sabre;
 
 pub use lnn_path::{lnn_on_lattice, lnn_on_path};
 pub use optimal::{optimal_compile, OptimalConfig, OptimalResult};
+pub use pipeline::{register_baselines, LnnPathMapper, OptimalMapper, SabreMapper};
 pub use sabre::{sabre_compile, sabre_qft, SabreConfig};

@@ -49,7 +49,10 @@ pub struct OptimalConfig {
 
 impl Default for OptimalConfig {
     fn default() -> Self {
-        OptimalConfig { deadline: Duration::from_secs(10), max_nodes: 20_000_000 }
+        OptimalConfig {
+            deadline: Duration::from_secs(10),
+            max_nodes: 20_000_000,
+        }
     }
 }
 
@@ -98,7 +101,10 @@ fn heuristic(dag: &CircuitDag, dist: &DistanceMatrix, st: &State) -> u32 {
         .iter()
         .filter_map(|&node| {
             let g = dag.gates()[node as usize];
-            g.b.map(|b| dist.get(st.layout.phys(g.a), st.layout.phys(b)).saturating_sub(1))
+            g.b.map(|b| {
+                dist.get(st.layout.phys(g.a), st.layout.phys(b))
+                    .saturating_sub(1)
+            })
         })
         .max()
         .unwrap_or(0)
@@ -132,10 +138,12 @@ pub fn optimal_compile(
 
     while let Some(std::cmp::Reverse((_f, g_cost, idx))) = heap.pop() {
         nodes_expanded += 1;
-        if nodes_expanded % 512 == 0
+        if nodes_expanded.is_multiple_of(512)
             && (start_time.elapsed() > config.deadline || nodes_expanded > config.max_nodes)
         {
-            return OptimalResult::TimedOut { nodes: nodes_expanded };
+            return OptimalResult::TimedOut {
+                nodes: nodes_expanded,
+            };
         }
         let st = arena[idx].clone();
         if st.frontier.is_done() {
@@ -164,7 +172,9 @@ pub fn optimal_compile(
             heap.push(std::cmp::Reverse((ng + h, ng, arena.len() - 1)));
         }
     }
-    OptimalResult::TimedOut { nodes: nodes_expanded }
+    OptimalResult::TimedOut {
+        nodes: nodes_expanded,
+    }
 }
 
 /// Reconstructs the mapped circuit from the SWAP decision sequence by
@@ -226,7 +236,11 @@ mod tests {
         // (our 2×2 Sycamore unit graph is a 4-cycle too) should solve
         // instantly with a small optimal count.
         let grid = Grid::new(2, 2);
-        match optimal_compile(&dag(4, DagMode::Strict), grid.graph(), &OptimalConfig::default()) {
+        match optimal_compile(
+            &dag(4, DagMode::Strict),
+            grid.graph(),
+            &OptimalConfig::default(),
+        ) {
             OptimalResult::Solved { circuit, .. } => {
                 verify_qft_mapping(&circuit, grid.graph()).unwrap();
                 assert!(circuit.swap_count() <= 3, "swaps={}", circuit.swap_count());
@@ -268,7 +282,10 @@ mod tests {
     #[test]
     fn times_out_gracefully_on_larger_instances() {
         let g = lnn(10);
-        let cfg = OptimalConfig { deadline: Duration::from_millis(100), max_nodes: 100_000 };
+        let cfg = OptimalConfig {
+            deadline: Duration::from_millis(100),
+            max_nodes: 100_000,
+        };
         match optimal_compile(&dag(10, DagMode::Strict), &g, &cfg) {
             OptimalResult::TimedOut { nodes } => assert!(nodes > 0),
             OptimalResult::Solved { circuit, .. } => {

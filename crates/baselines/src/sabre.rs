@@ -61,7 +61,11 @@ impl Default for SabreConfig {
 
 /// Runs SABRE on `dag` over `graph`, producing a hardware-compliant mapped
 /// circuit.
-pub fn sabre_compile(dag: &CircuitDag, graph: &CouplingGraph, config: &SabreConfig) -> MappedCircuit {
+pub fn sabre_compile(
+    dag: &CircuitDag,
+    graph: &CouplingGraph,
+    config: &SabreConfig,
+) -> MappedCircuit {
     let dist = DistanceMatrix::hops(graph);
     let mut rng = StdRng::seed_from_u64(config.seed);
     let n = dag.n_qubits();
@@ -170,7 +174,12 @@ fn route(
                 .iter()
                 .filter_map(|n| {
                     let g = dag.gates()[*n as usize];
-                    g.b.map(|b| (n, dist.get(builder.layout().phys(g.a), builder.layout().phys(b))))
+                    g.b.map(|b| {
+                        (
+                            n,
+                            dist.get(builder.layout().phys(g.a), builder.layout().phys(b)),
+                        )
+                    })
                 })
                 .min_by_key(|&(_, d)| d)
                 .expect("blocked front has a 2q gate");
@@ -356,7 +365,11 @@ mod tests {
     fn seeds_change_output() {
         // Fig. 27: SABRE's output varies with the random seed.
         let grid = Grid::new(2, 2);
-        let cfg = |seed| SabreConfig { seed, random_initial: true, ..Default::default() };
+        let cfg = |seed| SabreConfig {
+            seed,
+            random_initial: true,
+            ..Default::default()
+        };
         let outs: Vec<String> = (0..8)
             .map(|s| {
                 let mc = sabre_qft(4, grid.graph(), DagMode::Strict, &cfg(s));

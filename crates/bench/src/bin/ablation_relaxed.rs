@@ -1,31 +1,39 @@
 //! Ablations of the design choices DESIGN.md §5 calls out:
 //!
 //! 1. relaxed vs strict inter-unit ordering on lattice surgery (§3.3's
-//!    "2× speedup in QFT-IE");
+//!    "2× speedup in QFT-IE") — via `CompileOptions::ie_mode`;
 //! 2. SABRE fed the strict (Type I+II) vs relaxed (Type II only) QFT DAG —
-//!    does commutativity alone rescue a general-purpose mapper?
+//!    via `CompileOptions::dag_mode`;
 //! 3. heavy-hex dangler density: the 4+1 special case (5N) vs sparser
-//!    danglers (toward the 6N general bound).
+//!    danglers (toward the 6N general bound) — via `Target::heavy_hex`.
 
 use qft_arch::heavyhex::HeavyHex;
-use qft_arch::lattice::LatticeSurgery;
-use qft_baselines::sabre::{sabre_qft, SabreConfig};
-use qft_bench::{print_table, timed, write_json, Row};
-use qft_core::{compile_heavyhex, compile_lattice_with, IeMode};
+use qft_bench::{print_table, write_json, Row};
+use qft_core::IeMode;
 use qft_ir::dag::DagMode;
-use qft_sim::symbolic::verify_qft_mapping;
+use qft_kernels::{registry, CompileOptions, Target};
 
 fn main() {
+    let verified = CompileOptions::verified();
     let mut rows = Vec::new();
 
     println!("## Ablation 1: relaxed vs strict QFT-IE (lattice surgery)");
     for m in [8usize, 12, 16] {
-        let l = LatticeSurgery::new(m);
-        let graph = l.graph();
-        for (mode, name) in [(IeMode::Relaxed, "ie-relaxed"), (IeMode::Strict, "ie-strict")] {
-            let (mc, secs) = timed(|| compile_lattice_with(&l, mode));
-            verify_qft_mapping(&mc, graph).expect("must verify");
-            rows.push(Row::from_circuit(graph.name(), name, graph, &mc, secs));
+        let t = Target::lattice_surgery(m).unwrap();
+        for (mode, name) in [
+            (IeMode::Relaxed, "ie-relaxed"),
+            (IeMode::Strict, "ie-strict"),
+        ] {
+            let opts = CompileOptions {
+                ie_mode: mode,
+                ..verified.clone()
+            };
+            let r = registry()
+                .compile("lattice", &t, &opts)
+                .expect("must verify");
+            let mut row = Row::from_result(&r);
+            row.compiler = name.into();
+            rows.push(row);
         }
         let d_rel = rows[rows.len() - 2].depth as f64;
         let d_str = rows[rows.len() - 1].depth as f64;
@@ -34,17 +42,26 @@ fn main() {
 
     println!("\n## Ablation 2: SABRE with strict vs relaxed QFT DAG (heavy-hex)");
     for g in [4usize, 8, 12] {
-        let hh = HeavyHex::groups(g);
-        let graph = hh.graph();
-        let n = hh.n_qubits();
-        for (mode, name) in [(DagMode::Strict, "sabre-strict"), (DagMode::Relaxed, "sabre-relaxed")]
-        {
-            let (mc, secs) = timed(|| sabre_qft(n, graph, mode, &SabreConfig::default()));
-            verify_qft_mapping(&mc, graph).expect("must verify");
-            rows.push(Row::from_circuit(graph.name(), name, graph, &mc, secs));
+        let t = Target::heavy_hex_groups(g).unwrap();
+        for (mode, name) in [
+            (DagMode::Strict, "sabre-strict"),
+            (DagMode::Relaxed, "sabre-relaxed"),
+        ] {
+            let opts = CompileOptions {
+                dag_mode: mode,
+                ..verified.clone()
+            };
+            let r = registry().compile("sabre", &t, &opts).expect("must verify");
+            let mut row = Row::from_result(&r);
+            row.compiler = name.into();
+            rows.push(row);
         }
-        let (ours, secs) = timed(|| compile_heavyhex(&hh));
-        rows.push(Row::from_circuit(graph.name(), "ours", graph, &ours, secs));
+        let r = registry()
+            .compile("heavyhex", &t, &verified)
+            .expect("must verify");
+        let mut row = Row::from_result(&r);
+        row.compiler = "ours".into();
+        rows.push(row);
     }
 
     println!("\n## Ablation 3: heavy-hex dangler density (two-qubit depth / N)");
@@ -56,21 +73,20 @@ fn main() {
         }),
         ("no-danglers", HeavyHex::with_danglers(40, &[])),
     ] {
-        let graph = hh.graph();
-        let n = hh.n_qubits();
-        let (mc, secs) = timed(|| compile_heavyhex(&hh));
-        verify_qft_mapping(&mc, graph).expect("must verify");
-        let d = mc.two_qubit_depth();
-        println!("{name}: N={n}, depth={d}, depth/N = {:.2}", d as f64 / n as f64);
-        rows.push(Row {
-            arch: name.into(),
-            compiler: "ours".into(),
-            n,
-            depth: d,
-            swaps: mc.swap_count(),
-            compile_s: secs,
-            note: format!("depth/N = {:.2}", d as f64 / n as f64),
-        });
+        let t = Target::heavy_hex(hh);
+        let n = t.n_qubits();
+        let r = registry()
+            .compile("heavyhex", &t, &verified)
+            .expect("must verify");
+        let d = r.circuit.two_qubit_depth();
+        println!(
+            "{name}: N={n}, depth={d}, depth/N = {:.2}",
+            d as f64 / n as f64
+        );
+        let mut row = Row::from_result(&r);
+        (row.arch, row.compiler, row.depth) = (name.into(), "ours".into(), d);
+        row.note = format!("depth/N = {:.2}", d as f64 / n as f64);
+        rows.push(row);
     }
 
     println!("\n## Ablation 5: Appendix-1 simplification — SABRE gets the FULL heavy-hex lattice");
@@ -81,21 +97,25 @@ fn main() {
         use qft_arch::heavyhex::HeavyHexLattice;
         let lat = HeavyHexLattice::new(3, 9);
         let (hh, deleted) = lat.simplify();
-        let n = hh.n_qubits();
-        let (ours, secs) = timed(|| compile_heavyhex(&hh));
-        verify_qft_mapping(&ours, hh.graph()).expect("must verify");
-        rows.push(Row::from_circuit(hh.graph().name(), "ours", hh.graph(), &ours, secs));
-        let (mc, secs) =
-            timed(|| sabre_qft(n, lat.graph(), DagMode::Strict, &SabreConfig::default()));
-        verify_qft_mapping(&mc, lat.graph()).expect("must verify");
-        rows.push(Row::from_circuit(lat.graph().name(), "sabre-full", lat.graph(), &mc, secs));
+        let t = Target::heavy_hex(hh);
+        let n = t.n_qubits();
+        let ours = registry()
+            .compile("heavyhex", &t, &verified)
+            .expect("must verify");
+        let mut row = Row::from_result(&ours);
+        row.compiler = "ours".into();
+        rows.push(row);
+        let full = Target::custom(lat.graph().clone()).expect("full lattice target");
+        let sabre = registry()
+            .compile("sabre", &full, &verified)
+            .expect("must verify");
+        let mut row = Row::from_result(&sabre);
+        row.compiler = "sabre-full".into();
+        rows.push(row);
         println!(
             "N={n}: ours (simplified, {deleted} links deleted) depth={} swaps={} | \
              SABRE (full lattice) depth={} swaps={}",
-            ours.depth_uniform(),
-            ours.swap_count(),
-            mc.depth_uniform(),
-            mc.swap_count()
+            ours.metrics.depth, ours.metrics.swaps, sabre.metrics.depth, sabre.metrics.swaps
         );
     }
 

@@ -1,28 +1,24 @@
 //! Fig. 17: depth (a) and #SWAP (b) on heavy-hex, ours vs SABRE, N ≤ 100
 //! (multiples of 5 per §7's group construction).
 
-use qft_baselines::sabre::{sabre_qft, SabreConfig};
-use qft_bench::{print_table, timed, write_json, Row};
-use qft_core::compile_heavyhex;
-use qft_arch::heavyhex::HeavyHex;
-use qft_ir::dag::DagMode;
-use qft_sim::symbolic::verify_qft_mapping;
+use qft_bench::{print_table, write_json, Row};
+use qft_kernels::{registry, CompileOptions, Target};
 
 fn main() {
+    let opts = CompileOptions::verified();
     let mut rows = Vec::new();
     for g in (2..=20).step_by(2) {
-        let hh = HeavyHex::groups(g);
-        let graph = hh.graph();
-        let n = hh.n_qubits();
-        let arch = graph.name().to_string();
-
-        let (mc, secs) = timed(|| compile_heavyhex(&hh));
-        verify_qft_mapping(&mc, graph).expect("ours must verify");
-        rows.push(Row::from_circuit(&arch, "ours", graph, &mc, secs));
-
-        let (mc, secs) = timed(|| sabre_qft(n, graph, DagMode::Strict, &SabreConfig::default()));
-        verify_qft_mapping(&mc, graph).expect("sabre must verify");
-        rows.push(Row::from_circuit(&arch, "sabre", graph, &mc, secs));
+        let t = Target::heavy_hex_groups(g).unwrap();
+        for compiler in ["heavyhex", "sabre"] {
+            let r = registry()
+                .compile(compiler, &t, &opts)
+                .expect("must verify");
+            let mut row = Row::from_result(&r);
+            if compiler == "heavyhex" {
+                row.compiler = "ours".into();
+            }
+            rows.push(row);
+        }
     }
     print_table("Fig. 17: heavy-hex, ours vs SABRE (N = 10..100)", &rows);
     write_json("fig17", &rows);

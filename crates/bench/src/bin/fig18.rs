@@ -1,28 +1,24 @@
 //! Fig. 18: depth (a) and #SWAP (b) on Sycamore, ours vs SABRE, N ≤ 100
 //! (m = 2, 4, 6, 8, 10).
 
-use qft_arch::sycamore::Sycamore;
-use qft_baselines::sabre::{sabre_qft, SabreConfig};
-use qft_bench::{print_table, timed, write_json, Row};
-use qft_core::compile_sycamore;
-use qft_ir::dag::DagMode;
-use qft_sim::symbolic::verify_qft_mapping;
+use qft_bench::{print_table, write_json, Row};
+use qft_kernels::{registry, CompileOptions, Target};
 
 fn main() {
+    let opts = CompileOptions::verified();
     let mut rows = Vec::new();
     for m in [2usize, 4, 6, 8, 10] {
-        let s = Sycamore::new(m);
-        let graph = s.graph();
-        let n = s.n_qubits();
-        let arch = graph.name().to_string();
-
-        let (mc, secs) = timed(|| compile_sycamore(&s));
-        verify_qft_mapping(&mc, graph).expect("ours must verify");
-        rows.push(Row::from_circuit(&arch, "ours", graph, &mc, secs));
-
-        let (mc, secs) = timed(|| sabre_qft(n, graph, DagMode::Strict, &SabreConfig::default()));
-        verify_qft_mapping(&mc, graph).expect("sabre must verify");
-        rows.push(Row::from_circuit(&arch, "sabre", graph, &mc, secs));
+        let t = Target::sycamore(m).unwrap();
+        for compiler in ["sycamore", "sabre"] {
+            let r = registry()
+                .compile(compiler, &t, &opts)
+                .expect("must verify");
+            let mut row = Row::from_result(&r);
+            if compiler == "sycamore" {
+                row.compiler = "ours".into();
+            }
+            rows.push(row);
+        }
     }
     print_table("Fig. 18: Sycamore, ours vs SABRE (N = 4..100)", &rows);
     write_json("fig18", &rows);

@@ -6,57 +6,57 @@
 //! latency-blind, which is the point of the comparison (§7.2).
 //!
 //! SABRE on 1024 qubits routes ~524k gates; sweep points run in parallel
-//! worker threads (crossbeam). `--fast` caps m at 16.
+//! worker threads (std scoped threads). `--fast` caps m at 16.
 
-use qft_arch::lattice::LatticeSurgery;
-use qft_baselines::lnn_path::lnn_on_lattice;
-use qft_baselines::sabre::{sabre_qft, SabreConfig};
-use qft_bench::{has_flag, print_table, timed, write_json, Row};
-use qft_core::compile_lattice;
-use qft_ir::dag::DagMode;
-use qft_sim::symbolic::verify_qft_mapping;
+use qft_bench::{has_flag, print_table, write_json, Row};
+use qft_kernels::{registry, CompileOptions, LatencyModel, Target};
 
 fn main() {
     let max_m = if has_flag("--fast") { 16 } else { 32 };
     let ms: Vec<usize> = (10..=max_m).step_by(2).collect();
 
-    let results = parking_lot::Mutex::new(Vec::<Row>::new());
-    crossbeam::scope(|scope| {
+    let verified = CompileOptions::verified();
+    let results = std::sync::Mutex::new(Vec::<Row>::new());
+    std::thread::scope(|scope| {
         for &m in &ms {
             let results = &results;
-            scope.spawn(move |_| {
-                let l = LatticeSurgery::new(m);
-                let graph = l.graph();
-                let n = l.n_qubits();
-                let arch = graph.name().to_string();
+            let verified = &verified;
+            scope.spawn(move || {
+                let t = Target::lattice_surgery(m).unwrap();
                 let mut local = Vec::new();
 
-                let (mc, secs) = timed(|| compile_lattice(&l));
-                verify_qft_mapping(&mc, graph).expect("ours must verify");
-                local.push(Row::from_circuit(&arch, "ours", graph, &mc, secs));
+                let r = registry()
+                    .compile("lattice", &t, verified)
+                    .expect("ours must verify");
+                let mut row = Row::from_result(&r);
+                row.compiler = "ours".into();
+                local.push(row);
 
-                let (mc, secs) = timed(|| lnn_on_lattice(&l));
-                verify_qft_mapping(&mc, graph).expect("lnn-path must verify");
-                local.push(Row::from_circuit(&arch, "lnn-path", graph, &mc, secs));
+                let r = registry()
+                    .compile("lnn-path", &t, verified)
+                    .expect("lnn-path must verify");
+                local.push(Row::from_result(&r));
 
-                let (mc, secs) =
-                    timed(|| sabre_qft(n, graph, DagMode::Strict, &SabreConfig::default()));
-                verify_qft_mapping(&mc, graph).expect("sabre must verify");
                 // §7.2: SABRE cannot express heterogeneous links, so the
                 // paper charges it uniform (all-links-equal) latencies —
                 // the concession that favours SABRE.
-                let mut row = Row::from_circuit(&arch, "sabre", graph, &mc, secs);
-                row.depth = mc.depth_uniform();
+                let opts = CompileOptions {
+                    latency: LatencyModel::Uniform,
+                    ..verified.clone()
+                };
+                let r = registry()
+                    .compile("sabre", &t, &opts)
+                    .expect("sabre must verify");
+                let mut row = Row::from_result(&r);
                 row.note = "uniform-latency depth".into();
                 local.push(row);
 
-                results.lock().extend(local);
+                results.lock().expect("sweep mutex").extend(local);
             });
         }
-    })
-    .expect("sweep threads");
+    });
 
-    let mut rows = results.into_inner();
+    let mut rows = results.into_inner().expect("sweep mutex");
     rows.sort_by_key(|r| (r.n, r.compiler.clone()));
     print_table(
         "Fig. 19: lattice surgery, ours vs SABRE vs LNN path (N = 100..1024)",
@@ -79,8 +79,7 @@ fn main() {
         );
     }
     // SWAP crossover: the paper sees ours winning on #SWAP for N > 144.
-    for pair in ms.windows(1) {
-        let m = pair[0];
+    for &m in &ms {
         if let (Some(o), Some(s)) = (get("ours", m * m), get("sabre", m * m)) {
             let who = if o.swaps <= s.swaps { "ours" } else { "sabre" };
             println!("N={:>5}: fewer SWAPs -> {who}", m * m);

@@ -1,34 +1,39 @@
 //! Fig. 27: SABRE's output randomness — the same QFT(4) on a 2×2 grid
 //! compiled with different seeds yields different initial mappings, gate
-//! orders, and step counts.
+//! orders, and step counts. The grid enters the pipeline as a custom
+//! [`Target`], exercising the open end of the API.
 
 use qft_arch::grid::Grid;
-use qft_baselines::sabre::{sabre_qft, SabreConfig};
 use qft_bench::{print_table, write_json, Row};
-use qft_ir::dag::DagMode;
-use qft_sim::symbolic::verify_qft_mapping;
+use qft_kernels::{registry, CompileOptions, Target};
 
 fn main() {
     let grid = Grid::new(2, 2);
-    let graph = grid.graph();
+    let t = Target::custom(grid.graph().clone()).expect("2x2 grid is a valid target");
     let mut rows = Vec::new();
     println!("## Fig. 27: SABRE randomness on QFT(4), 2x2 grid\n");
     for seed in 1..=5u64 {
-        let cfg = SabreConfig { seed, random_initial: true, ..Default::default() };
-        let mc = sabre_qft(4, graph, DagMode::Strict, &cfg);
-        verify_qft_mapping(&mc, graph).expect("sabre must verify");
-        let layers = mc.layers_uniform();
+        let opts = CompileOptions {
+            seed,
+            random_initial: true,
+            ..CompileOptions::verified()
+        };
+        let r = registry()
+            .compile("sabre", &t, &opts)
+            .expect("sabre must verify");
+        let layers = r.circuit.layers_uniform();
         println!(
             "seed={seed}: initial mapping {:?}, {} steps, {} SWAPs",
-            mc.initial_layout()
+            r.circuit
+                .initial_layout()
                 .assignment()
                 .iter()
                 .map(|p| p.0)
                 .collect::<Vec<_>>(),
             layers.len(),
-            mc.swap_count()
+            r.metrics.swaps
         );
-        for (t, layer) in layers.iter().enumerate() {
+        for (step, layer) in layers.iter().enumerate() {
             let ops: Vec<String> = layer
                 .iter()
                 .map(|op| match op.p2 {
@@ -36,9 +41,11 @@ fn main() {
                     None => format!("{:?}({})", op.kind, op.p1.0),
                 })
                 .collect();
-            println!("  step {t}: {}", ops.join("  "));
+            println!("  step {step}: {}", ops.join("  "));
         }
-        rows.push(Row::from_circuit("grid-2x2", &format!("sabre-seed{seed}"), graph, &mc, 0.0));
+        let mut row = Row::from_result(&r);
+        row.compiler = format!("sabre-seed{seed}");
+        rows.push(row);
     }
     print_table("Fig. 27 summary", &rows);
     write_json("fig27", &rows);

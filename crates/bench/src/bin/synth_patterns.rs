@@ -26,7 +26,12 @@ fn main() {
     println!("## Program synthesis of inter-unit schedules (SKETCH substitute)\n");
 
     let (res, secs) = timed(|| synthesize(&GridIeRelaxedSketch, &[3, 4], &[8, 11]));
-    report("grid IE relaxed (Fig. 30)", res, secs, &GRID_RELAXED_SOLUTION);
+    report(
+        "grid IE relaxed (Fig. 30)",
+        res,
+        secs,
+        &GRID_RELAXED_SOLUTION,
+    );
 
     let (res, secs) = timed(|| synthesize(&SycamoreIeRelaxedSketch, &[4, 6], &[10, 16]));
     report(

@@ -1,92 +1,96 @@
 //! Table 1: ours vs SATMAP-substitute (optimal A*) vs SABRE across
 //! Sycamore 2×2 / 4×4 / 6×6, heavy-hex 2×5 / 4×5 / 6×5, and lattice
-//! surgery 10×10 / 20×20 / 30×30.
+//! surgery 10×10 / 20×20 / 30×30 — all driven through the registry
+//! pipeline.
 //!
 //! `--fast` limits lattice surgery to 10×10 and shortens the optimal
 //! budget; `--optimal-secs <n>` overrides the search deadline (the paper
 //! used 2 hours).
 
-use qft_baselines::optimal::{optimal_compile, OptimalConfig, OptimalResult};
-use qft_baselines::sabre::{sabre_qft, SabreConfig};
-use qft_bench::{has_flag, print_table, timed, write_json, Row};
-use qft_core::Backend;
-use qft_ir::dag::{CircuitDag, DagMode};
-use qft_ir::qft::qft_circuit;
-use qft_sim::symbolic::verify_qft_mapping;
-use std::time::Duration;
+use qft_bench::{has_flag, print_table, write_json, Row};
+use qft_kernels::{registry, CompileOptions, LatencyModel, Target, TargetSpec};
 
-fn optimal_budget() -> Duration {
+fn optimal_budget_s() -> f64 {
     let mut args = std::env::args();
     while let Some(a) = args.next() {
         if a == "--optimal-secs" {
             if let Some(v) = args.next().and_then(|v| v.parse::<u64>().ok()) {
-                return Duration::from_secs(v);
+                return v as f64;
             }
         }
     }
     if has_flag("--fast") {
-        Duration::from_secs(2)
+        2.0
     } else {
-        Duration::from_secs(15)
+        15.0
     }
 }
 
 fn main() {
     let fast = has_flag("--fast");
-    let budget = optimal_budget();
-    let mut configs: Vec<Backend> = vec![
-        Backend::Sycamore(2),
-        Backend::Sycamore(4),
-        Backend::Sycamore(6),
-        Backend::HeavyHexGroups(2),
-        Backend::HeavyHexGroups(4),
-        Backend::HeavyHexGroups(6),
-        Backend::LatticeSurgery(10),
+    let budget_s = optimal_budget_s();
+    let mut targets: Vec<Target> = vec![
+        Target::sycamore(2).unwrap(),
+        Target::sycamore(4).unwrap(),
+        Target::sycamore(6).unwrap(),
+        Target::heavy_hex_groups(2).unwrap(),
+        Target::heavy_hex_groups(4).unwrap(),
+        Target::heavy_hex_groups(6).unwrap(),
+        Target::lattice_surgery(10).unwrap(),
     ];
     if !fast {
-        configs.push(Backend::LatticeSurgery(20));
-        configs.push(Backend::LatticeSurgery(30));
+        targets.push(Target::lattice_surgery(20).unwrap());
+        targets.push(Target::lattice_surgery(30).unwrap());
     }
 
+    let verified = CompileOptions::verified();
     let mut rows = Vec::new();
-    for b in &configs {
-        let graph = b.graph();
-        let n = b.n_qubits();
-        let arch = graph.name().to_string();
+    for t in &targets {
+        let n = t.n_qubits();
 
         // Ours (analytical — the "CT" is pure schedule emission).
-        let (mc, secs) = timed(|| b.compile_qft());
-        verify_qft_mapping(&mc, &graph).expect("ours must verify");
-        rows.push(Row::from_circuit(&arch, "ours", &graph, &mc, secs));
+        let ours = t.native_compiler().expect("paper target");
+        let r = registry()
+            .compile(ours, t, &verified)
+            .expect("ours must verify");
+        let mut row = Row::from_result(&r);
+        row.compiler = "ours".into();
+        rows.push(row);
 
         // Optimal search (SATMAP substitute), tiny instances only by TLE.
-        let dag = CircuitDag::build(&qft_circuit(n), DagMode::Strict);
         if n <= 16 {
-            let cfg = OptimalConfig { deadline: budget, max_nodes: u64::MAX };
-            let (res, secs) = timed(|| optimal_compile(&dag, &graph, &cfg));
-            match res {
-                OptimalResult::Solved { circuit, .. } => {
-                    verify_qft_mapping(&circuit, &graph).expect("optimal must verify");
-                    rows.push(Row::from_circuit(&arch, "optimal", &graph, &circuit, secs));
-                }
-                OptimalResult::TimedOut { .. } => {
-                    rows.push(Row::tle(&arch, "optimal", n, secs));
-                }
+            let opts = CompileOptions {
+                deadline_s: budget_s,
+                max_nodes: u64::MAX,
+                ..verified.clone()
+            };
+            match registry().compile("optimal", t, &opts) {
+                Ok(r) => rows.push(Row::from_result(&r)),
+                Err(e) => rows.push(Row::from_error(t.name(), "optimal", n, &e)),
             }
         } else {
             // The paper reports TLE (2 h) everywhere beyond ~10 qubits; we
             // don't spin the CPU to prove the obvious at 100+ qubits.
-            rows.push(Row::tle(&arch, "optimal", n, budget.as_secs_f64()));
+            rows.push(Row::tle(t.name(), "optimal", n, budget_s));
         }
 
         // SABRE. On lattice surgery the paper charges SABRE uniform
         // (all-links-equal) latencies since it cannot express
         // heterogeneity (§7.2) — the concession that favours SABRE.
-        let (mc, secs) = timed(|| sabre_qft(n, &graph, DagMode::Strict, &SabreConfig::default()));
-        verify_qft_mapping(&mc, &graph).expect("sabre must verify");
-        let mut row = Row::from_circuit(&arch, "sabre", &graph, &mc, secs);
-        if matches!(b, Backend::LatticeSurgery(_)) {
-            row.depth = mc.depth_uniform();
+        let lattice = matches!(t.spec(), TargetSpec::LatticeSurgery { .. });
+        let opts = CompileOptions {
+            latency: if lattice {
+                LatencyModel::Uniform
+            } else {
+                LatencyModel::TargetDefault
+            },
+            ..verified.clone()
+        };
+        let r = registry()
+            .compile("sabre", t, &opts)
+            .expect("sabre must verify");
+        let mut row = Row::from_result(&r);
+        if lattice {
             row.note = "uniform-latency depth".into();
         }
         rows.push(row);

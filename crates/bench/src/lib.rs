@@ -5,11 +5,15 @@
 //! `ablation_relaxed`, `synth_patterns`. Each prints the paper's
 //! rows/series and writes machine-readable JSON under
 //! `target/experiments/`.
+//!
+//! Every binary drives compilers through the pipeline API: targets are
+//! validated [`qft_core::Target`]s, compilers are resolved by name from
+//! [`qft_kernels::registry`], and rows are built from
+//! [`CompileResult`]s via [`Row::from_result`].
 
 #![warn(missing_docs)]
 
-use qft_arch::graph::CouplingGraph;
-use qft_ir::circuit::MappedCircuit;
+use qft_core::{CompileError, CompileResult};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -18,7 +22,8 @@ use std::time::Instant;
 pub struct Row {
     /// Architecture name (e.g. `sycamore-6x6`).
     pub arch: String,
-    /// Compiler name (`ours`, `sabre`, `optimal`, `lnn-path`).
+    /// Compiler name (`lnn`, `sycamore`, `heavyhex`, `lattice`, `sabre`,
+    /// `optimal`, `lnn-path`).
     pub compiler: String,
     /// Number of logical qubits.
     pub n: usize,
@@ -33,22 +38,34 @@ pub struct Row {
 }
 
 impl Row {
-    /// Builds a row by costing `mc` on `graph`.
-    pub fn from_circuit(
-        arch: &str,
-        compiler: &str,
-        graph: &CouplingGraph,
-        mc: &MappedCircuit,
-        compile_s: f64,
-    ) -> Row {
+    /// Builds a row from a pipeline [`CompileResult`].
+    pub fn from_result(r: &CompileResult) -> Row {
         Row {
-            arch: arch.to_string(),
-            compiler: compiler.to_string(),
-            n: mc.n_logical(),
-            depth: graph.depth_of(mc),
-            swaps: mc.swap_count(),
-            compile_s,
-            note: String::new(),
+            arch: r.target.clone(),
+            compiler: r.compiler.clone(),
+            n: r.n,
+            depth: r.metrics.depth,
+            swaps: r.metrics.swaps,
+            compile_s: r.compile_s,
+            note: r.note.clone(),
+        }
+    }
+
+    /// A row for a failed compile: timeouts become the paper's "TLE" rows
+    /// (recording the wall-clock actually spent, as the seed harness did),
+    /// everything else records the error message as the note.
+    pub fn from_error(arch: &str, compiler: &str, n: usize, err: &CompileError) -> Row {
+        match *err {
+            CompileError::Timeout { elapsed_s, .. } => Row::tle(arch, compiler, n, elapsed_s),
+            ref other => Row {
+                arch: arch.to_string(),
+                compiler: compiler.to_string(),
+                n,
+                depth: 0,
+                swaps: 0,
+                compile_s: 0.0,
+                note: other.to_string(),
+            },
         }
     }
 
@@ -70,8 +87,8 @@ impl Row {
 pub fn print_table(title: &str, rows: &[Row]) {
     println!("\n## {title}");
     println!(
-        "{:<24} {:<10} {:>6} {:>10} {:>10} {:>10}  {}",
-        "architecture", "compiler", "N", "depth", "#SWAP", "CT(s)", "note"
+        "{:<24} {:<10} {:>6} {:>10} {:>10} {:>10}  note",
+        "architecture", "compiler", "N", "depth", "#SWAP", "CT(s)"
     );
     for r in rows {
         if r.note == "TLE" {
@@ -113,6 +130,7 @@ pub fn has_flag(flag: &str) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qft_core::{CompileOptions, Registry, Target};
 
     #[test]
     fn timed_measures_something() {
@@ -125,5 +143,32 @@ mod tests {
     fn tle_row_has_note() {
         let r = Row::tle("x", "optimal", 10, 2.0);
         assert_eq!(r.note, "TLE");
+    }
+
+    #[test]
+    fn row_from_result_copies_the_paper_columns() {
+        let t = Target::lnn(8).unwrap();
+        let res = Registry::with_core()
+            .compile("lnn", &t, &CompileOptions::default())
+            .unwrap();
+        let row = Row::from_result(&res);
+        assert_eq!(row.arch, "lnn-8");
+        assert_eq!(row.compiler, "lnn");
+        assert_eq!(row.n, 8);
+        assert_eq!(row.depth, res.metrics.depth);
+        assert_eq!(row.swaps, res.metrics.swaps);
+    }
+
+    #[test]
+    fn row_from_error_maps_timeouts_to_tle() {
+        let err = CompileError::Timeout {
+            compiler: "optimal".into(),
+            budget_s: 2.0,
+            elapsed_s: 1.7,
+            nodes: 123,
+        };
+        let row = Row::from_error("x", "optimal", 10, &err);
+        assert_eq!(row.note, "TLE");
+        assert_eq!(row.compile_s, 1.7, "TLE rows record elapsed, not budget");
     }
 }

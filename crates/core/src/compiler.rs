@@ -1,14 +1,23 @@
-//! One-call façade over the four backend compilers.
+//! The legacy one-call façade, kept as a thin shim over the pipeline API.
+//!
+//! [`Backend`] predates the open [`Target`](crate::Target) /
+//! [`QftCompiler`](crate::QftCompiler) pipeline: a closed enum of the four
+//! paper devices with infallible compile calls. It now delegates to the new
+//! API and will be removed once nothing depends on it — new code should
+//! construct a [`Target`](crate::Target) and resolve a compiler through the
+//! registry instead.
 
-use crate::{compile_heavyhex, compile_lattice, compile_lnn, compile_sycamore};
+use crate::pipeline::CompileOptions;
+use crate::target::Target;
 use qft_arch::graph::CouplingGraph;
-use qft_arch::heavyhex::HeavyHex;
-use qft_arch::lattice::LatticeSurgery;
-use qft_arch::sycamore::Sycamore;
 use qft_ir::circuit::MappedCircuit;
 use qft_ir::metrics::Metrics;
 
 /// A backend the domain-specific QFT compiler supports.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Target` + `QftCompiler` (e.g. `qft_kernels::registry().get(\"lattice\")`) instead"
+)]
 #[derive(Debug, Clone)]
 pub enum Backend {
     /// A line of `n` qubits.
@@ -21,7 +30,24 @@ pub enum Backend {
     LatticeSurgery(usize),
 }
 
+#[allow(deprecated)]
 impl Backend {
+    /// The equivalent validated [`Target`].
+    ///
+    /// # Panics
+    /// Panics on parameters the old API silently mis-compiled (odd Sycamore
+    /// `m`, zero heavy-hex groups, …) — the new constructors report these
+    /// as [`crate::CompileError::InvalidTarget`].
+    pub fn target(&self) -> Target {
+        let t = match *self {
+            Backend::Lnn(n) => Target::lnn(n),
+            Backend::Sycamore(m) => Target::sycamore(m),
+            Backend::HeavyHexGroups(g) => Target::heavy_hex_groups(g),
+            Backend::LatticeSurgery(m) => Target::lattice_surgery(m),
+        };
+        t.unwrap_or_else(|e| panic!("{self:?}: {e}"))
+    }
+
     /// Total number of qubits this backend holds.
     pub fn n_qubits(&self) -> usize {
         match *self {
@@ -34,36 +60,40 @@ impl Backend {
 
     /// The coupling graph of this backend.
     pub fn graph(&self) -> CouplingGraph {
-        match *self {
-            Backend::Lnn(n) => qft_arch::lnn::lnn(n),
-            Backend::Sycamore(m) => Sycamore::new(m).graph().clone(),
-            Backend::HeavyHexGroups(g) => HeavyHex::groups(g).graph().clone(),
-            Backend::LatticeSurgery(m) => LatticeSurgery::new(m).graph().clone(),
-        }
+        self.target().graph().clone()
+    }
+
+    /// One pipeline compile with the default options (which reproduce the
+    /// old façade's behaviour exactly).
+    fn run_pipeline(&self) -> crate::CompileResult {
+        let target = self.target();
+        let mapper: &dyn crate::QftCompiler = match *self {
+            Backend::Lnn(_) => &crate::pipeline::LnnMapper,
+            Backend::Sycamore(_) => &crate::pipeline::SycamoreMapper,
+            Backend::HeavyHexGroups(_) => &crate::pipeline::HeavyHexMapper,
+            Backend::LatticeSurgery(_) => &crate::pipeline::LatticeMapper,
+        };
+        mapper
+            .compile(&target, &CompileOptions::default())
+            .unwrap_or_else(|e| panic!("{self:?}: {e}"))
     }
 
     /// Compiles the full-device QFT kernel. No per-instance search happens:
     /// this is the paper's *analytical* mapping, so "compile time" is just
     /// schedule emission.
     pub fn compile_qft(&self) -> MappedCircuit {
-        match *self {
-            Backend::Lnn(n) => compile_lnn(n),
-            Backend::Sycamore(m) => compile_sycamore(&Sycamore::new(m)),
-            Backend::HeavyHexGroups(g) => compile_heavyhex(&HeavyHex::groups(g)),
-            Backend::LatticeSurgery(m) => compile_lattice(&LatticeSurgery::new(m)),
-        }
+        self.run_pipeline().circuit
     }
 
     /// Compiles and reports metrics with this backend's link latencies.
     pub fn compile_qft_with_metrics(&self) -> (MappedCircuit, Metrics) {
-        let graph = self.graph();
-        let mc = self.compile_qft();
-        let m = graph.metrics_of(&mc);
-        (mc, m)
+        let r = self.run_pipeline();
+        (r.circuit, r.metrics)
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use qft_sim::symbolic::verify_qft_mapping;
@@ -85,5 +115,18 @@ mod tests {
             assert_eq!(m.hadamards, m.n);
             assert!(m.depth > 0);
         }
+    }
+
+    #[test]
+    fn shim_matches_pipeline_output_exactly() {
+        // The deprecated façade must stay byte-identical to the pipeline.
+        let b = Backend::HeavyHexGroups(3);
+        let via_shim = b.compile_qft();
+        let via_pipeline = crate::Registry::with_core()
+            .compile("heavyhex", &b.target(), &CompileOptions::default())
+            .unwrap()
+            .circuit;
+        assert_eq!(via_shim.ops(), via_pipeline.ops());
+        assert_eq!(via_shim.initial_layout(), via_pipeline.initial_layout());
     }
 }

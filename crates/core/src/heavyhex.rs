@@ -109,7 +109,9 @@ pub fn compile_heavyhex(hh: &HeavyHex) -> MappedCircuit {
 
         if cphases.is_empty() && swaps.is_empty() && hs.is_empty() {
             let (pairs, total, acts) = prog.status();
-            let line: Vec<u32> = (0..n_main).map(|i| logical_at(&builder, hh.main(i))).collect();
+            let line: Vec<u32> = (0..n_main)
+                .map(|i| logical_at(&builder, hh.main(i)))
+                .collect();
             let dang: Vec<(usize, u32)> = hh
                 .dangler_positions()
                 .iter()
@@ -142,9 +144,7 @@ pub fn compile_heavyhex(hh: &HeavyHex) -> MappedCircuit {
         }
     }
     let (pairs, total, acts) = prog.status();
-    panic!(
-        "heavy-hex schedule exceeded {max_layers} layers: {pairs}/{total} pairs, {acts}/{n} H"
-    );
+    panic!("heavy-hex schedule exceeded {max_layers} layers: {pairs}/{total} pairs, {acts}/{n} H");
 }
 
 #[cfg(test)]

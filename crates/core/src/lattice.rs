@@ -74,7 +74,11 @@ pub fn compile_lattice_with(l: &LatticeSurgery, ie: IeMode) -> MappedCircuit {
             }
         }
     }
-    assert!(prog.complete(), "lattice compile incomplete: {:?}", prog.status());
+    assert!(
+        prog.complete(),
+        "lattice compile incomplete: {:?}",
+        prog.status()
+    );
     builder.finish()
 }
 
@@ -176,23 +180,22 @@ fn qft_ie_strict(
     let m = l.m;
     let bot = top + 1;
 
-    let fire_columns =
-        |builder: &mut MappedCircuitBuilder, prog: &mut QftProgress, end: usize| {
-            for c in 0..end.min(m) {
-                let (pa, pb) = (l.at(top, c), l.at(bot, c));
-                let la = builder.layout().logical(pa).unwrap().0;
-                let lb = builder.layout().logical(pb).unwrap().0;
-                if prog.cphase_eligible(la, lb) {
-                    let k = rotation_order(la, lb);
-                    builder.push_2q_phys(GateKind::Cphase { k }, pa, pb);
-                    prog.mark_pair(la, lb);
-                }
+    let fire_columns = |builder: &mut MappedCircuitBuilder, prog: &mut QftProgress, end: usize| {
+        for c in 0..end.min(m) {
+            let (pa, pb) = (l.at(top, c), l.at(bot, c));
+            let la = builder.layout().logical(pa).unwrap().0;
+            let lb = builder.layout().logical(pb).unwrap().0;
+            if prog.cphase_eligible(la, lb) {
+                let k = rotation_order(la, lb);
+                builder.push_2q_phys(GateKind::Cphase { k }, pa, pb);
+                prog.mark_pair(la, lb);
             }
-        };
+        }
+    };
     // Swap pairs (j, j+1) for j = beg, beg+2, … while j+1 ≤ end.
     let swap_row = |builder: &mut MappedCircuitBuilder, r: usize, beg: i64, end: i64| {
         let mut j = beg.max(0);
-        while j + 1 <= end && ((j + 1) as usize) < m {
+        while j < end && ((j + 1) as usize) < m {
             builder.push_swap_phys(l.at(r, j as usize), l.at(r, (j + 1) as usize));
             j += 2;
         }

@@ -110,7 +110,10 @@ impl LineSchedule {
 pub fn line_qft_schedule(n: usize) -> LineSchedule {
     let mut layers: Vec<LineLayer> = Vec::new();
     if n == 0 {
-        return LineSchedule { layers, final_order: Vec::new() };
+        return LineSchedule {
+            layers,
+            final_order: Vec::new(),
+        };
     }
     // at[pos] = item; pos_of[item] = pos.
     let mut at: Vec<usize> = (0..n).collect();
@@ -129,7 +132,12 @@ pub fn line_qft_schedule(n: usize) -> LineSchedule {
             let (a, b) = (at[i], at[i + 1]);
             let (lo, hi) = if a < b { (a, b) } else { (b, a) };
             if !pair_done.get(lo, hi) && activated[lo] {
-                layer.push(LineOp::Interact { lo, hi, pos_lo: if a == lo { i } else { i + 1 }, pos_hi: if a == hi { i } else { i + 1 } });
+                layer.push(LineOp::Interact {
+                    lo,
+                    hi,
+                    pos_lo: if a == lo { i } else { i + 1 },
+                    pos_hi: if a == hi { i } else { i + 1 },
+                });
                 pair_done.set(lo, hi);
                 low_done[hi] += 1;
                 n_pairs_done += 1;
@@ -137,7 +145,12 @@ pub fn line_qft_schedule(n: usize) -> LineSchedule {
                 busy[i + 1] = true;
                 i += 2;
             } else if pair_done.get(lo, hi) && a < b {
-                layer.push(LineOp::Swap { a, b, pos_left: i, pos_right: i + 1 });
+                layer.push(LineOp::Swap {
+                    a,
+                    b,
+                    pos_left: i,
+                    pos_right: i + 1,
+                });
                 at.swap(i, i + 1);
                 busy[i] = true;
                 busy[i + 1] = true;
@@ -160,7 +173,10 @@ pub fn line_qft_schedule(n: usize) -> LineSchedule {
         );
         layers.push(layer);
     }
-    LineSchedule { layers, final_order: at }
+    LineSchedule {
+        layers,
+        final_order: at,
+    }
 }
 
 /// Compact triangular bitset over unordered pairs.
@@ -172,8 +188,11 @@ pub(crate) struct PairSet {
 
 impl PairSet {
     pub(crate) fn new(n: usize) -> Self {
-        let words = (n * n + 63) / 64;
-        PairSet { n, bits: vec![0; words] }
+        let words = (n * n).div_ceil(64);
+        PairSet {
+            n,
+            bits: vec![0; words],
+        }
     }
 
     #[inline]
@@ -223,7 +242,12 @@ mod tests {
                         assert!(!act[item]);
                         act[item] = true;
                     }
-                    LineOp::Interact { lo, hi, pos_lo, pos_hi } => {
+                    LineOp::Interact {
+                        lo,
+                        hi,
+                        pos_lo,
+                        pos_hi,
+                    } => {
                         assert_eq!(at[pos_lo], lo);
                         assert_eq!(at[pos_hi], hi);
                         assert_eq!(pos_lo.abs_diff(pos_hi), 1, "non-adjacent interaction");
@@ -234,7 +258,12 @@ mod tests {
                         assert!(!done.get(lo, hi), "duplicate pair");
                         done.set(lo, hi);
                     }
-                    LineOp::Swap { a, b, pos_left, pos_right } => {
+                    LineOp::Swap {
+                        a,
+                        b,
+                        pos_left,
+                        pos_right,
+                    } => {
                         assert_eq!(pos_right, pos_left + 1);
                         assert_eq!(at[pos_left], a);
                         assert_eq!(at[pos_right], b);
@@ -246,8 +275,8 @@ mod tests {
             }
         }
         // Coverage.
-        for lo in 0..n {
-            assert!(act[lo], "item {lo} never activated");
+        for (lo, &active) in act.iter().enumerate() {
+            assert!(active, "item {lo} never activated");
             for hi in lo + 1..n {
                 assert!(done.get(lo, hi), "pair ({lo},{hi}) missing");
             }

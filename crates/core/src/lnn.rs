@@ -41,10 +41,10 @@ pub fn run_line_qft(
         PathOrder::Ascending => pos,
         PathOrder::Descending => len - 1 - pos,
     };
-    for pos in 0..len {
+    for (pos, &phys) in path.iter().enumerate() {
         let expect = logical_of_item(item_pos(pos));
         debug_assert_eq!(
-            builder.layout().logical(path[pos]),
+            builder.layout().logical(phys),
             Some(expect),
             "path position {pos} does not hold {expect}"
         );
@@ -58,7 +58,12 @@ pub fn run_line_qft(
                     let _ = item;
                     builder.push_1q_phys(GateKind::H, path[item_pos_inv(pos, order, len)]);
                 }
-                LineOp::Interact { lo, hi, pos_lo, pos_hi } => {
+                LineOp::Interact {
+                    lo,
+                    hi,
+                    pos_lo,
+                    pos_hi,
+                } => {
                     let (a, b) = (
                         path[item_pos_inv(pos_lo, order, len)],
                         path[item_pos_inv(pos_hi, order, len)],
@@ -66,7 +71,11 @@ pub fn run_line_qft(
                     let k = rotation_order(base + lo as u32, base + hi as u32);
                     builder.push_2q_phys(GateKind::Cphase { k }, a, b);
                 }
-                LineOp::Swap { pos_left, pos_right, .. } => {
+                LineOp::Swap {
+                    pos_left,
+                    pos_right,
+                    ..
+                } => {
                     builder.push_swap_phys(
                         path[item_pos_inv(pos_left, order, len)],
                         path[item_pos_inv(pos_right, order, len)],
@@ -154,8 +163,9 @@ mod tests {
     fn descending_orientation_works() {
         // Place qubits descending on the path, run, verify.
         let n = 7;
-        let phys_of: Vec<PhysicalQubit> =
-            (0..n as u32).map(|l| PhysicalQubit(n as u32 - 1 - l)).collect();
+        let phys_of: Vec<PhysicalQubit> = (0..n as u32)
+            .map(|l| PhysicalQubit(n as u32 - 1 - l))
+            .collect();
         let lay = Layout::from_assignment(phys_of, n);
         let mut b = MappedCircuitBuilder::new(lay);
         let path: Vec<PhysicalQubit> = (0..n as u32).map(PhysicalQubit).collect();

@@ -1,0 +1,539 @@
+//! The open compilation pipeline: [`QftCompiler`] trait, [`CompileOptions`],
+//! [`CompileResult`], and [`CompileError`].
+//!
+//! Every compiler — the paper's four analytical mappers here, and the
+//! search-based baselines in `qft-baselines` — implements the same
+//! `compile(&Target, &CompileOptions) -> Result<CompileResult, _>` contract,
+//! so the bench harness, examples, and any future serving layer drive them
+//! interchangeably (resolved by name through a
+//! [`Registry`](crate::registry::Registry)).
+
+use crate::target::{Target, TargetSpec};
+use crate::{compile_heavyhex, compile_lattice_with, compile_lnn, compile_sycamore, IeMode};
+use qft_ir::circuit::MappedCircuit;
+use qft_ir::dag::DagMode;
+use qft_ir::metrics::Metrics;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Instant;
+
+/// How depth/metrics are accounted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LatencyModel {
+    /// Use the target's per-link latency classes (heterogeneous on the FT
+    /// lattice; equal to uniform on NISQ backends). The default — matches
+    /// the old `Backend::compile_qft_with_metrics`.
+    #[default]
+    TargetDefault,
+    /// Charge every gate one cycle regardless of link class — the paper's
+    /// concession to latency-blind baselines (§7.2).
+    Uniform,
+}
+
+/// How much checking to run on the compiled kernel before returning it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyLevel {
+    /// Trust the compiler (fastest; the old façade's behaviour).
+    #[default]
+    None,
+    /// Run the scalable symbolic verifier (adjacency, SWAP-replay layout
+    /// consistency, QFT interaction semantics). Works at thousands of
+    /// qubits.
+    Symbolic,
+}
+
+/// Options shared by every compiler. Compilers ignore knobs that do not
+/// apply to them and reject (with [`CompileError::UnsupportedOption`]) the
+/// ones they cannot honor.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Approximate-QFT truncation: drop `R_k` rotations with `k` above this
+    /// degree. Only the search-based compilers (which consume a logical
+    /// circuit) support this; the analytical mappers emit full-QFT
+    /// schedules and reject it.
+    pub approximation: Option<u32>,
+    /// Depth/metrics accounting.
+    pub latency: LatencyModel,
+    /// Post-compile checking.
+    pub verify: VerifyLevel,
+    /// Dependency-DAG mode for search-based compilers (§3.1's strict vs
+    /// relaxed ablation).
+    pub dag_mode: DagMode,
+    /// RNG seed for stochastic compilers (SABRE).
+    pub seed: u64,
+    /// Start stochastic compilers from a random initial layout instead of
+    /// the identity.
+    pub random_initial: bool,
+    /// Wall-clock budget in seconds for bounded searches (optimal A*).
+    pub deadline_s: f64,
+    /// Node budget for bounded searches (optimal A*).
+    pub max_nodes: u64,
+    /// Inter-unit interaction schedule on the lattice mapper (§3.3).
+    pub ie_mode: IeMode,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            approximation: None,
+            latency: LatencyModel::TargetDefault,
+            verify: VerifyLevel::None,
+            dag_mode: DagMode::Strict,
+            seed: 0,
+            random_initial: false,
+            deadline_s: 10.0,
+            max_nodes: 20_000_000,
+            ie_mode: IeMode::Relaxed,
+        }
+    }
+}
+
+impl CompileOptions {
+    /// Options with symbolic verification switched on.
+    pub fn verified() -> Self {
+        CompileOptions {
+            verify: VerifyLevel::Symbolic,
+            ..Default::default()
+        }
+    }
+
+    /// Builder-style: set the verification level.
+    pub fn with_verify(mut self, verify: VerifyLevel) -> Self {
+        self.verify = verify;
+        self
+    }
+
+    /// Builder-style: set the latency model.
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Builder-style: set the DAG mode for search-based compilers.
+    pub fn with_dag_mode(mut self, dag_mode: DagMode) -> Self {
+        self.dag_mode = dag_mode;
+        self
+    }
+
+    /// Builder-style: set the stochastic seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Everything that can go wrong in the pipeline.
+#[derive(Debug, Clone)]
+pub enum CompileError {
+    /// Device parameters describe no valid target.
+    InvalidTarget {
+        /// What was wrong.
+        reason: String,
+    },
+    /// The compiler does not handle this device family.
+    UnsupportedTarget {
+        /// Compiler name.
+        compiler: String,
+        /// Target name.
+        target: String,
+        /// Why it cannot compile for it.
+        reason: String,
+    },
+    /// An option was set that this compiler cannot honor.
+    UnsupportedOption {
+        /// Compiler name.
+        compiler: String,
+        /// The offending option and why.
+        option: String,
+    },
+    /// A bounded search ran out of budget (the paper's "TLE").
+    Timeout {
+        /// Compiler name.
+        compiler: String,
+        /// The configured wall-clock budget.
+        budget_s: f64,
+        /// Wall-clock seconds actually spent before giving up (can be far
+        /// below `budget_s` when the node budget ran out first).
+        elapsed_s: f64,
+        /// Search nodes expanded before giving up.
+        nodes: u64,
+    },
+    /// The compiled kernel failed post-compile verification.
+    Verification {
+        /// Compiler name.
+        compiler: String,
+        /// The verifier's report.
+        report: String,
+    },
+    /// No compiler with this name is registered.
+    UnknownCompiler {
+        /// The requested name.
+        name: String,
+        /// Names that are registered.
+        available: Vec<String>,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::InvalidTarget { reason } => write!(f, "invalid target: {reason}"),
+            CompileError::UnsupportedTarget {
+                compiler,
+                target,
+                reason,
+            } => {
+                write!(f, "{compiler} cannot compile for {target}: {reason}")
+            }
+            CompileError::UnsupportedOption { compiler, option } => {
+                write!(f, "{compiler} does not support option: {option}")
+            }
+            CompileError::Timeout {
+                compiler,
+                budget_s,
+                elapsed_s,
+                nodes,
+            } => {
+                write!(
+                    f,
+                    "{compiler} gave up after {elapsed_s:.2}s ({nodes} nodes expanded, \
+                     budget {budget_s}s)"
+                )
+            }
+            CompileError::Verification { compiler, report } => {
+                write!(f, "{compiler} produced an invalid kernel: {report}")
+            }
+            CompileError::UnknownCompiler { name, available } => {
+                write!(
+                    f,
+                    "unknown compiler '{name}' (available: {})",
+                    available.join(", ")
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// The compiler output artifact: mapped circuit, cost metrics, provenance,
+/// wall-clock compile time, and on-demand QASM export.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompileResult {
+    /// Name of the compiler that produced this result.
+    pub compiler: String,
+    /// Architecture name of the target (e.g. `sycamore-6x6`).
+    pub target: String,
+    /// Number of logical qubits.
+    pub n: usize,
+    /// Cost metrics under the requested latency model.
+    pub metrics: Metrics,
+    /// Wall-clock compile time in seconds.
+    pub compile_s: f64,
+    /// Free-form annotation (e.g. accounting concessions).
+    pub note: String,
+    /// The hardware-mapped circuit itself.
+    pub circuit: MappedCircuit,
+}
+
+impl CompileResult {
+    /// OpenQASM 2.0 text of the mapped circuit. Generated lazily — the
+    /// export walks the op stream only when asked for.
+    pub fn qasm(&self) -> String {
+        qft_ir::qasm::mapped_to_qasm(&self.circuit)
+    }
+
+    /// Uniform-latency depth of the circuit (independent of the metrics'
+    /// latency model).
+    pub fn depth_uniform(&self) -> u64 {
+        self.circuit.depth_uniform()
+    }
+}
+
+/// A QFT kernel compiler: anything that maps the full-device QFT onto a
+/// [`Target`]. Implemented by the paper's four analytical mappers and all
+/// three baselines; open for new compilers without touching this crate.
+pub trait QftCompiler: Send + Sync {
+    /// Registry name (e.g. `"sabre"`).
+    fn name(&self) -> &'static str;
+
+    /// One-line description for listings.
+    fn description(&self) -> &'static str;
+
+    /// Whether this compiler can target `target` at all.
+    fn supports(&self, target: &Target) -> bool {
+        let _ = target;
+        true
+    }
+
+    /// Compiles the full-device QFT kernel for `target` under `opts`.
+    fn compile(
+        &self,
+        target: &Target,
+        opts: &CompileOptions,
+    ) -> Result<CompileResult, CompileError>;
+}
+
+/// Shared post-compile plumbing: optional verification, metrics under the
+/// requested latency model, and result assembly. Every implementation
+/// funnels through here so the artifact semantics stay uniform.
+pub fn finish_result(
+    compiler: &'static str,
+    target: &Target,
+    opts: &CompileOptions,
+    circuit: MappedCircuit,
+    compile_s: f64,
+) -> Result<CompileResult, CompileError> {
+    match opts.verify {
+        VerifyLevel::None => {}
+        VerifyLevel::Symbolic => {
+            if opts.approximation.is_some() {
+                return Err(CompileError::UnsupportedOption {
+                    compiler: compiler.to_string(),
+                    option: "symbolic verification of approximate (truncated) QFT kernels"
+                        .to_string(),
+                });
+            }
+            qft_sim::symbolic::verify_qft_mapping(&circuit, target.graph()).map_err(|e| {
+                CompileError::Verification {
+                    compiler: compiler.to_string(),
+                    report: e.to_string(),
+                }
+            })?;
+        }
+    }
+    let metrics = match opts.latency {
+        LatencyModel::TargetDefault => target.graph().metrics_of(&circuit),
+        LatencyModel::Uniform => Metrics::of(&circuit),
+    };
+    Ok(CompileResult {
+        compiler: compiler.to_string(),
+        target: target.name().to_string(),
+        n: circuit.n_logical(),
+        metrics,
+        compile_s,
+        note: String::new(),
+        circuit,
+    })
+}
+
+/// Rejects the AQFT option for compilers that emit full-QFT schedules.
+fn reject_approximation(compiler: &'static str, opts: &CompileOptions) -> Result<(), CompileError> {
+    if opts.approximation.is_some() {
+        return Err(CompileError::UnsupportedOption {
+            compiler: compiler.to_string(),
+            option: "AQFT truncation (analytical mappers emit full-QFT schedules)".to_string(),
+        });
+    }
+    Ok(())
+}
+
+fn wrong_family(compiler: &'static str, target: &Target, expected: &str) -> CompileError {
+    CompileError::UnsupportedTarget {
+        compiler: compiler.to_string(),
+        target: target.name().to_string(),
+        reason: format!("this analytical mapper only handles {expected} targets"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The paper's four analytical mappers as pipeline compilers.
+// ---------------------------------------------------------------------------
+
+/// The LNN wavefront mapper (§2.2): 4N−6 two-qubit layers on a line.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LnnMapper;
+
+impl QftCompiler for LnnMapper {
+    fn name(&self) -> &'static str {
+        "lnn"
+    }
+
+    fn description(&self) -> &'static str {
+        "analytical LNN wavefront schedule (4N-6 two-qubit layers)"
+    }
+
+    fn supports(&self, target: &Target) -> bool {
+        matches!(target.spec(), TargetSpec::Lnn { .. })
+    }
+
+    fn compile(
+        &self,
+        target: &Target,
+        opts: &CompileOptions,
+    ) -> Result<CompileResult, CompileError> {
+        reject_approximation(self.name(), opts)?;
+        let TargetSpec::Lnn { n } = target.spec() else {
+            return Err(wrong_family(self.name(), target, "LNN"));
+        };
+        let t0 = Instant::now();
+        let mc = compile_lnn(n);
+        finish_result(self.name(), target, opts, mc, t0.elapsed().as_secs_f64())
+    }
+}
+
+/// The Sycamore two-row-unit mapper (§5).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SycamoreMapper;
+
+impl QftCompiler for SycamoreMapper {
+    fn name(&self) -> &'static str {
+        "sycamore"
+    }
+
+    fn description(&self) -> &'static str {
+        "analytical Sycamore two-row-unit mapper (7N + O(sqrt N) depth)"
+    }
+
+    fn supports(&self, target: &Target) -> bool {
+        target.as_sycamore().is_some()
+    }
+
+    fn compile(
+        &self,
+        target: &Target,
+        opts: &CompileOptions,
+    ) -> Result<CompileResult, CompileError> {
+        reject_approximation(self.name(), opts)?;
+        let s = target
+            .as_sycamore()
+            .ok_or_else(|| wrong_family(self.name(), target, "Sycamore"))?;
+        let t0 = Instant::now();
+        let mc = compile_sycamore(s);
+        finish_result(self.name(), target, opts, mc, t0.elapsed().as_secs_f64())
+    }
+}
+
+/// The heavy-hex main-line-plus-danglers mapper (§4).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HeavyHexMapper;
+
+impl QftCompiler for HeavyHexMapper {
+    fn name(&self) -> &'static str {
+        "heavyhex"
+    }
+
+    fn description(&self) -> &'static str {
+        "analytical heavy-hex mapper (5N depth on 4+1 groups, <= 6N general)"
+    }
+
+    fn supports(&self, target: &Target) -> bool {
+        target.as_heavy_hex().is_some()
+    }
+
+    fn compile(
+        &self,
+        target: &Target,
+        opts: &CompileOptions,
+    ) -> Result<CompileResult, CompileError> {
+        reject_approximation(self.name(), opts)?;
+        let hh = target
+            .as_heavy_hex()
+            .ok_or_else(|| wrong_family(self.name(), target, "heavy-hex"))?;
+        let t0 = Instant::now();
+        let mc = compile_heavyhex(hh);
+        finish_result(self.name(), target, opts, mc, t0.elapsed().as_secs_f64())
+    }
+}
+
+/// The lattice-surgery unit mapper (§6), latency-aware by construction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatticeMapper;
+
+impl QftCompiler for LatticeMapper {
+    fn name(&self) -> &'static str {
+        "lattice"
+    }
+
+    fn description(&self) -> &'static str {
+        "analytical lattice-surgery unit mapper (heterogeneous-latency aware)"
+    }
+
+    fn supports(&self, target: &Target) -> bool {
+        target.as_lattice_surgery().is_some()
+    }
+
+    fn compile(
+        &self,
+        target: &Target,
+        opts: &CompileOptions,
+    ) -> Result<CompileResult, CompileError> {
+        reject_approximation(self.name(), opts)?;
+        let l = target
+            .as_lattice_surgery()
+            .ok_or_else(|| wrong_family(self.name(), target, "lattice-surgery"))?;
+        let t0 = Instant::now();
+        let mc = compile_lattice_with(l, opts.ie_mode);
+        finish_result(self.name(), target, opts, mc, t0.elapsed().as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytical_mappers_compile_their_families() {
+        let cases: [(&dyn QftCompiler, Target); 4] = [
+            (&LnnMapper, Target::lnn(8).unwrap()),
+            (&SycamoreMapper, Target::sycamore(4).unwrap()),
+            (&HeavyHexMapper, Target::heavy_hex_groups(2).unwrap()),
+            (&LatticeMapper, Target::lattice_surgery(4).unwrap()),
+        ];
+        for (c, t) in cases {
+            assert!(c.supports(&t), "{} must support {}", c.name(), t.name());
+            let r = c.compile(&t, &CompileOptions::verified()).unwrap();
+            assert_eq!(r.n, t.n_qubits());
+            assert_eq!(r.compiler, c.name());
+            assert_eq!(r.target, t.name());
+            assert_eq!(r.metrics.cphases, r.n * (r.n - 1) / 2);
+            assert!(r.compile_s >= 0.0);
+        }
+    }
+
+    #[test]
+    fn mappers_reject_foreign_targets() {
+        let lattice = Target::lattice_surgery(3).unwrap();
+        let err = SycamoreMapper.compile(&lattice, &CompileOptions::default());
+        assert!(matches!(err, Err(CompileError::UnsupportedTarget { .. })));
+        assert!(!SycamoreMapper.supports(&lattice));
+    }
+
+    #[test]
+    fn mappers_reject_aqft_truncation() {
+        let t = Target::lnn(6).unwrap();
+        let opts = CompileOptions {
+            approximation: Some(3),
+            ..Default::default()
+        };
+        assert!(matches!(
+            LnnMapper.compile(&t, &opts),
+            Err(CompileError::UnsupportedOption { .. })
+        ));
+    }
+
+    #[test]
+    fn lattice_metrics_respect_latency_model() {
+        let t = Target::lattice_surgery(6).unwrap();
+        let weighted = LatticeMapper
+            .compile(&t, &CompileOptions::default())
+            .unwrap();
+        let uniform = LatticeMapper
+            .compile(
+                &t,
+                &CompileOptions::default().with_latency(LatencyModel::Uniform),
+            )
+            .unwrap();
+        assert!(weighted.metrics.depth > uniform.metrics.depth);
+        assert_eq!(weighted.metrics.swaps, uniform.metrics.swaps);
+    }
+
+    #[test]
+    fn qasm_export_is_available_on_demand() {
+        let t = Target::lnn(4).unwrap();
+        let r = LnnMapper.compile(&t, &CompileOptions::default()).unwrap();
+        let qasm = r.qasm();
+        assert!(qasm.starts_with("OPENQASM 2.0;"));
+        assert!(qasm.contains("qreg q[4];"));
+    }
+}

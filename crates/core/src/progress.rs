@@ -96,7 +96,11 @@ impl QftProgress {
 
     /// `(pairs done, total pairs, activations done)` — for stall messages.
     pub fn status(&self) -> (usize, usize, usize) {
-        (self.n_pairs_done, self.n * (self.n - 1) / 2, self.n_activated)
+        (
+            self.n_pairs_done,
+            self.n * (self.n - 1) / 2,
+            self.n_activated,
+        )
     }
 }
 

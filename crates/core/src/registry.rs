@@ -1,0 +1,149 @@
+//! String-addressable compiler registry.
+//!
+//! The registry is the open end of the pipeline: anything implementing
+//! [`QftCompiler`] can be registered under its name and then resolved by
+//! the bench harness, examples, or a serving layer. `qft-core` seeds it
+//! with the paper's four analytical mappers; `qft-baselines` adds SABRE,
+//! the exact-optimal search, and the LNN-path baseline; downstream crates
+//! can keep adding without touching either.
+
+use crate::pipeline::{
+    CompileError, CompileOptions, CompileResult, HeavyHexMapper, LatticeMapper, LnnMapper,
+    QftCompiler, SycamoreMapper,
+};
+use crate::target::Target;
+
+/// An ordered, name-addressable collection of [`QftCompiler`]s.
+#[derive(Default)]
+pub struct Registry {
+    entries: Vec<Box<dyn QftCompiler>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// A registry pre-loaded with the paper's four analytical mappers
+    /// (`lnn`, `sycamore`, `heavyhex`, `lattice`).
+    pub fn with_core() -> Self {
+        let mut r = Registry::new();
+        r.register(Box::new(LnnMapper));
+        r.register(Box::new(SycamoreMapper));
+        r.register(Box::new(HeavyHexMapper));
+        r.register(Box::new(LatticeMapper));
+        r
+    }
+
+    /// Registers a compiler, replacing any previous entry with the same
+    /// name (latest registration wins, enabling overrides).
+    pub fn register(&mut self, compiler: Box<dyn QftCompiler>) {
+        if let Some(slot) = self
+            .entries
+            .iter_mut()
+            .find(|c| c.name() == compiler.name())
+        {
+            *slot = compiler;
+        } else {
+            self.entries.push(compiler);
+        }
+    }
+
+    /// Looks up a compiler by name.
+    pub fn get(&self, name: &str) -> Option<&dyn QftCompiler> {
+        self.entries
+            .iter()
+            .find(|c| c.name() == name)
+            .map(|c| c.as_ref())
+    }
+
+    /// Looks up a compiler by name, with a descriptive error listing the
+    /// registered names on a miss.
+    pub fn resolve(&self, name: &str) -> Result<&dyn QftCompiler, CompileError> {
+        self.get(name).ok_or_else(|| CompileError::UnknownCompiler {
+            name: name.to_string(),
+            available: self.names().iter().map(|s| s.to_string()).collect(),
+        })
+    }
+
+    /// The registered compiler names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|c| c.name()).collect()
+    }
+
+    /// Iterates the registered compilers in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn QftCompiler> {
+        self.entries.iter().map(|c| c.as_ref())
+    }
+
+    /// Number of registered compilers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry has no compilers.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Convenience: resolve `name` and compile in one call.
+    pub fn compile(
+        &self,
+        name: &str,
+        target: &Target,
+        opts: &CompileOptions,
+    ) -> Result<CompileResult, CompileError> {
+        self.resolve(name)?.compile(target, opts)
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_registry_has_the_four_mappers() {
+        let r = Registry::with_core();
+        assert_eq!(r.names(), vec!["lnn", "sycamore", "heavyhex", "lattice"]);
+        assert!(r.get("lnn").is_some());
+        assert!(r.get("sabre").is_none());
+    }
+
+    #[test]
+    fn resolve_miss_lists_available() {
+        let r = Registry::with_core();
+        let err = match r.resolve("nope") {
+            Ok(_) => panic!("resolve must miss"),
+            Err(e) => e.to_string(),
+        };
+        assert!(err.contains("nope") && err.contains("sycamore"), "{err}");
+    }
+
+    #[test]
+    fn register_replaces_same_name() {
+        let mut r = Registry::with_core();
+        let before = r.len();
+        r.register(Box::new(crate::pipeline::LnnMapper));
+        assert_eq!(r.len(), before);
+    }
+
+    #[test]
+    fn registry_compile_convenience() {
+        let r = Registry::with_core();
+        let t = Target::lnn(6).unwrap();
+        let res = r.compile("lnn", &t, &CompileOptions::default()).unwrap();
+        assert_eq!(res.n, 6);
+        assert!(r.compile("sabre", &t, &CompileOptions::default()).is_err());
+    }
+}

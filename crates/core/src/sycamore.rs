@@ -61,13 +61,22 @@ pub fn compile_sycamore(s: &Sycamore) -> MappedCircuit {
             }
         }
     }
-    assert!(prog.complete(), "Sycamore compile incomplete: {:?}", prog.status());
+    assert!(
+        prog.complete(),
+        "Sycamore compile incomplete: {:?}",
+        prog.status()
+    );
     builder.finish()
 }
 
 /// Detects whether physical unit `u` currently holds logical block `block`
 /// ascending or descending along its line.
-fn unit_orientation(s: &Sycamore, builder: &MappedCircuitBuilder, block: u32, u: usize) -> PathOrder {
+fn unit_orientation(
+    s: &Sycamore,
+    builder: &MappedCircuitBuilder,
+    block: u32,
+    u: usize,
+) -> PathOrder {
     let ul = s.unit_len();
     let base = block * ul as u32;
     let first = builder

@@ -36,7 +36,9 @@ pub fn column_snake(top: &[PhysicalQubit], bot: &[PhysicalQubit]) -> Vec<Physica
 /// `qft_arch::grid::Grid::new(2, cols)`.
 pub fn compile_two_row(cols: usize) -> MappedCircuit {
     let top: Vec<PhysicalQubit> = (0..cols as u32).map(PhysicalQubit).collect();
-    let bot: Vec<PhysicalQubit> = (0..cols as u32).map(|c| PhysicalQubit(cols as u32 + c)).collect();
+    let bot: Vec<PhysicalQubit> = (0..cols as u32)
+        .map(|c| PhysicalQubit(cols as u32 + c))
+        .collect();
     let path = column_snake(&top, &bot);
     let layout = Layout::from_assignment(path.clone(), 2 * cols);
     let mut builder = MappedCircuitBuilder::new(layout);
@@ -79,7 +81,13 @@ pub fn compile_two_row_interleaved(cols: usize) -> MappedCircuit {
             let (pa, pb) = (at(0, c), at(1, c));
             let (la, lb) = (logical(&b, pa), logical(&b, pb));
             if prog.cphase_eligible(la, lb) {
-                b.push_2q_phys(GateKind::Cphase { k: rotation_order(la, lb) }, pa, pb);
+                b.push_2q_phys(
+                    GateKind::Cphase {
+                        k: rotation_order(la, lb),
+                    },
+                    pa,
+                    pb,
+                );
                 prog.mark_pair(la, lb);
             }
         }
@@ -90,7 +98,13 @@ pub fn compile_two_row_interleaved(cols: usize) -> MappedCircuit {
                 let (pa, pb) = (at(r, c), at(r, c + 1));
                 let (la, lb) = (logical(&b, pa), logical(&b, pb));
                 if prog.cphase_eligible(la, lb) {
-                    b.push_2q_phys(GateKind::Cphase { k: rotation_order(la, lb) }, pa, pb);
+                    b.push_2q_phys(
+                        GateKind::Cphase {
+                            k: rotation_order(la, lb),
+                        },
+                        pa,
+                        pb,
+                    );
                     prog.mark_pair(la, lb);
                     c += 2;
                 } else {
@@ -121,7 +135,10 @@ pub fn compile_two_row_interleaved(cols: usize) -> MappedCircuit {
             }
         }
     }
-    panic!("interleaved 2xN schedule failed to converge: {:?}", prog.status());
+    panic!(
+        "interleaved 2xN schedule failed to converge: {:?}",
+        prog.status()
+    );
 }
 
 #[cfg(test)]
@@ -142,7 +159,10 @@ mod tests {
     #[test]
     fn interleaved_two_row_unitarily_correct() {
         for cols in [2usize, 3] {
-            assert!(qft_sim::equiv::mapped_equals_qft(&compile_two_row_interleaved(cols), 3));
+            assert!(qft_sim::equiv::mapped_equals_qft(
+                &compile_two_row_interleaved(cols),
+                3
+            ));
         }
     }
 
@@ -184,7 +204,10 @@ mod tests {
         let top: Vec<PhysicalQubit> = (0..6).map(|c| grid.at(0, c)).collect();
         let bot: Vec<PhysicalQubit> = (0..6).map(|c| grid.at(1, c)).collect();
         let path = column_snake(&top, &bot);
-        assert!(qft_arch::hamiltonian::is_hamiltonian_path(grid.graph(), &path));
+        assert!(qft_arch::hamiltonian::is_hamiltonian_path(
+            grid.graph(),
+            &path
+        ));
     }
 
     #[test]

@@ -21,7 +21,10 @@ pub struct Circuit {
 impl Circuit {
     /// An empty circuit on `n` logical qubits.
     pub fn new(n: usize) -> Self {
-        Circuit { n, gates: Vec::new() }
+        Circuit {
+            n,
+            gates: Vec::new(),
+        }
     }
 
     /// Number of logical qubits.
@@ -35,7 +38,10 @@ impl Circuit {
     /// # Panics
     /// Panics if an operand is out of range.
     pub fn push(&mut self, g: Gate) {
-        assert!(g.qubits().all(|q| q.index() < self.n), "gate {g} out of range");
+        assert!(
+            g.qubits().all(|q| q.index() < self.n),
+            "gate {g} out of range"
+        );
         self.gates.push(g);
     }
 
@@ -264,7 +270,13 @@ impl MappedCircuitBuilder {
     pub fn push_1q_logical(&mut self, kind: GateKind, l: LogicalQubit) {
         debug_assert_eq!(kind.arity(), 1);
         let p = self.layout.phys(l);
-        self.ops.push(PhysOp { kind, p1: p, p2: None, l1: Some(l), l2: None });
+        self.ops.push(PhysOp {
+            kind,
+            p1: p,
+            p2: None,
+            l1: Some(l),
+            l2: None,
+        });
     }
 
     /// Emits a two-qubit non-SWAP gate between *logical* qubits.
@@ -272,7 +284,13 @@ impl MappedCircuitBuilder {
         debug_assert_eq!(kind.arity(), 2);
         debug_assert!(kind != GateKind::Swap, "use push_swap_phys for SWAPs");
         let (p1, p2) = (self.layout.phys(a), self.layout.phys(b));
-        self.ops.push(PhysOp { kind, p1, p2: Some(p2), l1: Some(a), l2: Some(b) });
+        self.ops.push(PhysOp {
+            kind,
+            p1,
+            p2: Some(p2),
+            l1: Some(a),
+            l2: Some(b),
+        });
     }
 
     /// Emits a two-qubit non-SWAP gate between *physical* locations; logical
@@ -281,20 +299,38 @@ impl MappedCircuitBuilder {
         debug_assert_eq!(kind.arity(), 2);
         debug_assert!(kind != GateKind::Swap, "use push_swap_phys for SWAPs");
         let (l1, l2) = (self.layout.logical(p1), self.layout.logical(p2));
-        self.ops.push(PhysOp { kind, p1, p2: Some(p2), l1, l2 });
+        self.ops.push(PhysOp {
+            kind,
+            p1,
+            p2: Some(p2),
+            l1,
+            l2,
+        });
     }
 
     /// Emits a single-qubit gate at a *physical* location.
     pub fn push_1q_phys(&mut self, kind: GateKind, p: PhysicalQubit) {
         debug_assert_eq!(kind.arity(), 1);
         let l = self.layout.logical(p);
-        self.ops.push(PhysOp { kind, p1: p, p2: None, l1: l, l2: None });
+        self.ops.push(PhysOp {
+            kind,
+            p1: p,
+            p2: None,
+            l1: l,
+            l2: None,
+        });
     }
 
     /// Emits a SWAP between two physical locations and updates the layout.
     pub fn push_swap_phys(&mut self, p1: PhysicalQubit, p2: PhysicalQubit) {
         let (l1, l2) = (self.layout.logical(p1), self.layout.logical(p2));
-        self.ops.push(PhysOp { kind: GateKind::Swap, p1, p2: Some(p2), l1, l2 });
+        self.ops.push(PhysOp {
+            kind: GateKind::Swap,
+            p1,
+            p2: Some(p2),
+            l1,
+            l2,
+        });
         self.layout.swap_phys(p1, p2);
     }
 
@@ -334,7 +370,11 @@ mod tests {
     fn builder_tracks_layout_through_swaps() {
         let mut b = MappedCircuitBuilder::new(Layout::identity(3, 3));
         b.push_swap_phys(PhysicalQubit(0), PhysicalQubit(1));
-        b.push_2q_phys(GateKind::Cphase { k: 2 }, PhysicalQubit(1), PhysicalQubit(2));
+        b.push_2q_phys(
+            GateKind::Cphase { k: 2 },
+            PhysicalQubit(1),
+            PhysicalQubit(2),
+        );
         let mc = b.finish();
         // After the swap, Q1 holds q0, so the CPHASE acts on (q0, q2).
         assert_eq!(
@@ -349,7 +389,11 @@ mod tests {
     fn uniform_depth_counts_serial_chain() {
         let mut b = MappedCircuitBuilder::new(Layout::identity(2, 2));
         b.push_1q_phys(GateKind::H, PhysicalQubit(0));
-        b.push_2q_phys(GateKind::Cphase { k: 2 }, PhysicalQubit(0), PhysicalQubit(1));
+        b.push_2q_phys(
+            GateKind::Cphase { k: 2 },
+            PhysicalQubit(0),
+            PhysicalQubit(1),
+        );
         b.push_swap_phys(PhysicalQubit(0), PhysicalQubit(1));
         let mc = b.finish();
         assert_eq!(mc.depth_uniform(), 3);
@@ -359,7 +403,11 @@ mod tests {
     #[test]
     fn weighted_depth_uses_latency_fn() {
         let mut b = MappedCircuitBuilder::new(Layout::identity(2, 2));
-        b.push_2q_phys(GateKind::Cphase { k: 2 }, PhysicalQubit(0), PhysicalQubit(1));
+        b.push_2q_phys(
+            GateKind::Cphase { k: 2 },
+            PhysicalQubit(0),
+            PhysicalQubit(1),
+        );
         b.push_swap_phys(PhysicalQubit(0), PhysicalQubit(1));
         let mc = b.finish();
         let d = mc.depth_with(|op| if op.kind == GateKind::Swap { 6 } else { 2 });
@@ -369,8 +417,16 @@ mod tests {
     #[test]
     fn layers_group_parallel_ops() {
         let mut b = MappedCircuitBuilder::new(Layout::identity(4, 4));
-        b.push_2q_phys(GateKind::Cphase { k: 2 }, PhysicalQubit(0), PhysicalQubit(1));
-        b.push_2q_phys(GateKind::Cphase { k: 2 }, PhysicalQubit(2), PhysicalQubit(3));
+        b.push_2q_phys(
+            GateKind::Cphase { k: 2 },
+            PhysicalQubit(0),
+            PhysicalQubit(1),
+        );
+        b.push_2q_phys(
+            GateKind::Cphase { k: 2 },
+            PhysicalQubit(2),
+            PhysicalQubit(3),
+        );
         b.push_swap_phys(PhysicalQubit(1), PhysicalQubit(2));
         let layers = b.finish().layers_uniform();
         assert_eq!(layers.len(), 2);

@@ -101,7 +101,13 @@ impl CircuitDag {
             }
         }
 
-        CircuitDag { gates, succs, indeg, n_qubits: n, mode }
+        CircuitDag {
+            gates,
+            succs,
+            indeg,
+            n_qubits: n,
+            mode,
+        }
     }
 
     /// The gate list underlying the DAG (node `i` is `gates()[i]`).
@@ -153,7 +159,11 @@ impl CircuitDag {
                 front.push(i as u32);
             }
         }
-        Frontier { indeg: self.indeg.clone(), front, executed: 0 }
+        Frontier {
+            indeg: self.indeg.clone(),
+            front,
+            executed: 0,
+        }
     }
 
     /// Checks that `order` is a permutation of all nodes consistent with the
@@ -318,7 +328,7 @@ mod tests {
         assert!(dag.is_valid_order(&[0, 1, 2, 3, 4, 5]));
         assert!(!dag.is_valid_order(&[1, 0, 2, 3, 4, 5])); // CP before its H
         assert!(!dag.is_valid_order(&[0, 1, 2, 3, 4])); // missing node
-        // Relaxed allows exchanging the two commuting CPHASEs.
+                                                        // Relaxed allows exchanging the two commuting CPHASEs.
         let relaxed = CircuitDag::build(&qft3(), DagMode::Relaxed);
         assert!(relaxed.is_valid_order(&[0, 2, 1, 3, 4, 5]));
         assert!(!CircuitDag::build(&qft3(), DagMode::Strict).is_valid_order(&[0, 2, 1, 3, 4, 5]));

@@ -144,7 +144,11 @@ impl Gate {
     pub fn two(kind: GateKind, a: LogicalQubit, b: LogicalQubit) -> Self {
         debug_assert_eq!(kind.arity(), 2);
         debug_assert_ne!(a, b, "two-qubit gate with identical operands");
-        Gate { kind, a, b: Some(b) }
+        Gate {
+            kind,
+            a,
+            b: Some(b),
+        }
     }
 
     /// Hadamard on `q`.
@@ -156,7 +160,11 @@ impl Gate {
     /// `R_k`-controlled phase between `target` and `control`.
     #[inline]
     pub fn cphase(k: u32, target: u32, control: u32) -> Self {
-        Gate::two(GateKind::Cphase { k }, LogicalQubit(target), LogicalQubit(control))
+        Gate::two(
+            GateKind::Cphase { k },
+            LogicalQubit(target),
+            LogicalQubit(control),
+        )
     }
 
     /// SWAP between `a` and `b`.

@@ -60,7 +60,11 @@ mod tests {
     fn metrics_count_kinds() {
         let mut b = MappedCircuitBuilder::new(Layout::identity(2, 2));
         b.push_1q_phys(GateKind::H, PhysicalQubit(0));
-        b.push_2q_phys(GateKind::Cphase { k: 2 }, PhysicalQubit(0), PhysicalQubit(1));
+        b.push_2q_phys(
+            GateKind::Cphase { k: 2 },
+            PhysicalQubit(0),
+            PhysicalQubit(1),
+        );
         b.push_swap_phys(PhysicalQubit(0), PhysicalQubit(1));
         let m = Metrics::of(&b.finish());
         assert_eq!(m.swaps, 1);

@@ -89,7 +89,10 @@ fn parse_operands(rest: &str) -> Option<Vec<usize>> {
         .split(',')
         .map(|t| {
             let t = t.trim();
-            t.strip_prefix("q[")?.strip_suffix(']')?.parse::<usize>().ok()
+            t.strip_prefix("q[")?
+                .strip_suffix(']')?
+                .parse::<usize>()
+                .ok()
         })
         .collect()
 }
@@ -115,12 +118,17 @@ pub fn parse_circuit(text: &str) -> Result<Circuit, QasmError> {
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.trim();
         let lineno = lineno + 1;
-        if line.is_empty() || line.starts_with("//") || line.starts_with("OPENQASM")
+        if line.is_empty()
+            || line.starts_with("//")
+            || line.starts_with("OPENQASM")
             || line.starts_with("include")
         {
             continue;
         }
-        let err = |message: &str| QasmError::Syntax { line: lineno, message: message.into() };
+        let err = |message: &str| QasmError::Syntax {
+            line: lineno,
+            message: message.into(),
+        };
         if let Some(rest) = line.strip_prefix("qreg q[") {
             let size = rest
                 .strip_suffix("];")
@@ -129,7 +137,9 @@ pub fn parse_circuit(text: &str) -> Result<Circuit, QasmError> {
             n = Some(size);
             continue;
         }
-        let (op, rest) = line.split_once(' ').ok_or_else(|| err("missing operands"))?;
+        let (op, rest) = line
+            .split_once(' ')
+            .ok_or_else(|| err("missing operands"))?;
         let operands = parse_operands(rest).ok_or_else(|| err("bad operand list"))?;
         use crate::gate::{Gate, GateKind, LogicalQubit};
         let q = |i: usize| LogicalQubit(operands[i] as u32);
@@ -182,7 +192,11 @@ mod tests {
         let mut c = Circuit::new(3);
         c.push(Gate::h(0));
         c.push(Gate::swap(0, 2));
-        c.push(Gate::two(crate::gate::GateKind::Cnot, crate::gate::LogicalQubit(1), crate::gate::LogicalQubit(2)));
+        c.push(Gate::two(
+            crate::gate::GateKind::Cnot,
+            crate::gate::LogicalQubit(1),
+            crate::gate::LogicalQubit(2),
+        ));
         c.push(Gate::cphase(4, 1, 0));
         let back = parse_circuit(&circuit_to_qasm(&c)).unwrap();
         assert_eq!(c, back);

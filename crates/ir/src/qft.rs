@@ -57,7 +57,11 @@ impl Partition {
         match self {
             Partition::Leaf(r) => r.clone(),
             Partition::Node(children) => {
-                let start = children.first().expect("empty partition node").range().start;
+                let start = children
+                    .first()
+                    .expect("empty partition node")
+                    .range()
+                    .start;
                 let end = children.last().unwrap().range().end;
                 start..end
             }
@@ -180,11 +184,21 @@ impl fmt::Display for QftOrderError {
             QftOrderError::HadamardCount { qubit, count } => {
                 write!(f, "q{qubit} has {count} H gates (expected 1)")
             }
-            QftOrderError::PairCount { pair: (i, j), count } => {
+            QftOrderError::PairCount {
+                pair: (i, j),
+                count,
+            } => {
                 write!(f, "pair (q{i}, q{j}) has {count} CPHASEs (expected 1)")
             }
-            QftOrderError::WrongAngle { pair: (i, j), found, expected } => {
-                write!(f, "pair (q{i}, q{j}) uses R_{found} (expected R_{expected})")
+            QftOrderError::WrongAngle {
+                pair: (i, j),
+                found,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "pair (q{i}, q{j}) uses R_{found} (expected R_{expected})"
+                )
             }
             QftOrderError::TypeII { pair: (i, j) } => {
                 write!(f, "CPHASE(q{i}, q{j}) violates H(q{i}) < CP < H(q{j})")
@@ -233,16 +247,22 @@ where
         }
     }
     let _ = count;
-    for q in 0..n {
-        if h_pos[q].len() != 1 {
-            return Err(QftOrderError::HadamardCount { qubit: q as u32, count: h_pos[q].len() });
+    for (q, positions) in h_pos.iter().enumerate() {
+        if positions.len() != 1 {
+            return Err(QftOrderError::HadamardCount {
+                qubit: q as u32,
+                count: positions.len(),
+            });
         }
     }
     for i in 0..n as u32 {
         for j in (i + 1)..n as u32 {
             let slot = i as usize * n + j as usize;
             if pair_pos[slot].len() != 1 {
-                return Err(QftOrderError::PairCount { pair: (i, j), count: pair_pos[slot].len() });
+                return Err(QftOrderError::PairCount {
+                    pair: (i, j),
+                    count: pair_pos[slot].len(),
+                });
             }
             let expected = rotation_order(i, j);
             if pair_k[slot] != expected {
@@ -289,9 +309,8 @@ pub fn qft_pair_count(n: usize) -> usize {
 
 /// All unordered qubit pairs `(i, j)`, `i < j`, of an `n`-qubit register.
 pub fn all_pairs(n: usize) -> impl Iterator<Item = (LogicalQubit, LogicalQubit)> {
-    (0..n as u32).flat_map(move |i| {
-        ((i + 1)..n as u32).map(move |j| (LogicalQubit(i), LogicalQubit(j)))
-    })
+    (0..n as u32)
+        .flat_map(move |i| ((i + 1)..n as u32).map(move |j| (LogicalQubit(i), LogicalQubit(j))))
 }
 
 #[cfg(test)]
@@ -370,7 +389,10 @@ mod tests {
         // and is detected in pair scanning order... (0,1) TypeII checked
         // after counts; counts run first for all pairs.
         let err = check_qft_circuit(&c).unwrap_err();
-        assert!(matches!(err, QftOrderError::PairCount { .. } | QftOrderError::TypeII { .. }));
+        assert!(matches!(
+            err,
+            QftOrderError::PairCount { .. } | QftOrderError::TypeII { .. }
+        ));
     }
 
     #[test]
@@ -381,7 +403,11 @@ mod tests {
         c.push(Gate::h(1));
         assert_eq!(
             check_qft_circuit(&c),
-            Err(QftOrderError::WrongAngle { pair: (0, 1), found: 7, expected: 2 })
+            Err(QftOrderError::WrongAngle {
+                pair: (0, 1),
+                found: 7,
+                expected: 2
+            })
         );
     }
 

@@ -57,7 +57,11 @@ mod tests {
     fn renders_small_circuit() {
         let mut b = MappedCircuitBuilder::new(Layout::identity(2, 2));
         b.push_1q_phys(GateKind::H, PhysicalQubit(0));
-        b.push_2q_phys(GateKind::Cphase { k: 2 }, PhysicalQubit(0), PhysicalQubit(1));
+        b.push_2q_phys(
+            GateKind::Cphase { k: 2 },
+            PhysicalQubit(0),
+            PhysicalQubit(1),
+        );
         b.push_swap_phys(PhysicalQubit(0), PhysicalQubit(1));
         let s = render_layers(&b.finish(), 10);
         assert!(s.contains("H  0"));

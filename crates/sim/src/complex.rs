@@ -28,13 +28,19 @@ impl Complex64 {
     /// `e^{iθ}`.
     #[inline]
     pub fn from_angle(theta: f64) -> Self {
-        Complex64 { re: theta.cos(), im: theta.sin() }
+        Complex64 {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Self {
-        Complex64 { re: self.re, im: -self.im }
+        Complex64 {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared magnitude `|z|²`.
@@ -52,7 +58,10 @@ impl Complex64 {
     /// Scales by a real factor.
     #[inline]
     pub fn scale(self, s: f64) -> Self {
-        Complex64 { re: self.re * s, im: self.im * s }
+        Complex64 {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 }
 
@@ -60,7 +69,10 @@ impl Add for Complex64 {
     type Output = Complex64;
     #[inline]
     fn add(self, o: Complex64) -> Complex64 {
-        Complex64 { re: self.re + o.re, im: self.im + o.im }
+        Complex64 {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
     }
 }
 
@@ -76,7 +88,10 @@ impl Sub for Complex64 {
     type Output = Complex64;
     #[inline]
     fn sub(self, o: Complex64) -> Complex64 {
-        Complex64 { re: self.re - o.re, im: self.im - o.im }
+        Complex64 {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
     }
 }
 
@@ -95,7 +110,10 @@ impl Neg for Complex64 {
     type Output = Complex64;
     #[inline]
     fn neg(self) -> Complex64 {
-        Complex64 { re: -self.re, im: -self.im }
+        Complex64 {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 

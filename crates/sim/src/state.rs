@@ -44,8 +44,9 @@ impl StateVector {
             // Map to (-1, 1).
             (v >> 11) as f64 / (1u64 << 52) as f64 - 1.0
         };
-        let mut amps: Vec<Complex64> =
-            (0..1usize << n).map(|_| Complex64::new(next(), next())).collect();
+        let mut amps: Vec<Complex64> = (0..1usize << n)
+            .map(|_| Complex64::new(next(), next()))
+            .collect();
         let norm = amps.iter().map(|a| a.abs2()).sum::<f64>().sqrt();
         for a in &mut amps {
             *a = a.scale(1.0 / norm);
@@ -333,7 +334,11 @@ mod tests {
             Gate::h(1),
             Gate::cphase(3, 0, 2),
             Gate::swap(1, 2),
-            Gate::two(qft_ir::gate::GateKind::Cnot, qft_ir::gate::LogicalQubit(0), qft_ir::gate::LogicalQubit(1)),
+            Gate::two(
+                qft_ir::gate::GateKind::Cnot,
+                qft_ir::gate::LogicalQubit(0),
+                qft_ir::gate::LogicalQubit(1),
+            ),
         ];
         let orig = StateVector::random(3, 99);
         let mut s = orig.clone();

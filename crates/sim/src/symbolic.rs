@@ -51,7 +51,10 @@ impl fmt::Display for VerifyError {
                 write!(f, "op #{op_index} acts on non-adjacent physical qubits")
             }
             VerifyError::WrongAnnotation { op_index } => {
-                write!(f, "op #{op_index} has logical annotations inconsistent with SWAP replay")
+                write!(
+                    f,
+                    "op #{op_index} has logical annotations inconsistent with SWAP replay"
+                )
             }
             VerifyError::FinalLayoutMismatch => write!(f, "final layout mismatch"),
             VerifyError::Semantics(e) => write!(f, "QFT semantics violated: {e}"),
@@ -88,7 +91,9 @@ pub fn verify_qft_mapping(
         )));
     }
     if mc.n_logical() > mc.n_physical() {
-        return Err(VerifyError::Shape("more logical than physical qubits".into()));
+        return Err(VerifyError::Shape(
+            "more logical than physical qubits".into(),
+        ));
     }
 
     // (1) + (2): adjacency and layout replay.
@@ -127,10 +132,14 @@ pub fn verify_qft_mapping(
         .iter()
         .filter(|g| matches!(g.kind, GateKind::Cphase { .. }))
         .count();
-    qft_ir::qft::check_qft_order(interactions, mc.n_logical())
-        .map_err(VerifyError::Semantics)?;
+    qft_ir::qft::check_qft_order(interactions, mc.n_logical()).map_err(VerifyError::Semantics)?;
 
-    Ok(VerifyReport { ops: mc.ops().len(), two_qubit_ops, swaps, pairs })
+    Ok(VerifyReport {
+        ops: mc.ops().len(),
+        two_qubit_ops,
+        swaps,
+        pairs,
+    })
 }
 
 #[cfg(test)]

@@ -39,7 +39,11 @@ pub enum SynthResult {
 
 /// Enumerates the hole space of `sketch`, first filtering on `train_sizes`
 /// (cheap, small), then confirming on `verify_sizes`.
-pub fn synthesize<S: Sketch>(sketch: &S, train_sizes: &[usize], verify_sizes: &[usize]) -> SynthResult {
+pub fn synthesize<S: Sketch>(
+    sketch: &S,
+    train_sizes: &[usize],
+    verify_sizes: &[usize],
+) -> SynthResult {
     let ranges = sketch.hole_ranges();
     let mut holes: Vec<i32> = ranges.iter().map(|&(lo, _)| lo).collect();
     let mut tried: u64 = 0;

@@ -105,7 +105,7 @@ impl TwoRows {
     pub fn swap_layer(row: &mut [usize], beg: usize, end: usize) {
         let l = row.len();
         let mut j = beg;
-        while j + 1 <= end && j + 1 < l {
+        while j < end && j + 1 < l {
             row.swap(j, j + 1);
             j += 2;
         }
@@ -194,7 +194,7 @@ impl Sketch for SycamoreIeRelaxedSketch {
     }
 
     fn check(&self, holes: &[i32], l: usize) -> bool {
-        if l % 2 != 0 {
+        if !l.is_multiple_of(2) {
             return true; // Sycamore unit lines are even; skip odd sizes
         }
         let t = affine(0, holes[0], holes[1], 0, l);
@@ -227,7 +227,7 @@ impl Sketch for GridIeStrictSketch {
         vec![
             (1, 2),
             (-1, 1), // T
-            (0, 1), // off_d
+            (0, 1),  // off_d
             (0, 1),
             (1, 2),
             (-2, -1), // end_u = min(i+au, cu*L+bu-i)
@@ -292,8 +292,14 @@ mod tests {
     #[test]
     fn shipped_solutions_satisfy_their_sketches() {
         for l in [3usize, 4, 5, 6, 8, 10] {
-            assert!(GridIeRelaxedSketch.check(&GRID_RELAXED_SOLUTION, l), "grid relaxed L={l}");
-            assert!(GridIeStrictSketch.check(&GRID_STRICT_SOLUTION, l), "grid strict L={l}");
+            assert!(
+                GridIeRelaxedSketch.check(&GRID_RELAXED_SOLUTION, l),
+                "grid relaxed L={l}"
+            );
+            assert!(
+                GridIeStrictSketch.check(&GRID_STRICT_SOLUTION, l),
+                "grid strict L={l}"
+            );
         }
         for l in [4usize, 6, 8, 12] {
             assert!(
@@ -310,7 +316,10 @@ mod tests {
                 // Any found solution must itself generalize; the canonical
                 // one is reachable.
                 for l in [5usize, 9, 12] {
-                    assert!(GridIeRelaxedSketch.check(&holes, l), "holes={holes:?} L={l}");
+                    assert!(
+                        GridIeRelaxedSketch.check(&holes, l),
+                        "holes={holes:?} L={l}"
+                    );
                 }
             }
             other => panic!("{other:?}"),
@@ -322,7 +331,10 @@ mod tests {
         match synthesize(&SycamoreIeRelaxedSketch, &[4, 6], &[10, 14]) {
             SynthResult::Found { holes, .. } => {
                 for l in [8usize, 12, 16] {
-                    assert!(SycamoreIeRelaxedSketch.check(&holes, l), "holes={holes:?} L={l}");
+                    assert!(
+                        SycamoreIeRelaxedSketch.check(&holes, l),
+                        "holes={holes:?} L={l}"
+                    );
                 }
             }
             other => panic!("{other:?}"),
@@ -366,7 +378,10 @@ mod tests {
         }
         st.fire_links(LinkShape::SamePosition, l);
         assert!(st.full_coverage(false));
-        assert!(!st.strict_order_ok(), "relaxed coverage order happened to be strict?");
+        assert!(
+            !st.strict_order_ok(),
+            "relaxed coverage order happened to be strict?"
+        );
     }
 
     #[test]

@@ -1,0 +1,448 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! Supports the shapes this repository actually uses — non-generic structs
+//! (named, tuple, unit) and enums whose variants are unit, tuple, or
+//! struct-like — and fails with a `compile_error!` on anything fancier
+//! (generics, unions). Parsing is done directly on the `proc_macro` token
+//! tree so no external dependencies (syn/quote) are needed.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field: optional name (named structs / struct variants) plus the
+/// verbatim type tokens.
+struct Field {
+    name: Option<String>,
+    ty: String,
+}
+
+struct Variant {
+    name: String,
+    /// `None` = unit, `Some((named, fields))` otherwise.
+    fields: Option<(bool, Vec<Field>)>,
+}
+
+enum Input {
+    Struct {
+        name: String,
+        named: bool,
+        fields: Vec<Field>,
+        unit: bool,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skips leading attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then a bracket group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Collects type tokens until a top-level comma (tracking `<`/`>` nesting).
+fn collect_type(tokens: &[TokenTree], mut i: usize) -> (String, usize) {
+    let mut depth = 0i32;
+    let mut ty = String::new();
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+            _ => {}
+        }
+        if !ty.is_empty() {
+            ty.push(' ');
+        }
+        ty.push_str(&tokens[i].to_string());
+        i += 1;
+    }
+    (ty, i)
+}
+
+fn parse_named_fields(group: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, got {other}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected ':' after {name}, got {other:?}")),
+        }
+        let (ty, next) = collect_type(&tokens, i);
+        i = next + 1; // skip the comma (or run off the end)
+        fields.push(Field {
+            name: Some(name),
+            ty,
+        });
+    }
+    Ok(fields)
+}
+
+fn parse_tuple_fields(group: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let (ty, next) = collect_type(&tokens, i);
+        i = next + 1;
+        fields.push(Field { name: None, ty });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(group: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other}")),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream())?;
+                i += 1;
+                Some((true, f))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = parse_tuple_fields(g.stream())?;
+                i += 1;
+                Some((false, f))
+            }
+            _ => None,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "generic type {name} is not supported by the vendored serde derive"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Input::Struct {
+                name,
+                named: true,
+                fields: parse_named_fields(g.stream())?,
+                unit: false,
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Input::Struct {
+                    name,
+                    named: false,
+                    fields: parse_tuple_fields(g.stream())?,
+                    unit: false,
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Input::Struct {
+                name,
+                named: false,
+                fields: Vec::new(),
+                unit: true,
+            }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Input::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            other => Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}`")),
+    }
+}
+
+/// Derives `serde::Serialize` (vendored stand-in).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_serialize(&parsed).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derives `serde::Deserialize` (vendored stand-in).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_deserialize(&parsed).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    match input {
+        Input::Struct {
+            name,
+            named: true,
+            fields,
+            ..
+        } => {
+            let mut pushes = String::new();
+            for f in fields {
+                let fname = f.name.as_ref().unwrap();
+                pushes.push_str(&format!(
+                    "__o.push(({fname:?}.to_string(), ::serde::Serialize::to_value(&self.{fname})));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut __o: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(__o)\n}}\n}}"
+            )
+        }
+        Input::Struct {
+            name,
+            named: false,
+            fields,
+            unit,
+        } => {
+            let body = if *unit {
+                "::serde::Value::Null".to_string()
+            } else if fields.len() == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..fields.len())
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ {body} }}\n}}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    None => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),\n"
+                    )),
+                    Some((true, fields)) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone().unwrap()).collect();
+                        let mut pushes = String::new();
+                        for b in &binds {
+                            pushes.push_str(&format!(
+                                "__f.push(({b:?}.to_string(), ::serde::Serialize::to_value({b})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\n\
+                             let mut __f: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                             {pushes}\
+                             ::serde::Value::Object(vec![({vname:?}.to_string(), ::serde::Value::Object(__f))])\n}}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Some((false, fields)) => {
+                        let binds: Vec<String> =
+                            (0..fields.len()).map(|i| format!("__t{i}")).collect();
+                        let payload = if binds.len() == 1 {
+                            format!("::serde::Serialize::to_value({})", binds[0])
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(vec![({vname:?}.to_string(), {payload})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n}}\n}}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    match input {
+        Input::Struct {
+            name,
+            named: true,
+            fields,
+            ..
+        } => {
+            let mut inits = String::new();
+            for f in fields {
+                let fname = f.name.as_ref().unwrap();
+                let ty = &f.ty;
+                inits.push_str(&format!(
+                    "{fname}: <{ty} as ::serde::Deserialize>::from_value(::serde::field(__o, {fname:?}))?,\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let __o = __v.as_object().ok_or_else(|| ::serde::Error::msg(concat!(\"expected object for \", stringify!({name}))))?;\n\
+                 Ok({name} {{\n{inits}}})\n}}\n}}"
+            )
+        }
+        Input::Struct {
+            name,
+            named: false,
+            fields,
+            unit,
+        } => {
+            let body = if *unit {
+                format!("Ok({name})")
+            } else if fields.len() == 1 {
+                let ty = &fields[0].ty;
+                format!("Ok({name}(<{ty} as ::serde::Deserialize>::from_value(__v)?))")
+            } else {
+                let mut items = String::new();
+                for (i, f) in fields.iter().enumerate() {
+                    let ty = &f.ty;
+                    items.push_str(&format!(
+                        "<{ty} as ::serde::Deserialize>::from_value(&__a[{i}])?,"
+                    ));
+                }
+                format!(
+                    "let __a = __v.as_array().ok_or_else(|| ::serde::Error::msg(\"expected array\"))?;\n\
+                     if __a.len() != {} {{ return Err(::serde::Error::msg(\"tuple-struct arity mismatch\")); }}\n\
+                     Ok({name}({items}))",
+                    fields.len()
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n}}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    None => arms.push_str(&format!("{vname:?} => Ok({name}::{vname}),\n")),
+                    Some((true, fields)) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            let fname = f.name.as_ref().unwrap();
+                            let ty = &f.ty;
+                            inits.push_str(&format!(
+                                "{fname}: <{ty} as ::serde::Deserialize>::from_value(::serde::field(__f, {fname:?}))?,\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{vname:?} => {{\n\
+                             let __f = __payload.as_object().ok_or_else(|| ::serde::Error::msg(\"expected variant object\"))?;\n\
+                             Ok({name}::{vname} {{\n{inits}}})\n}}\n"
+                        ));
+                    }
+                    Some((false, fields)) => {
+                        let body = if fields.len() == 1 {
+                            let ty = &fields[0].ty;
+                            format!(
+                                "Ok({name}::{vname}(<{ty} as ::serde::Deserialize>::from_value(__payload)?))"
+                            )
+                        } else {
+                            let mut items = String::new();
+                            for (i, f) in fields.iter().enumerate() {
+                                let ty = &f.ty;
+                                items.push_str(&format!(
+                                    "<{ty} as ::serde::Deserialize>::from_value(&__a[{i}])?,"
+                                ));
+                            }
+                            format!(
+                                "let __a = __payload.as_array().ok_or_else(|| ::serde::Error::msg(\"expected array\"))?;\n\
+                                 if __a.len() != {} {{ return Err(::serde::Error::msg(\"variant arity mismatch\")); }}\n\
+                                 Ok({name}::{vname}({items}))",
+                                fields.len()
+                            )
+                        };
+                        arms.push_str(&format!("{vname:?} => {{ {body} }}\n"));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let (__tag, __payload) = ::serde::variant(__v)?;\n\
+                 match __tag {{\n{arms}\
+                 other => Err(::serde::Error::msg(format!(concat!(\"unknown variant {{}} for \", stringify!({name})), other))),\n\
+                 }}\n}}\n}}"
+            )
+        }
+    }
+}

@@ -1,75 +1,67 @@
 //! Side-by-side comparison on one device: our analytical kernel vs SABRE
 //! (strict and relaxed DAGs) vs the exact-optimal search — a miniature of
-//! the paper's evaluation story.
+//! the paper's evaluation story, with every compiler resolved by name from
+//! the registry and driven through the same pipeline.
 //!
 //! ```sh
 //! cargo run --release --example compare_compilers
 //! ```
 
-use qft_kernels::arch::heavyhex::HeavyHex;
-use qft_kernels::baselines::optimal::{optimal_compile, OptimalConfig, OptimalResult};
-use qft_kernels::baselines::sabre::{sabre_qft, SabreConfig};
-use qft_kernels::core::compile_heavyhex;
-use qft_kernels::ir::dag::{CircuitDag, DagMode};
-use qft_kernels::ir::qft::qft_circuit;
-use qft_kernels::sim::symbolic::verify_qft_mapping;
-use std::time::{Duration, Instant};
+use qft_kernels::ir::dag::DagMode;
+use qft_kernels::{registry, CompileError, CompileOptions, Target};
 
 fn main() {
-    let hh = HeavyHex::groups(3); // 15 qubits
-    let graph = hh.graph();
-    let n = hh.n_qubits();
-    println!("device: {} ({n} qubits)\n", graph.name());
-    println!("{:<22} {:>7} {:>7} {:>10}", "compiler", "depth", "#SWAP", "CT");
-
-    let t0 = Instant::now();
-    let ours = compile_heavyhex(&hh);
-    let ct = t0.elapsed();
-    verify_qft_mapping(&ours, graph).unwrap();
+    let t = Target::heavy_hex_groups(3).unwrap(); // 15 qubits
+    println!("device: {} ({} qubits)\n", t.name(), t.n_qubits());
     println!(
-        "{:<22} {:>7} {:>7} {:>9.1?}",
-        "ours (analytical)",
-        ours.depth_uniform(),
-        ours.swap_count(),
-        ct
+        "{:<22} {:>7} {:>7} {:>10}",
+        "compiler", "depth", "#SWAP", "CT"
     );
 
-    for (mode, name) in [
-        (DagMode::Strict, "sabre (strict dag)"),
-        (DagMode::Relaxed, "sabre (relaxed dag)"),
-    ] {
-        let t0 = Instant::now();
-        let mc = sabre_qft(n, graph, mode, &SabreConfig::default());
-        let ct = t0.elapsed();
-        verify_qft_mapping(&mc, graph).unwrap();
-        println!(
-            "{:<22} {:>7} {:>7} {:>9.1?}",
-            name,
-            mc.depth_uniform(),
-            mc.swap_count(),
-            ct
-        );
-    }
+    let verified = CompileOptions::verified();
+    let runs = [
+        ("heavyhex", "ours (analytical)", verified.clone()),
+        (
+            "sabre",
+            "sabre (strict dag)",
+            CompileOptions {
+                dag_mode: DagMode::Strict,
+                ..verified.clone()
+            },
+        ),
+        (
+            "sabre",
+            "sabre (relaxed dag)",
+            CompileOptions {
+                dag_mode: DagMode::Relaxed,
+                ..verified.clone()
+            },
+        ),
+        (
+            "optimal",
+            "optimal (A*)",
+            CompileOptions {
+                deadline_s: 3.0,
+                max_nodes: u64::MAX,
+                ..verified
+            },
+        ),
+    ];
 
-    let dag = CircuitDag::build(&qft_circuit(n), DagMode::Strict);
-    let cfg = OptimalConfig { deadline: Duration::from_secs(3), max_nodes: u64::MAX };
-    let t0 = Instant::now();
-    match optimal_compile(&dag, graph, &cfg) {
-        OptimalResult::Solved { circuit, .. } => {
-            verify_qft_mapping(&circuit, graph).unwrap();
-            println!(
-                "{:<22} {:>7} {:>7} {:>9.1?}",
-                "optimal (A*)",
-                circuit.depth_uniform(),
-                circuit.swap_count(),
-                t0.elapsed()
-            );
-        }
-        OptimalResult::TimedOut { nodes } => {
-            println!(
-                "{:<22} {:>7} {:>7} {:>9.1?}  (TLE after {nodes} nodes — the paper's SATMAP behaviour)",
-                "optimal (A*)", "-", "-", t0.elapsed()
-            );
+    for (name, label, opts) in runs {
+        match registry().compile(name, &t, &opts) {
+            Ok(r) => println!(
+                "{:<22} {:>7} {:>7} {:>9.1}ms",
+                label,
+                r.metrics.depth,
+                r.metrics.swaps,
+                r.compile_s * 1e3
+            ),
+            Err(CompileError::Timeout { elapsed_s, nodes, .. }) => println!(
+                "{:<22} {:>7} {:>7} {:>9.1}s   (TLE after {nodes} nodes — the paper's SATMAP behaviour)",
+                label, "-", "-", elapsed_s
+            ),
+            Err(e) => panic!("{label}: {e}"),
         }
     }
 }

@@ -1,38 +1,40 @@
 //! Large-scale FT compilation (§7.2): compile the 1024-qubit QFT kernel
-//! for a 32×32 lattice-surgery backend, verify it symbolically, and report
-//! the latency-weighted cost — all in well under a second, because the
-//! mapping is analytical (no per-instance search).
+//! for a 32×32 lattice-surgery backend through the pipeline, verify it
+//! symbolically, and report the latency-weighted cost — all in well under
+//! a second, because the mapping is analytical (no per-instance search).
 //!
 //! ```sh
 //! cargo run --release --example ft_scale
 //! ```
 
-use qft_kernels::arch::lattice::LatticeSurgery;
-use qft_kernels::core::compile_lattice;
 use qft_kernels::sim::symbolic::verify_qft_mapping;
+use qft_kernels::{registry, CompileOptions, Target};
 use std::time::Instant;
 
 fn main() {
     for m in [16usize, 24, 32] {
-        let l = LatticeSurgery::new(m);
-        let n = l.n_qubits();
+        let t = Target::lattice_surgery(m).unwrap();
+        let n = t.n_qubits();
+
+        // Compile without in-pipeline verification so the two phases can
+        // be timed separately.
+        let r = registry()
+            .compile("lattice", &t, &CompileOptions::default())
+            .expect("lattice mapper handles every m >= 2");
 
         let t0 = Instant::now();
-        let mc = compile_lattice(&l);
-        let compile_s = t0.elapsed().as_secs_f64();
-
-        let t0 = Instant::now();
-        let report = verify_qft_mapping(&mc, l.graph()).expect("kernel must verify");
+        let report = verify_qft_mapping(&r.circuit, t.graph()).expect("kernel must verify");
         let verify_s = t0.elapsed().as_secs_f64();
 
-        let depth = l.graph().depth_of(&mc);
+        let depth = r.metrics.depth;
         println!(
             "{}: N={n:<5} pairs={:<7} depth={depth:<7} ({:.2}/qubit) swaps={:<7} \
-             compile {compile_s:.3}s, verify {verify_s:.3}s",
-            l.graph().name(),
+             compile {:.3}s, verify {verify_s:.3}s",
+            r.target,
             report.pairs,
             depth as f64 / n as f64,
-            mc.swap_count(),
+            r.metrics.swaps,
+            r.compile_s,
         );
         assert_eq!(report.pairs, n * (n - 1) / 2);
         // Linear depth: the per-qubit cost must stay bounded as N grows 4x.

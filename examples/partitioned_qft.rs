@@ -9,11 +9,10 @@
 //! ```
 
 use qft_kernels::arch::devices;
-use qft_kernels::core::compile_heavyhex;
 use qft_kernels::ir::dag::{CircuitDag, DagMode};
 use qft_kernels::ir::qft::{check_qft_circuit, qft_circuit, qft_partitioned, Partition};
 use qft_kernels::sim::state::StateVector;
-use qft_kernels::sim::symbolic::verify_qft_mapping;
+use qft_kernels::{registry, CompileOptions, Target};
 
 fn main() {
     // 1. Logical level: three very different partitions of a 10-qubit QFT.
@@ -40,7 +39,10 @@ fn main() {
         let mut b = input.clone();
         b.apply_circuit(&reference);
         let fidelity = a.fidelity(&b);
-        println!("{name:<28} gates={} fidelity vs textbook = {fidelity:.12}", c.len());
+        println!(
+            "{name:<28} gates={} fidelity vs textbook = {fidelity:.12}",
+            c.len()
+        );
         assert!((fidelity - 1.0).abs() < 1e-9);
     }
 
@@ -53,18 +55,21 @@ fn main() {
     );
 
     // 3. Physical level: an Eagle-sized heavy-hex machine, simplified per
-    // Appendix 1, compiled and verified.
+    // Appendix 1, compiled and verified through the pipeline.
     let lattice = devices::ibm_eagle_like();
     let (hh, deleted) = lattice.simplify();
-    let mc = compile_heavyhex(&hh);
-    let report = verify_qft_mapping(&mc, hh.graph()).expect("kernel must verify");
+    let t = Target::heavy_hex(hh);
+    let opts = CompileOptions::verified();
+    let r = registry()
+        .compile("heavyhex", &t, &opts)
+        .expect("kernel must verify");
     println!(
         "\nEagle-like device: {} qubits ({} lattice links deleted in simplification)\n\
          QFT kernel: {} pairs, depth {}, {} SWAPs — verified.",
-        hh.n_qubits(),
+        t.n_qubits(),
         deleted,
-        report.pairs,
-        mc.depth_uniform(),
-        mc.swap_count()
+        r.metrics.cphases,
+        r.metrics.depth,
+        r.metrics.swaps
     );
 }

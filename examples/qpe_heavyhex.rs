@@ -17,24 +17,23 @@
 //! cargo run --release --example qpe_heavyhex
 //! ```
 
-use qft_kernels::arch::heavyhex::HeavyHex;
-use qft_kernels::core::compile_heavyhex;
 use qft_kernels::ir::qft::logical_interactions;
 use qft_kernels::sim::state::StateVector;
-use qft_kernels::sim::symbolic::verify_qft_mapping;
+use qft_kernels::{registry, CompileOptions, Target};
 use std::f64::consts::PI;
 
 fn main() {
     // 2 heavy-hex groups = 10 counting qubits => 1024 phase bins.
-    let hh = HeavyHex::groups(2);
-    let n = hh.n_qubits();
-    let mc = compile_heavyhex(&hh);
-    verify_qft_mapping(&mc, hh.graph()).expect("kernel must verify");
+    let t = Target::heavy_hex_groups(2).unwrap();
+    let n = t.n_qubits();
+    let opts = CompileOptions::verified();
+    let r = registry()
+        .compile("heavyhex", &t, &opts)
+        .expect("kernel must verify");
+    let mc = r.circuit;
     println!(
         "compiled inverse-QFT kernel on {}: depth {} / {} SWAPs",
-        hh.graph().name(),
-        mc.depth_uniform(),
-        mc.swap_count()
+        r.target, r.metrics.depth, r.metrics.swaps
     );
 
     let m = 1usize << n;

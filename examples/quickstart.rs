@@ -1,49 +1,52 @@
-//! Quickstart: compile the QFT kernel for each supported backend, verify
-//! it, and look at the cost metrics.
+//! Quickstart: compile the QFT kernel for each supported backend through
+//! the registry pipeline, with verification on, and look at the cost
+//! metrics.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use qft_kernels::core::Backend;
-use qft_kernels::ir::qasm;
-use qft_kernels::sim::symbolic::verify_qft_mapping;
+use qft_kernels::{available_compilers, registry, CompileOptions, Target};
 
 fn main() {
-    let backends = [
-        Backend::Lnn(16),
-        Backend::Sycamore(4),
-        Backend::HeavyHexGroups(4),
-        Backend::LatticeSurgery(6),
+    let targets = [
+        Target::lnn(16).unwrap(),
+        Target::sycamore(4).unwrap(),
+        Target::heavy_hex_groups(4).unwrap(),
+        Target::lattice_surgery(6).unwrap(),
     ];
+    println!(
+        "registered compilers: {}\n",
+        available_compilers().join(", ")
+    );
+
+    // Every compiled kernel is checked in-pipeline: hardware adjacency,
+    // SWAP bookkeeping, and the QFT interaction contract (one CPHASE per
+    // pair, Type II order).
+    let opts = CompileOptions::verified();
 
     println!("backend                    N   depth  2q-depth  #SWAP  #CPHASE");
-    for b in &backends {
-        let graph = b.graph();
-        let (mc, m) = b.compile_qft_with_metrics();
-
-        // Every compiled kernel is checked: hardware adjacency, SWAP
-        // bookkeeping, and the QFT interaction contract (one CPHASE per
-        // pair, Type II order).
-        let report = verify_qft_mapping(&mc, &graph).expect("compiled kernel must verify");
-        assert_eq!(report.pairs, m.n * (m.n - 1) / 2);
+    for t in &targets {
+        let compiler = t
+            .native_compiler()
+            .expect("paper backends have native mappers");
+        let r = registry()
+            .compile(compiler, t, &opts)
+            .expect("compiled kernel must verify");
+        let m = &r.metrics;
+        assert_eq!(m.cphases, m.n * (m.n - 1) / 2);
 
         println!(
             "{:<24} {:>4} {:>7} {:>9} {:>6} {:>8}",
-            graph.name(),
-            m.n,
-            m.depth,
-            m.two_qubit_depth,
-            m.swaps,
-            m.cphases
+            r.target, m.n, m.depth, m.two_qubit_depth, m.swaps, m.cphases
         );
     }
 
-    // Export the smallest kernel as OpenQASM 2.0.
-    let mc = Backend::Sycamore(2).compile_qft();
-    let qasm = qasm::mapped_to_qasm(&mc);
+    // Export the smallest kernel as OpenQASM 2.0 (generated on demand).
+    let t = Target::sycamore(2).unwrap();
+    let r = registry().compile("sycamore", &t, &opts).unwrap();
     println!("\nSycamore 2x2 kernel as OpenQASM (first 12 lines):");
-    for line in qasm.lines().take(12) {
+    for line in r.qasm().lines().take(12) {
         println!("  {line}");
     }
 }

@@ -13,19 +13,31 @@
 //! * [`sim`] — state-vector simulator + scalable symbolic verifier;
 //! * [`synth`] — enumerative SKETCH-substitute for movement patterns;
 //! * [`baselines`] — SABRE, exact-optimal A* (SATMAP substitute), LNN path;
-//! * [`core`] — the paper's compilers and the [`core::Backend`] façade.
+//! * [`core`] — the paper's compilers and the pipeline API ([`Target`],
+//!   [`QftCompiler`], [`CompileOptions`] → [`CompileResult`]).
+//!
+//! Every compiler — the four analytical mappers *and* the three baselines —
+//! implements the same [`QftCompiler`] trait and is resolvable by name
+//! through [`registry()`], so harnesses drive them interchangeably.
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use qft_kernels::core::Backend;
-//! use qft_kernels::sim::symbolic::verify_qft_mapping;
+//! use qft_kernels::{registry, CompileOptions, Target, VerifyLevel};
 //!
-//! let backend = Backend::HeavyHexGroups(2); // 10-qubit heavy-hex device
-//! let graph = backend.graph();
-//! let (circuit, metrics) = backend.compile_qft_with_metrics();
-//! verify_qft_mapping(&circuit, &graph).unwrap();
-//! assert_eq!(metrics.cphases, 10 * 9 / 2);
+//! // A validated target: 2 heavy-hex groups = a 10-qubit device.
+//! let target = Target::heavy_hex_groups(2).unwrap();
+//!
+//! // Resolve any registered compiler by name and run the same pipeline.
+//! let opts = CompileOptions { verify: VerifyLevel::Symbolic, ..Default::default() };
+//! let result = registry().get("heavyhex").unwrap().compile(&target, &opts).unwrap();
+//!
+//! assert_eq!(result.metrics.cphases, 10 * 9 / 2);
+//! assert!(result.qasm().starts_with("OPENQASM 2.0;"));
+//!
+//! // The baselines answer to the same API:
+//! let sabre = registry().get("sabre").unwrap().compile(&target, &opts).unwrap();
+//! assert!(result.metrics.depth < sabre.metrics.depth);
 //! ```
 
 #![warn(missing_docs)]
@@ -36,3 +48,32 @@ pub use qft_core as core;
 pub use qft_ir as ir;
 pub use qft_sim as sim;
 pub use qft_synth as synth;
+
+pub use qft_core::{
+    CompileError, CompileOptions, CompileResult, IeMode, LatencyModel, QftCompiler, Registry,
+    Target, TargetSpec, VerifyLevel,
+};
+
+use std::sync::OnceLock;
+
+/// The process-wide compiler registry: the paper's four analytical mappers
+/// (`lnn`, `sycamore`, `heavyhex`, `lattice`) plus the three baselines
+/// (`sabre`, `optimal`, `lnn-path`).
+///
+/// For a custom set (overrides, extra compilers), build a
+/// [`Registry`] directly: `Registry::with_core()` +
+/// [`qft_baselines::register_baselines`] + your own
+/// [`Registry::register`] calls.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let mut r = Registry::with_core();
+        qft_baselines::register_baselines(&mut r);
+        r
+    })
+}
+
+/// Names of every registered compiler, in registration order.
+pub fn available_compilers() -> Vec<&'static str> {
+    registry().names()
+}

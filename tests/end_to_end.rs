@@ -1,54 +1,67 @@
-//! Cross-crate integration tests: every compiler on every backend, against
-//! both the symbolic verifier and (at small sizes) the state-vector
-//! reference; plus the paper's headline comparative claims.
+//! Cross-crate integration tests: every compiler on every backend through
+//! the pipeline API, against both the symbolic verifier and (at small
+//! sizes) the state-vector reference; plus the paper's headline
+//! comparative claims.
 
 use qft_kernels::arch::heavyhex::{HeavyHex, HeavyHexLattice};
-use qft_kernels::arch::lattice::LatticeSurgery;
-use qft_kernels::arch::sycamore::Sycamore;
-use qft_kernels::baselines::sabre::{sabre_qft, SabreConfig};
-use qft_kernels::core::{compile_heavyhex, compile_lattice, compile_lnn, compile_sycamore, Backend};
 use qft_kernels::ir::dag::DagMode;
-use qft_kernels::ir::qasm;
 use qft_kernels::sim::equiv::mapped_equals_qft;
-use qft_kernels::sim::symbolic::verify_qft_mapping;
+use qft_kernels::{registry, CompileOptions, LatencyModel, Target};
+
+fn verified() -> CompileOptions {
+    CompileOptions::verified()
+}
 
 #[test]
 fn every_backend_compiles_verifies_and_simulates() {
-    // Small instances: symbolic + unitary checks together.
-    let cases: Vec<(Backend, &str)> = vec![
-        (Backend::Lnn(7), "lnn"),
-        (Backend::Sycamore(2), "sycamore"),
-        (Backend::HeavyHexGroups(2), "heavyhex"),
-        (Backend::LatticeSurgery(3), "lattice"),
+    // Small instances: symbolic (in-pipeline) + unitary checks together.
+    let cases = [
+        Target::lnn(7).unwrap(),
+        Target::sycamore(2).unwrap(),
+        Target::heavy_hex_groups(2).unwrap(),
+        Target::lattice_surgery(3).unwrap(),
     ];
-    for (b, name) in cases {
-        let graph = b.graph();
-        let mc = b.compile_qft();
-        verify_qft_mapping(&mc, &graph).unwrap_or_else(|e| panic!("{name}: {e}"));
-        assert!(mapped_equals_qft(&mc, 3), "{name}: unitary mismatch");
+    for t in cases {
+        let compiler = t.native_compiler().expect("paper target");
+        let r = registry()
+            .compile(compiler, &t, &verified())
+            .unwrap_or_else(|e| panic!("{compiler}: {e}"));
+        assert!(
+            mapped_equals_qft(&r.circuit, 3),
+            "{compiler}: unitary mismatch"
+        );
     }
 }
 
 #[test]
 fn ours_beats_sabre_in_depth_on_every_paper_backend() {
-    // The qualitative Table-1 claim, at moderate sizes.
-    let cfg = SabreConfig::default();
-
-    let hh = HeavyHex::groups(6);
-    let ours = compile_heavyhex(&hh).depth_uniform();
-    let sabre = sabre_qft(30, hh.graph(), DagMode::Strict, &cfg).depth_uniform();
-    assert!(ours < sabre, "heavy-hex: ours {ours} !< sabre {sabre}");
-
-    let s = Sycamore::new(6);
-    let ours = compile_sycamore(&s).depth_uniform();
-    let sabre = sabre_qft(36, s.graph(), DagMode::Strict, &cfg).depth_uniform();
-    assert!(ours < sabre, "sycamore: ours {ours} !< sabre {sabre}");
-
-    let l = LatticeSurgery::new(8);
-    let ours = l.graph().depth_of(&compile_lattice(&l));
-    // SABRE gets the favourable uniform-latency accounting (§7.2).
-    let sabre = sabre_qft(64, l.graph(), DagMode::Strict, &cfg).depth_uniform();
-    assert!(ours < sabre, "lattice: ours {ours} !< sabre {sabre}");
+    // The qualitative Table-1 claim, at moderate sizes. SABRE gets the
+    // favourable uniform-latency accounting on lattice surgery (§7.2).
+    let cases = [
+        (
+            Target::heavy_hex_groups(6).unwrap(),
+            LatencyModel::TargetDefault,
+        ),
+        (Target::sycamore(6).unwrap(), LatencyModel::TargetDefault),
+        (Target::lattice_surgery(8).unwrap(), LatencyModel::Uniform),
+    ];
+    for (t, sabre_latency) in cases {
+        let ours = registry()
+            .compile(t.native_compiler().unwrap(), &t, &verified())
+            .unwrap();
+        let sabre_opts = CompileOptions {
+            latency: sabre_latency,
+            ..verified()
+        };
+        let sabre = registry().compile("sabre", &t, &sabre_opts).unwrap();
+        assert!(
+            ours.metrics.depth < sabre.metrics.depth,
+            "{}: ours {} !< sabre {}",
+            t.name(),
+            ours.metrics.depth,
+            sabre.metrics.depth
+        );
+    }
 }
 
 #[test]
@@ -57,9 +70,11 @@ fn no_recompilation_artifacts_across_sizes() {
     // covers every size, and cost scales smoothly (no cliffs).
     let mut last_per_qubit = 0.0f64;
     for g in [4usize, 8, 12, 16] {
-        let hh = HeavyHex::groups(g);
-        let mc = compile_heavyhex(&hh);
-        let per_qubit = mc.depth_uniform() as f64 / hh.n_qubits() as f64;
+        let t = Target::heavy_hex_groups(g).unwrap();
+        let r = registry()
+            .compile("heavyhex", &t, &CompileOptions::default())
+            .unwrap();
+        let per_qubit = r.depth_uniform() as f64 / t.n_qubits() as f64;
         if last_per_qubit > 0.0 {
             assert!(
                 (per_qubit - last_per_qubit).abs() < 1.0,
@@ -72,21 +87,25 @@ fn no_recompilation_artifacts_across_sizes() {
 
 #[test]
 fn simplified_heavy_hex_lattice_compiles_end_to_end() {
-    // Appendix 1: full lattice -> simplified coupling graph -> compile.
+    // Appendix 1: full lattice -> simplified coupling graph -> Target ->
+    // pipeline compile (with in-pipeline verification).
     let lat = HeavyHexLattice::new(3, 9);
     let (hh, _) = lat.simplify();
-    let mc = compile_heavyhex(&hh);
-    verify_qft_mapping(&mc, hh.graph()).unwrap();
+    let t = Target::heavy_hex(hh);
+    registry().compile("heavyhex", &t, &verified()).unwrap();
 }
 
 #[test]
 fn qasm_export_of_compiled_kernels_is_well_formed() {
-    let mc = compile_lnn(6);
-    let text = qasm::mapped_to_qasm(&mc);
+    let t = Target::lnn(6).unwrap();
+    let r = registry()
+        .compile("lnn", &t, &CompileOptions::default())
+        .unwrap();
+    let text = r.qasm();
     assert!(text.starts_with("OPENQASM 2.0;"));
     // ops + 3 header lines, each ';'-terminated.
     let stmts = text.lines().filter(|l| l.ends_with(';')).count();
-    assert_eq!(stmts, mc.ops().len() + 3);
+    assert_eq!(stmts, r.circuit.ops().len() + 3);
     // All references stay within the declared register.
     assert!(text.contains("qreg q[6];"));
     assert!(!text.contains("q[6]]"));
@@ -96,16 +115,27 @@ fn qasm_export_of_compiled_kernels_is_well_formed() {
 fn final_layouts_match_paper_shapes() {
     use qft_kernels::ir::gate::{LogicalQubit, PhysicalQubit};
     // LNN: full reversal (Fig. 3).
-    let mc = compile_lnn(8);
+    let t = Target::lnn(8).unwrap();
+    let r = registry()
+        .compile("lnn", &t, &CompileOptions::default())
+        .unwrap();
     for q in 0..8u32 {
-        assert_eq!(mc.final_layout().phys(LogicalQubit(q)), PhysicalQubit(7 - q));
+        assert_eq!(
+            r.circuit.final_layout().phys(LogicalQubit(q)),
+            PhysicalQubit(7 - q)
+        );
     }
     // Heavy-hex: q0..q_{L-1} parked on danglers (Fig. 23).
     let hh = HeavyHex::groups(3);
-    let mc = compile_heavyhex(&hh);
+    let t = Target::heavy_hex(hh.clone());
+    let r = registry()
+        .compile("heavyhex", &t, &CompileOptions::default())
+        .unwrap();
     for (k, &pos) in hh.dangler_positions().iter().enumerate() {
         assert_eq!(
-            mc.final_layout().logical(hh.dangler_below(pos).unwrap()),
+            r.circuit
+                .final_layout()
+                .logical(hh.dangler_below(pos).unwrap()),
             Some(LogicalQubit(k as u32))
         );
     }

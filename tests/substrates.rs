@@ -2,6 +2,7 @@
 //! distance matrices, DAG containment, rendering, and QASM round-trips of
 //! *compiled* kernels.
 
+use proptest::prelude::*;
 use qft_kernels::arch::distance::DistanceMatrix;
 use qft_kernels::arch::sycamore::Sycamore;
 use qft_kernels::core::{compile_lnn, compile_two_row, compile_two_row_interleaved};
@@ -9,7 +10,6 @@ use qft_kernels::ir::dag::{CircuitDag, DagMode};
 use qft_kernels::ir::qft::qft_circuit;
 use qft_kernels::ir::render::render_layers;
 use qft_kernels::sim::state::StateVector;
-use proptest::prelude::*;
 
 #[test]
 fn sycamore_distances_match_unit_structure() {
@@ -26,7 +26,10 @@ fn sycamore_distances_match_unit_structure() {
     let a = s.unit_line(0, 0);
     let b = s.unit_line(2, 0);
     assert!(d.get(a, b) >= 2, "cross-unit distance too small");
-    assert!(d.diameter().unwrap() <= (2 * s.m) as u32, "diameter not linear in m");
+    assert!(
+        d.diameter().unwrap() <= (2 * s.m) as u32,
+        "diameter not linear in m"
+    );
 }
 
 #[test]
@@ -45,7 +48,10 @@ fn strict_orders_are_a_subset_of_relaxed_orders() {
         order.push(node);
     }
     assert!(strict.is_valid_order(&order));
-    assert!(relaxed.is_valid_order(&order), "strict order rejected by relaxed DAG");
+    assert!(
+        relaxed.is_valid_order(&order),
+        "strict order rejected by relaxed DAG"
+    );
 }
 
 #[test]
