@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_relaxed-088db8dadb68ee39.d: crates/bench/src/bin/ablation_relaxed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_relaxed-088db8dadb68ee39.rmeta: crates/bench/src/bin/ablation_relaxed.rs Cargo.toml
+
+crates/bench/src/bin/ablation_relaxed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

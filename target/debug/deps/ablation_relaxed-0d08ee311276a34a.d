@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_relaxed-0d08ee311276a34a.d: crates/bench/src/bin/ablation_relaxed.rs
+
+/root/repo/target/debug/deps/ablation_relaxed-0d08ee311276a34a: crates/bench/src/bin/ablation_relaxed.rs
+
+crates/bench/src/bin/ablation_relaxed.rs:

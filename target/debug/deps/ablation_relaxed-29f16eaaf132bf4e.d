@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_relaxed-29f16eaaf132bf4e.d: crates/bench/src/bin/ablation_relaxed.rs
+
+/root/repo/target/debug/deps/ablation_relaxed-29f16eaaf132bf4e: crates/bench/src/bin/ablation_relaxed.rs
+
+crates/bench/src/bin/ablation_relaxed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_relaxed-8359d79986b6efbc.d: crates/bench/src/bin/ablation_relaxed.rs
+
+/root/repo/target/debug/deps/ablation_relaxed-8359d79986b6efbc: crates/bench/src/bin/ablation_relaxed.rs
+
+crates/bench/src/bin/ablation_relaxed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_relaxed-93b210350862fbfa.d: crates/bench/src/bin/ablation_relaxed.rs
+
+/root/repo/target/debug/deps/libablation_relaxed-93b210350862fbfa.rmeta: crates/bench/src/bin/ablation_relaxed.rs
+
+crates/bench/src/bin/ablation_relaxed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_relaxed-a926c721744c3fb2.d: crates/bench/src/bin/ablation_relaxed.rs
+
+/root/repo/target/debug/deps/libablation_relaxed-a926c721744c3fb2.rmeta: crates/bench/src/bin/ablation_relaxed.rs
+
+crates/bench/src/bin/ablation_relaxed.rs:

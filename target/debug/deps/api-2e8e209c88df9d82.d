@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/api-2e8e209c88df9d82.d: tests/api.rs
+
+/root/repo/target/debug/deps/api-2e8e209c88df9d82: tests/api.rs
+
+tests/api.rs:

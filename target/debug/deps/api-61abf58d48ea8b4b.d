@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/api-61abf58d48ea8b4b.d: tests/api.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapi-61abf58d48ea8b4b.rmeta: tests/api.rs Cargo.toml
+
+tests/api.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/api-994c74d925321ee0.d: tests/api.rs
+
+/root/repo/target/debug/deps/api-994c74d925321ee0: tests/api.rs
+
+tests/api.rs:

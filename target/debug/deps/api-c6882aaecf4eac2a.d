@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/api-c6882aaecf4eac2a.d: tests/api.rs
+
+/root/repo/target/debug/deps/libapi-c6882aaecf4eac2a.rmeta: tests/api.rs
+
+tests/api.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compile_time-16a2f41b72e65441.d: crates/bench/benches/compile_time.rs
+
+/root/repo/target/debug/deps/compile_time-16a2f41b72e65441: crates/bench/benches/compile_time.rs
+
+crates/bench/benches/compile_time.rs:

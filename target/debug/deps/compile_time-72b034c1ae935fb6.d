@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compile_time-72b034c1ae935fb6.d: crates/bench/benches/compile_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompile_time-72b034c1ae935fb6.rmeta: crates/bench/benches/compile_time.rs Cargo.toml
+
+crates/bench/benches/compile_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compile_time-82968df3790b208e.d: crates/bench/benches/compile_time.rs
+
+/root/repo/target/debug/deps/libcompile_time-82968df3790b208e.rmeta: crates/bench/benches/compile_time.rs
+
+crates/bench/benches/compile_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/complexity-16ef357888cd35ea.d: crates/bench/src/bin/complexity.rs
+
+/root/repo/target/debug/deps/complexity-16ef357888cd35ea: crates/bench/src/bin/complexity.rs
+
+crates/bench/src/bin/complexity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/complexity-3005113210c00ecf.d: crates/bench/src/bin/complexity.rs
+
+/root/repo/target/debug/deps/complexity-3005113210c00ecf: crates/bench/src/bin/complexity.rs
+
+crates/bench/src/bin/complexity.rs:

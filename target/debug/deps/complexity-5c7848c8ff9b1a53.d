@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/complexity-5c7848c8ff9b1a53.d: crates/bench/src/bin/complexity.rs
+
+/root/repo/target/debug/deps/libcomplexity-5c7848c8ff9b1a53.rmeta: crates/bench/src/bin/complexity.rs
+
+crates/bench/src/bin/complexity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/complexity-a502ba7ea1d7d677.d: crates/bench/src/bin/complexity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcomplexity-a502ba7ea1d7d677.rmeta: crates/bench/src/bin/complexity.rs Cargo.toml
+
+crates/bench/src/bin/complexity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

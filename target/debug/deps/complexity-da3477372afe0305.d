@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/complexity-da3477372afe0305.d: crates/bench/src/bin/complexity.rs
+
+/root/repo/target/debug/deps/complexity-da3477372afe0305: crates/bench/src/bin/complexity.rs
+
+crates/bench/src/bin/complexity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/complexity-eb225f0a2e882c1e.d: crates/bench/src/bin/complexity.rs
+
+/root/repo/target/debug/deps/libcomplexity-eb225f0a2e882c1e.rmeta: crates/bench/src/bin/complexity.rs
+
+crates/bench/src/bin/complexity.rs:

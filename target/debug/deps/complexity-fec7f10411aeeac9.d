@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/complexity-fec7f10411aeeac9.d: crates/bench/src/bin/complexity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcomplexity-fec7f10411aeeac9.rmeta: crates/bench/src/bin/complexity.rs Cargo.toml
+
+crates/bench/src/bin/complexity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-f967cf257c173b25.d: crates/vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-f967cf257c173b25.rmeta: crates/vendor/criterion/src/lib.rs
+
+crates/vendor/criterion/src/lib.rs:

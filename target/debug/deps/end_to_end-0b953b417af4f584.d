@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-0b953b417af4f584.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-0b953b417af4f584: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-0d702c730afb9af8.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-0d702c730afb9af8: tests/end_to_end.rs
+
+tests/end_to_end.rs:

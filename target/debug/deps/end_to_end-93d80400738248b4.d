@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-93d80400738248b4.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/libend_to_end-93d80400738248b4.rmeta: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17-518f93c60016aa2a.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/debug/deps/libfig17-518f93c60016aa2a.rmeta: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

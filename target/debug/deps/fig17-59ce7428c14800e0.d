@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17-59ce7428c14800e0.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/debug/deps/fig17-59ce7428c14800e0: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17-7065db96702b66da.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/debug/deps/fig17-7065db96702b66da: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17-9b70ae489b674a2c.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/debug/deps/libfig17-9b70ae489b674a2c.rmeta: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17-c1848d66fa81b1bf.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/debug/deps/fig17-c1848d66fa81b1bf: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18-0b313d864b9831eb.d: crates/bench/src/bin/fig18.rs
+
+/root/repo/target/debug/deps/libfig18-0b313d864b9831eb.rmeta: crates/bench/src/bin/fig18.rs
+
+crates/bench/src/bin/fig18.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18-27624576f72af63d.d: crates/bench/src/bin/fig18.rs
+
+/root/repo/target/debug/deps/fig18-27624576f72af63d: crates/bench/src/bin/fig18.rs
+
+crates/bench/src/bin/fig18.rs:

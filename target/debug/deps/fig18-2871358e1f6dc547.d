@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18-2871358e1f6dc547.d: crates/bench/src/bin/fig18.rs
+
+/root/repo/target/debug/deps/fig18-2871358e1f6dc547: crates/bench/src/bin/fig18.rs
+
+crates/bench/src/bin/fig18.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18-8e4d90e6a18cfe54.d: crates/bench/src/bin/fig18.rs
+
+/root/repo/target/debug/deps/fig18-8e4d90e6a18cfe54: crates/bench/src/bin/fig18.rs
+
+crates/bench/src/bin/fig18.rs:

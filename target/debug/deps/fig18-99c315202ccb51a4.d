@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18-99c315202ccb51a4.d: crates/bench/src/bin/fig18.rs
+
+/root/repo/target/debug/deps/libfig18-99c315202ccb51a4.rmeta: crates/bench/src/bin/fig18.rs
+
+crates/bench/src/bin/fig18.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19-42688eaa1b8ea522.d: crates/bench/src/bin/fig19.rs
+
+/root/repo/target/debug/deps/libfig19-42688eaa1b8ea522.rmeta: crates/bench/src/bin/fig19.rs
+
+crates/bench/src/bin/fig19.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19-68e13edff09c9335.d: crates/bench/src/bin/fig19.rs
+
+/root/repo/target/debug/deps/fig19-68e13edff09c9335: crates/bench/src/bin/fig19.rs
+
+crates/bench/src/bin/fig19.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19-6f4d99433e00ec8a.d: crates/bench/src/bin/fig19.rs
+
+/root/repo/target/debug/deps/fig19-6f4d99433e00ec8a: crates/bench/src/bin/fig19.rs
+
+crates/bench/src/bin/fig19.rs:

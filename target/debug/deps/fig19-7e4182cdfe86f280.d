@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19-7e4182cdfe86f280.d: crates/bench/src/bin/fig19.rs
+
+/root/repo/target/debug/deps/libfig19-7e4182cdfe86f280.rmeta: crates/bench/src/bin/fig19.rs
+
+crates/bench/src/bin/fig19.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19-f478335a1ea3b01f.d: crates/bench/src/bin/fig19.rs
+
+/root/repo/target/debug/deps/fig19-f478335a1ea3b01f: crates/bench/src/bin/fig19.rs
+
+crates/bench/src/bin/fig19.rs:

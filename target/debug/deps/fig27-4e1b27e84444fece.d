@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig27-4e1b27e84444fece.d: crates/bench/src/bin/fig27.rs
+
+/root/repo/target/debug/deps/fig27-4e1b27e84444fece: crates/bench/src/bin/fig27.rs
+
+crates/bench/src/bin/fig27.rs:

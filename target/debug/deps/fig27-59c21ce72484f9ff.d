@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig27-59c21ce72484f9ff.d: crates/bench/src/bin/fig27.rs
+
+/root/repo/target/debug/deps/fig27-59c21ce72484f9ff: crates/bench/src/bin/fig27.rs
+
+crates/bench/src/bin/fig27.rs:

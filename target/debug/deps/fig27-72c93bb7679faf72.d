@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig27-72c93bb7679faf72.d: crates/bench/src/bin/fig27.rs
+
+/root/repo/target/debug/deps/libfig27-72c93bb7679faf72.rmeta: crates/bench/src/bin/fig27.rs
+
+crates/bench/src/bin/fig27.rs:

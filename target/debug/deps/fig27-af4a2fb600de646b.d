@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig27-af4a2fb600de646b.d: crates/bench/src/bin/fig27.rs
+
+/root/repo/target/debug/deps/fig27-af4a2fb600de646b: crates/bench/src/bin/fig27.rs
+
+crates/bench/src/bin/fig27.rs:

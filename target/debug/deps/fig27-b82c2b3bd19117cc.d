@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig27-b82c2b3bd19117cc.d: crates/bench/src/bin/fig27.rs
+
+/root/repo/target/debug/deps/libfig27-b82c2b3bd19117cc.rmeta: crates/bench/src/bin/fig27.rs
+
+crates/bench/src/bin/fig27.rs:

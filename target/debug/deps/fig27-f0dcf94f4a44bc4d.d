@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig27-f0dcf94f4a44bc4d.d: crates/bench/src/bin/fig27.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig27-f0dcf94f4a44bc4d.rmeta: crates/bench/src/bin/fig27.rs Cargo.toml
+
+crates/bench/src/bin/fig27.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

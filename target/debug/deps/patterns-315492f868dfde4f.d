@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/patterns-315492f868dfde4f.d: crates/bench/benches/patterns.rs
+
+/root/repo/target/debug/deps/libpatterns-315492f868dfde4f.rmeta: crates/bench/benches/patterns.rs
+
+crates/bench/benches/patterns.rs:

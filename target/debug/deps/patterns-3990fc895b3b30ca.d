@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/patterns-3990fc895b3b30ca.d: crates/bench/benches/patterns.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpatterns-3990fc895b3b30ca.rmeta: crates/bench/benches/patterns.rs Cargo.toml
+
+crates/bench/benches/patterns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/patterns-c8c73c73d649c678.d: crates/bench/benches/patterns.rs
+
+/root/repo/target/debug/deps/patterns-c8c73c73d649c678: crates/bench/benches/patterns.rs
+
+crates/bench/benches/patterns.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-1fadc41c9e662421.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-1fadc41c9e662421: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-2b61439c266ea283.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-2b61439c266ea283: tests/properties.rs
+
+tests/properties.rs:

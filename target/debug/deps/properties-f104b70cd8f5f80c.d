@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-f104b70cd8f5f80c.d: tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-f104b70cd8f5f80c.rmeta: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-6ebb5908b6286fff.d: crates/vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-6ebb5908b6286fff.rmeta: crates/vendor/proptest/src/lib.rs
+
+crates/vendor/proptest/src/lib.rs:

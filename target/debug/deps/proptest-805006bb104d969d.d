@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-805006bb104d969d.d: crates/vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-805006bb104d969d: crates/vendor/proptest/src/lib.rs
+
+crates/vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-ab3685e19793ed96.d: crates/vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-ab3685e19793ed96.rmeta: crates/vendor/proptest/src/lib.rs
+
+crates/vendor/proptest/src/lib.rs:

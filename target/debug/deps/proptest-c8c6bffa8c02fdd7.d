@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-c8c6bffa8c02fdd7.d: crates/vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-c8c6bffa8c02fdd7.rlib: crates/vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-c8c6bffa8c02fdd7.rmeta: crates/vendor/proptest/src/lib.rs
+
+crates/vendor/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-f95be9239b69e5cb.d: crates/vendor/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-f95be9239b69e5cb.rmeta: crates/vendor/proptest/src/lib.rs Cargo.toml
+
+crates/vendor/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

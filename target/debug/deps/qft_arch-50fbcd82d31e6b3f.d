@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/qft_arch-50fbcd82d31e6b3f.d: crates/arch/src/lib.rs crates/arch/src/devices.rs crates/arch/src/distance.rs crates/arch/src/graph.rs crates/arch/src/grid.rs crates/arch/src/hamiltonian.rs crates/arch/src/heavyhex.rs crates/arch/src/lattice.rs crates/arch/src/lnn.rs crates/arch/src/sycamore.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqft_arch-50fbcd82d31e6b3f.rmeta: crates/arch/src/lib.rs crates/arch/src/devices.rs crates/arch/src/distance.rs crates/arch/src/graph.rs crates/arch/src/grid.rs crates/arch/src/hamiltonian.rs crates/arch/src/heavyhex.rs crates/arch/src/lattice.rs crates/arch/src/lnn.rs crates/arch/src/sycamore.rs Cargo.toml
+
+crates/arch/src/lib.rs:
+crates/arch/src/devices.rs:
+crates/arch/src/distance.rs:
+crates/arch/src/graph.rs:
+crates/arch/src/grid.rs:
+crates/arch/src/hamiltonian.rs:
+crates/arch/src/heavyhex.rs:
+crates/arch/src/lattice.rs:
+crates/arch/src/lnn.rs:
+crates/arch/src/sycamore.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qft_arch-6dabc7abc66a011b.d: crates/arch/src/lib.rs crates/arch/src/devices.rs crates/arch/src/distance.rs crates/arch/src/graph.rs crates/arch/src/grid.rs crates/arch/src/hamiltonian.rs crates/arch/src/heavyhex.rs crates/arch/src/lattice.rs crates/arch/src/lnn.rs crates/arch/src/sycamore.rs
+
+/root/repo/target/debug/deps/libqft_arch-6dabc7abc66a011b.rmeta: crates/arch/src/lib.rs crates/arch/src/devices.rs crates/arch/src/distance.rs crates/arch/src/graph.rs crates/arch/src/grid.rs crates/arch/src/hamiltonian.rs crates/arch/src/heavyhex.rs crates/arch/src/lattice.rs crates/arch/src/lnn.rs crates/arch/src/sycamore.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/devices.rs:
+crates/arch/src/distance.rs:
+crates/arch/src/graph.rs:
+crates/arch/src/grid.rs:
+crates/arch/src/hamiltonian.rs:
+crates/arch/src/heavyhex.rs:
+crates/arch/src/lattice.rs:
+crates/arch/src/lnn.rs:
+crates/arch/src/sycamore.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/qft_arch-76247fe79f2cdec6.d: crates/arch/src/lib.rs crates/arch/src/devices.rs crates/arch/src/distance.rs crates/arch/src/graph.rs crates/arch/src/grid.rs crates/arch/src/hamiltonian.rs crates/arch/src/heavyhex.rs crates/arch/src/lattice.rs crates/arch/src/lnn.rs crates/arch/src/sycamore.rs
+
+/root/repo/target/debug/deps/libqft_arch-76247fe79f2cdec6.rlib: crates/arch/src/lib.rs crates/arch/src/devices.rs crates/arch/src/distance.rs crates/arch/src/graph.rs crates/arch/src/grid.rs crates/arch/src/hamiltonian.rs crates/arch/src/heavyhex.rs crates/arch/src/lattice.rs crates/arch/src/lnn.rs crates/arch/src/sycamore.rs
+
+/root/repo/target/debug/deps/libqft_arch-76247fe79f2cdec6.rmeta: crates/arch/src/lib.rs crates/arch/src/devices.rs crates/arch/src/distance.rs crates/arch/src/graph.rs crates/arch/src/grid.rs crates/arch/src/hamiltonian.rs crates/arch/src/heavyhex.rs crates/arch/src/lattice.rs crates/arch/src/lnn.rs crates/arch/src/sycamore.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/devices.rs:
+crates/arch/src/distance.rs:
+crates/arch/src/graph.rs:
+crates/arch/src/grid.rs:
+crates/arch/src/hamiltonian.rs:
+crates/arch/src/heavyhex.rs:
+crates/arch/src/lattice.rs:
+crates/arch/src/lnn.rs:
+crates/arch/src/sycamore.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qft_baselines-3297f53aa5fa0a06.d: crates/baselines/src/lib.rs crates/baselines/src/lnn_path.rs crates/baselines/src/optimal.rs crates/baselines/src/pipeline.rs crates/baselines/src/sabre.rs
+
+/root/repo/target/debug/deps/libqft_baselines-3297f53aa5fa0a06.rlib: crates/baselines/src/lib.rs crates/baselines/src/lnn_path.rs crates/baselines/src/optimal.rs crates/baselines/src/pipeline.rs crates/baselines/src/sabre.rs
+
+/root/repo/target/debug/deps/libqft_baselines-3297f53aa5fa0a06.rmeta: crates/baselines/src/lib.rs crates/baselines/src/lnn_path.rs crates/baselines/src/optimal.rs crates/baselines/src/pipeline.rs crates/baselines/src/sabre.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/lnn_path.rs:
+crates/baselines/src/optimal.rs:
+crates/baselines/src/pipeline.rs:
+crates/baselines/src/sabre.rs:

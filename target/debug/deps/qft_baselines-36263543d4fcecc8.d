@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qft_baselines-36263543d4fcecc8.d: crates/baselines/src/lib.rs crates/baselines/src/lnn_path.rs crates/baselines/src/optimal.rs crates/baselines/src/pipeline.rs crates/baselines/src/sabre.rs
+
+/root/repo/target/debug/deps/libqft_baselines-36263543d4fcecc8.rmeta: crates/baselines/src/lib.rs crates/baselines/src/lnn_path.rs crates/baselines/src/optimal.rs crates/baselines/src/pipeline.rs crates/baselines/src/sabre.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/lnn_path.rs:
+crates/baselines/src/optimal.rs:
+crates/baselines/src/pipeline.rs:
+crates/baselines/src/sabre.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qft_baselines-8f0f1961c3968331.d: crates/baselines/src/lib.rs crates/baselines/src/lnn_path.rs crates/baselines/src/optimal.rs crates/baselines/src/pipeline.rs crates/baselines/src/sabre.rs
+
+/root/repo/target/debug/deps/qft_baselines-8f0f1961c3968331: crates/baselines/src/lib.rs crates/baselines/src/lnn_path.rs crates/baselines/src/optimal.rs crates/baselines/src/pipeline.rs crates/baselines/src/sabre.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/lnn_path.rs:
+crates/baselines/src/optimal.rs:
+crates/baselines/src/pipeline.rs:
+crates/baselines/src/sabre.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qft_bench-3a758ed3be6fef96.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqft_bench-3a758ed3be6fef96.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

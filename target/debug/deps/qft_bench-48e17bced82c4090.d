@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qft_bench-48e17bced82c4090.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libqft_bench-48e17bced82c4090.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libqft_bench-48e17bced82c4090.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

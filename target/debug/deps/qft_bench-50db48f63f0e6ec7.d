@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qft_bench-50db48f63f0e6ec7.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libqft_bench-50db48f63f0e6ec7.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qft_bench-67a14625e6b97911.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/qft_bench-67a14625e6b97911: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

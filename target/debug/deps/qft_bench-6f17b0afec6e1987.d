@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qft_bench-6f17b0afec6e1987.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqft_bench-6f17b0afec6e1987.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

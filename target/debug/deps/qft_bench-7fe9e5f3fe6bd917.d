@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qft_bench-7fe9e5f3fe6bd917.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libqft_bench-7fe9e5f3fe6bd917.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libqft_bench-7fe9e5f3fe6bd917.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

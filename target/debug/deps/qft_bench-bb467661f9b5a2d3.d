@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qft_bench-bb467661f9b5a2d3.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/qft_bench-bb467661f9b5a2d3: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

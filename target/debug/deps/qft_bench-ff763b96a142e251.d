@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qft_bench-ff763b96a142e251.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libqft_bench-ff763b96a142e251.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

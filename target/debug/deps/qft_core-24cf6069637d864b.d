@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/qft_core-24cf6069637d864b.d: crates/core/src/lib.rs crates/core/src/compiler.rs crates/core/src/heavyhex.rs crates/core/src/lattice.rs crates/core/src/line.rs crates/core/src/lnn.rs crates/core/src/pipeline.rs crates/core/src/progress.rs crates/core/src/registry.rs crates/core/src/sycamore.rs crates/core/src/target.rs crates/core/src/two_row.rs
+
+/root/repo/target/debug/deps/libqft_core-24cf6069637d864b.rlib: crates/core/src/lib.rs crates/core/src/compiler.rs crates/core/src/heavyhex.rs crates/core/src/lattice.rs crates/core/src/line.rs crates/core/src/lnn.rs crates/core/src/pipeline.rs crates/core/src/progress.rs crates/core/src/registry.rs crates/core/src/sycamore.rs crates/core/src/target.rs crates/core/src/two_row.rs
+
+/root/repo/target/debug/deps/libqft_core-24cf6069637d864b.rmeta: crates/core/src/lib.rs crates/core/src/compiler.rs crates/core/src/heavyhex.rs crates/core/src/lattice.rs crates/core/src/line.rs crates/core/src/lnn.rs crates/core/src/pipeline.rs crates/core/src/progress.rs crates/core/src/registry.rs crates/core/src/sycamore.rs crates/core/src/target.rs crates/core/src/two_row.rs
+
+crates/core/src/lib.rs:
+crates/core/src/compiler.rs:
+crates/core/src/heavyhex.rs:
+crates/core/src/lattice.rs:
+crates/core/src/line.rs:
+crates/core/src/lnn.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/progress.rs:
+crates/core/src/registry.rs:
+crates/core/src/sycamore.rs:
+crates/core/src/target.rs:
+crates/core/src/two_row.rs:

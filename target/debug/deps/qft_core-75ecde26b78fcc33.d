@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/qft_core-75ecde26b78fcc33.d: crates/core/src/lib.rs crates/core/src/compiler.rs crates/core/src/heavyhex.rs crates/core/src/lattice.rs crates/core/src/line.rs crates/core/src/lnn.rs crates/core/src/pipeline.rs crates/core/src/progress.rs crates/core/src/registry.rs crates/core/src/sycamore.rs crates/core/src/target.rs crates/core/src/two_row.rs
+
+/root/repo/target/debug/deps/qft_core-75ecde26b78fcc33: crates/core/src/lib.rs crates/core/src/compiler.rs crates/core/src/heavyhex.rs crates/core/src/lattice.rs crates/core/src/line.rs crates/core/src/lnn.rs crates/core/src/pipeline.rs crates/core/src/progress.rs crates/core/src/registry.rs crates/core/src/sycamore.rs crates/core/src/target.rs crates/core/src/two_row.rs
+
+crates/core/src/lib.rs:
+crates/core/src/compiler.rs:
+crates/core/src/heavyhex.rs:
+crates/core/src/lattice.rs:
+crates/core/src/line.rs:
+crates/core/src/lnn.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/progress.rs:
+crates/core/src/registry.rs:
+crates/core/src/sycamore.rs:
+crates/core/src/target.rs:
+crates/core/src/two_row.rs:

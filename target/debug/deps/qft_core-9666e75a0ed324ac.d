@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/qft_core-9666e75a0ed324ac.d: crates/core/src/lib.rs crates/core/src/compiler.rs crates/core/src/heavyhex.rs crates/core/src/lattice.rs crates/core/src/line.rs crates/core/src/lnn.rs crates/core/src/pipeline.rs crates/core/src/progress.rs crates/core/src/registry.rs crates/core/src/sycamore.rs crates/core/src/target.rs crates/core/src/two_row.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqft_core-9666e75a0ed324ac.rmeta: crates/core/src/lib.rs crates/core/src/compiler.rs crates/core/src/heavyhex.rs crates/core/src/lattice.rs crates/core/src/line.rs crates/core/src/lnn.rs crates/core/src/pipeline.rs crates/core/src/progress.rs crates/core/src/registry.rs crates/core/src/sycamore.rs crates/core/src/target.rs crates/core/src/two_row.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/compiler.rs:
+crates/core/src/heavyhex.rs:
+crates/core/src/lattice.rs:
+crates/core/src/line.rs:
+crates/core/src/lnn.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/progress.rs:
+crates/core/src/registry.rs:
+crates/core/src/sycamore.rs:
+crates/core/src/target.rs:
+crates/core/src/two_row.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qft_ir-3baf735fcd0ca653.d: crates/ir/src/lib.rs crates/ir/src/circuit.rs crates/ir/src/dag.rs crates/ir/src/gate.rs crates/ir/src/latency.rs crates/ir/src/layout.rs crates/ir/src/metrics.rs crates/ir/src/qasm.rs crates/ir/src/qft.rs crates/ir/src/render.rs
+
+/root/repo/target/debug/deps/qft_ir-3baf735fcd0ca653: crates/ir/src/lib.rs crates/ir/src/circuit.rs crates/ir/src/dag.rs crates/ir/src/gate.rs crates/ir/src/latency.rs crates/ir/src/layout.rs crates/ir/src/metrics.rs crates/ir/src/qasm.rs crates/ir/src/qft.rs crates/ir/src/render.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/circuit.rs:
+crates/ir/src/dag.rs:
+crates/ir/src/gate.rs:
+crates/ir/src/latency.rs:
+crates/ir/src/layout.rs:
+crates/ir/src/metrics.rs:
+crates/ir/src/qasm.rs:
+crates/ir/src/qft.rs:
+crates/ir/src/render.rs:

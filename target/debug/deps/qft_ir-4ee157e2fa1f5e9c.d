@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qft_ir-4ee157e2fa1f5e9c.d: crates/ir/src/lib.rs crates/ir/src/circuit.rs crates/ir/src/dag.rs crates/ir/src/gate.rs crates/ir/src/latency.rs crates/ir/src/layout.rs crates/ir/src/metrics.rs crates/ir/src/qasm.rs crates/ir/src/qft.rs crates/ir/src/render.rs
+
+/root/repo/target/debug/deps/libqft_ir-4ee157e2fa1f5e9c.rmeta: crates/ir/src/lib.rs crates/ir/src/circuit.rs crates/ir/src/dag.rs crates/ir/src/gate.rs crates/ir/src/latency.rs crates/ir/src/layout.rs crates/ir/src/metrics.rs crates/ir/src/qasm.rs crates/ir/src/qft.rs crates/ir/src/render.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/circuit.rs:
+crates/ir/src/dag.rs:
+crates/ir/src/gate.rs:
+crates/ir/src/latency.rs:
+crates/ir/src/layout.rs:
+crates/ir/src/metrics.rs:
+crates/ir/src/qasm.rs:
+crates/ir/src/qft.rs:
+crates/ir/src/render.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/qft_ir-69972f3b95a73662.d: crates/ir/src/lib.rs crates/ir/src/circuit.rs crates/ir/src/dag.rs crates/ir/src/gate.rs crates/ir/src/latency.rs crates/ir/src/layout.rs crates/ir/src/metrics.rs crates/ir/src/qasm.rs crates/ir/src/qft.rs crates/ir/src/render.rs
+
+/root/repo/target/debug/deps/libqft_ir-69972f3b95a73662.rlib: crates/ir/src/lib.rs crates/ir/src/circuit.rs crates/ir/src/dag.rs crates/ir/src/gate.rs crates/ir/src/latency.rs crates/ir/src/layout.rs crates/ir/src/metrics.rs crates/ir/src/qasm.rs crates/ir/src/qft.rs crates/ir/src/render.rs
+
+/root/repo/target/debug/deps/libqft_ir-69972f3b95a73662.rmeta: crates/ir/src/lib.rs crates/ir/src/circuit.rs crates/ir/src/dag.rs crates/ir/src/gate.rs crates/ir/src/latency.rs crates/ir/src/layout.rs crates/ir/src/metrics.rs crates/ir/src/qasm.rs crates/ir/src/qft.rs crates/ir/src/render.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/circuit.rs:
+crates/ir/src/dag.rs:
+crates/ir/src/gate.rs:
+crates/ir/src/latency.rs:
+crates/ir/src/layout.rs:
+crates/ir/src/metrics.rs:
+crates/ir/src/qasm.rs:
+crates/ir/src/qft.rs:
+crates/ir/src/render.rs:

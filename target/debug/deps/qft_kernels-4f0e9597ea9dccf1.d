@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qft_kernels-4f0e9597ea9dccf1.d: src/lib.rs
+
+/root/repo/target/debug/deps/qft_kernels-4f0e9597ea9dccf1: src/lib.rs
+
+src/lib.rs:

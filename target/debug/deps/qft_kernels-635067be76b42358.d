@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qft_kernels-635067be76b42358.d: src/lib.rs
+
+/root/repo/target/debug/deps/libqft_kernels-635067be76b42358.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libqft_kernels-635067be76b42358.rmeta: src/lib.rs
+
+src/lib.rs:

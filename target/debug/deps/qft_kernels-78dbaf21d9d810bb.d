@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qft_kernels-78dbaf21d9d810bb.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqft_kernels-78dbaf21d9d810bb.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qft_kernels-afe7d7256ffed06a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libqft_kernels-afe7d7256ffed06a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libqft_kernels-afe7d7256ffed06a.rmeta: src/lib.rs
+
+src/lib.rs:

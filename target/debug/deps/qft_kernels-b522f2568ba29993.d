@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qft_kernels-b522f2568ba29993.d: src/lib.rs
+
+/root/repo/target/debug/deps/qft_kernels-b522f2568ba29993: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qft_kernels-bff934727dcf954d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libqft_kernels-bff934727dcf954d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qft_kernels-e0f5d43cabbe55fe.d: src/lib.rs
+
+/root/repo/target/debug/deps/libqft_kernels-e0f5d43cabbe55fe.rmeta: src/lib.rs
+
+src/lib.rs:

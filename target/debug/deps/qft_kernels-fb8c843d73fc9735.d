@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qft_kernels-fb8c843d73fc9735.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqft_kernels-fb8c843d73fc9735.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/qft_sim-7c13a09f77938d2d.d: crates/sim/src/lib.rs crates/sim/src/complex.rs crates/sim/src/equiv.rs crates/sim/src/reference.rs crates/sim/src/state.rs crates/sim/src/symbolic.rs
+
+/root/repo/target/debug/deps/libqft_sim-7c13a09f77938d2d.rlib: crates/sim/src/lib.rs crates/sim/src/complex.rs crates/sim/src/equiv.rs crates/sim/src/reference.rs crates/sim/src/state.rs crates/sim/src/symbolic.rs
+
+/root/repo/target/debug/deps/libqft_sim-7c13a09f77938d2d.rmeta: crates/sim/src/lib.rs crates/sim/src/complex.rs crates/sim/src/equiv.rs crates/sim/src/reference.rs crates/sim/src/state.rs crates/sim/src/symbolic.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/complex.rs:
+crates/sim/src/equiv.rs:
+crates/sim/src/reference.rs:
+crates/sim/src/state.rs:
+crates/sim/src/symbolic.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qft_sim-d3af4bfad25c48a7.d: crates/sim/src/lib.rs crates/sim/src/complex.rs crates/sim/src/equiv.rs crates/sim/src/reference.rs crates/sim/src/state.rs crates/sim/src/symbolic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqft_sim-d3af4bfad25c48a7.rmeta: crates/sim/src/lib.rs crates/sim/src/complex.rs crates/sim/src/equiv.rs crates/sim/src/reference.rs crates/sim/src/state.rs crates/sim/src/symbolic.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/complex.rs:
+crates/sim/src/equiv.rs:
+crates/sim/src/reference.rs:
+crates/sim/src/state.rs:
+crates/sim/src/symbolic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/qft_sim-de777c90da08d40f.d: crates/sim/src/lib.rs crates/sim/src/complex.rs crates/sim/src/equiv.rs crates/sim/src/reference.rs crates/sim/src/state.rs crates/sim/src/symbolic.rs
+
+/root/repo/target/debug/deps/libqft_sim-de777c90da08d40f.rmeta: crates/sim/src/lib.rs crates/sim/src/complex.rs crates/sim/src/equiv.rs crates/sim/src/reference.rs crates/sim/src/state.rs crates/sim/src/symbolic.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/complex.rs:
+crates/sim/src/equiv.rs:
+crates/sim/src/reference.rs:
+crates/sim/src/state.rs:
+crates/sim/src/symbolic.rs:

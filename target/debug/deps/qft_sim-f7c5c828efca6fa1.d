@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/qft_sim-f7c5c828efca6fa1.d: crates/sim/src/lib.rs crates/sim/src/complex.rs crates/sim/src/equiv.rs crates/sim/src/reference.rs crates/sim/src/state.rs crates/sim/src/symbolic.rs
+
+/root/repo/target/debug/deps/libqft_sim-f7c5c828efca6fa1.rlib: crates/sim/src/lib.rs crates/sim/src/complex.rs crates/sim/src/equiv.rs crates/sim/src/reference.rs crates/sim/src/state.rs crates/sim/src/symbolic.rs
+
+/root/repo/target/debug/deps/libqft_sim-f7c5c828efca6fa1.rmeta: crates/sim/src/lib.rs crates/sim/src/complex.rs crates/sim/src/equiv.rs crates/sim/src/reference.rs crates/sim/src/state.rs crates/sim/src/symbolic.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/complex.rs:
+crates/sim/src/equiv.rs:
+crates/sim/src/reference.rs:
+crates/sim/src/state.rs:
+crates/sim/src/symbolic.rs:

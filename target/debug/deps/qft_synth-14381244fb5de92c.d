@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qft_synth-14381244fb5de92c.d: crates/synth/src/lib.rs crates/synth/src/engine.rs crates/synth/src/patterns.rs
+
+/root/repo/target/debug/deps/libqft_synth-14381244fb5de92c.rmeta: crates/synth/src/lib.rs crates/synth/src/engine.rs crates/synth/src/patterns.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/engine.rs:
+crates/synth/src/patterns.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qft_synth-484fec467a8c75e5.d: crates/synth/src/lib.rs crates/synth/src/engine.rs crates/synth/src/patterns.rs
+
+/root/repo/target/debug/deps/libqft_synth-484fec467a8c75e5.rmeta: crates/synth/src/lib.rs crates/synth/src/engine.rs crates/synth/src/patterns.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/engine.rs:
+crates/synth/src/patterns.rs:

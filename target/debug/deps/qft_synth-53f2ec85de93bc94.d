@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qft_synth-53f2ec85de93bc94.d: crates/synth/src/lib.rs crates/synth/src/engine.rs crates/synth/src/patterns.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqft_synth-53f2ec85de93bc94.rmeta: crates/synth/src/lib.rs crates/synth/src/engine.rs crates/synth/src/patterns.rs Cargo.toml
+
+crates/synth/src/lib.rs:
+crates/synth/src/engine.rs:
+crates/synth/src/patterns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

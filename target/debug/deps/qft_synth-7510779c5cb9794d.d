@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qft_synth-7510779c5cb9794d.d: crates/synth/src/lib.rs crates/synth/src/engine.rs crates/synth/src/patterns.rs
+
+/root/repo/target/debug/deps/libqft_synth-7510779c5cb9794d.rlib: crates/synth/src/lib.rs crates/synth/src/engine.rs crates/synth/src/patterns.rs
+
+/root/repo/target/debug/deps/libqft_synth-7510779c5cb9794d.rmeta: crates/synth/src/lib.rs crates/synth/src/engine.rs crates/synth/src/patterns.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/engine.rs:
+crates/synth/src/patterns.rs:

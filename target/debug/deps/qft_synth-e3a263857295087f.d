@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qft_synth-e3a263857295087f.d: crates/synth/src/lib.rs crates/synth/src/engine.rs crates/synth/src/patterns.rs
+
+/root/repo/target/debug/deps/qft_synth-e3a263857295087f: crates/synth/src/lib.rs crates/synth/src/engine.rs crates/synth/src/patterns.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/engine.rs:
+crates/synth/src/patterns.rs:

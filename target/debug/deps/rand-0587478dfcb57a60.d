@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-0587478dfcb57a60.d: crates/vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-0587478dfcb57a60: crates/vendor/rand/src/lib.rs
+
+crates/vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-0d752bd728da8912.d: crates/vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-0d752bd728da8912.rmeta: crates/vendor/rand/src/lib.rs
+
+crates/vendor/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-269397e7a3727e88.d: crates/vendor/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-269397e7a3727e88.rmeta: crates/vendor/rand/src/lib.rs Cargo.toml
+
+crates/vendor/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

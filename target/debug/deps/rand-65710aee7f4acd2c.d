@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-65710aee7f4acd2c.d: crates/vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-65710aee7f4acd2c.rmeta: crates/vendor/rand/src/lib.rs
+
+crates/vendor/rand/src/lib.rs:

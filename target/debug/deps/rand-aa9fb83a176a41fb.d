@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-aa9fb83a176a41fb.d: crates/vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-aa9fb83a176a41fb.rlib: crates/vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-aa9fb83a176a41fb.rmeta: crates/vendor/rand/src/lib.rs
+
+crates/vendor/rand/src/lib.rs:

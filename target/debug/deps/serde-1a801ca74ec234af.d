@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-1a801ca74ec234af.d: crates/vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-1a801ca74ec234af: crates/vendor/serde/src/lib.rs
+
+crates/vendor/serde/src/lib.rs:

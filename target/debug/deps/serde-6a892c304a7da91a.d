@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-6a892c304a7da91a.d: crates/vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-6a892c304a7da91a.rmeta: crates/vendor/serde/src/lib.rs
+
+crates/vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-baf59f09e7fb3b38.d: crates/vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-baf59f09e7fb3b38.rlib: crates/vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-baf59f09e7fb3b38.rmeta: crates/vendor/serde/src/lib.rs
+
+crates/vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-c19fa44bce48a480.d: crates/vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-c19fa44bce48a480.rlib: crates/vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-c19fa44bce48a480.rmeta: crates/vendor/serde/src/lib.rs
+
+crates/vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-e875145dd01448e4.d: crates/vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-e875145dd01448e4: crates/vendor/serde/src/lib.rs
+
+crates/vendor/serde/src/lib.rs:

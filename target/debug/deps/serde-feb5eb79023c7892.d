@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-feb5eb79023c7892.d: crates/vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-feb5eb79023c7892.rmeta: crates/vendor/serde/src/lib.rs
+
+crates/vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-318fb836dd814a6e.d: crates/vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-318fb836dd814a6e.rmeta: crates/vendor/serde_derive/src/lib.rs
+
+crates/vendor/serde_derive/src/lib.rs:

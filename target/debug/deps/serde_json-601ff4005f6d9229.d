@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-601ff4005f6d9229.d: crates/vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-601ff4005f6d9229.rlib: crates/vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-601ff4005f6d9229.rmeta: crates/vendor/serde_json/src/lib.rs
+
+crates/vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-8e701f3549ab240c.d: crates/vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-8e701f3549ab240c.rmeta: crates/vendor/serde_json/src/lib.rs
+
+crates/vendor/serde_json/src/lib.rs:

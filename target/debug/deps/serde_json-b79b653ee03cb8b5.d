@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-b79b653ee03cb8b5.d: crates/vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-b79b653ee03cb8b5.rmeta: crates/vendor/serde_json/src/lib.rs
+
+crates/vendor/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-badf7d058d07bd90.d: crates/vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-badf7d058d07bd90.rlib: crates/vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-badf7d058d07bd90.rmeta: crates/vendor/serde_json/src/lib.rs
+
+crates/vendor/serde_json/src/lib.rs:

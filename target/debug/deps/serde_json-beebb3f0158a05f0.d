@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-beebb3f0158a05f0.d: crates/vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-beebb3f0158a05f0: crates/vendor/serde_json/src/lib.rs
+
+crates/vendor/serde_json/src/lib.rs:

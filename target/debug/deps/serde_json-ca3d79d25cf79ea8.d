@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-ca3d79d25cf79ea8.d: crates/vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-ca3d79d25cf79ea8: crates/vendor/serde_json/src/lib.rs
+
+crates/vendor/serde_json/src/lib.rs:

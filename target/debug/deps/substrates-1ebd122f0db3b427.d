@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/substrates-1ebd122f0db3b427.d: tests/substrates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubstrates-1ebd122f0db3b427.rmeta: tests/substrates.rs Cargo.toml
+
+tests/substrates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrates-941732f0c343bce2.d: tests/substrates.rs
+
+/root/repo/target/debug/deps/substrates-941732f0c343bce2: tests/substrates.rs
+
+tests/substrates.rs:

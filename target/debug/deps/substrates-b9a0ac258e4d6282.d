@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrates-b9a0ac258e4d6282.d: tests/substrates.rs
+
+/root/repo/target/debug/deps/substrates-b9a0ac258e4d6282: tests/substrates.rs
+
+tests/substrates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrates-d3f6ca45e9c55ab0.d: tests/substrates.rs
+
+/root/repo/target/debug/deps/libsubstrates-d3f6ca45e9c55ab0.rmeta: tests/substrates.rs
+
+tests/substrates.rs:

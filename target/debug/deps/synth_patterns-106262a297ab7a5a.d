@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/synth_patterns-106262a297ab7a5a.d: crates/bench/src/bin/synth_patterns.rs
+
+/root/repo/target/debug/deps/synth_patterns-106262a297ab7a5a: crates/bench/src/bin/synth_patterns.rs
+
+crates/bench/src/bin/synth_patterns.rs:

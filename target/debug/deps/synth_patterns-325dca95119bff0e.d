@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/synth_patterns-325dca95119bff0e.d: crates/bench/src/bin/synth_patterns.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsynth_patterns-325dca95119bff0e.rmeta: crates/bench/src/bin/synth_patterns.rs Cargo.toml
+
+crates/bench/src/bin/synth_patterns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

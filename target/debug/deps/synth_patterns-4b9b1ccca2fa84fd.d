@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/synth_patterns-4b9b1ccca2fa84fd.d: crates/bench/src/bin/synth_patterns.rs
+
+/root/repo/target/debug/deps/synth_patterns-4b9b1ccca2fa84fd: crates/bench/src/bin/synth_patterns.rs
+
+crates/bench/src/bin/synth_patterns.rs:

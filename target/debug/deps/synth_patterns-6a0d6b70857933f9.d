@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/synth_patterns-6a0d6b70857933f9.d: crates/bench/src/bin/synth_patterns.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsynth_patterns-6a0d6b70857933f9.rmeta: crates/bench/src/bin/synth_patterns.rs Cargo.toml
+
+crates/bench/src/bin/synth_patterns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

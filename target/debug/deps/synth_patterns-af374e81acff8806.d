@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/synth_patterns-af374e81acff8806.d: crates/bench/src/bin/synth_patterns.rs
+
+/root/repo/target/debug/deps/libsynth_patterns-af374e81acff8806.rmeta: crates/bench/src/bin/synth_patterns.rs
+
+crates/bench/src/bin/synth_patterns.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/synth_patterns-fa66417bc96488c2.d: crates/bench/src/bin/synth_patterns.rs
+
+/root/repo/target/debug/deps/synth_patterns-fa66417bc96488c2: crates/bench/src/bin/synth_patterns.rs
+
+crates/bench/src/bin/synth_patterns.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/synth_patterns-ffcb1bf77ef220dd.d: crates/bench/src/bin/synth_patterns.rs
+
+/root/repo/target/debug/deps/libsynth_patterns-ffcb1bf77ef220dd.rmeta: crates/bench/src/bin/synth_patterns.rs
+
+crates/bench/src/bin/synth_patterns.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-0e7faa26b0f84137.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-0e7faa26b0f84137.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

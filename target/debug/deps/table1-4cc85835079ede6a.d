@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-4cc85835079ede6a.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-4cc85835079ede6a: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

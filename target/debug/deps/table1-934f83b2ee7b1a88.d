@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-934f83b2ee7b1a88.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-934f83b2ee7b1a88: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

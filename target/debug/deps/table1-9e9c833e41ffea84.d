@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-9e9c833e41ffea84.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-9e9c833e41ffea84: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

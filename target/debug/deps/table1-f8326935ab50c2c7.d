@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-f8326935ab50c2c7.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-f8326935ab50c2c7.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compare_compilers-1e7f24acbf84f224.d: examples/compare_compilers.rs
+
+/root/repo/target/debug/examples/libcompare_compilers-1e7f24acbf84f224.rmeta: examples/compare_compilers.rs
+
+examples/compare_compilers.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/compare_compilers-53713feb2d077cea.d: examples/compare_compilers.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcompare_compilers-53713feb2d077cea.rmeta: examples/compare_compilers.rs Cargo.toml
+
+examples/compare_compilers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compare_compilers-704b33223e6e5d28.d: examples/compare_compilers.rs
+
+/root/repo/target/debug/examples/compare_compilers-704b33223e6e5d28: examples/compare_compilers.rs
+
+examples/compare_compilers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compare_compilers-cf6a802de3e8aeb4.d: examples/compare_compilers.rs
+
+/root/repo/target/debug/examples/compare_compilers-cf6a802de3e8aeb4: examples/compare_compilers.rs
+
+examples/compare_compilers.rs:

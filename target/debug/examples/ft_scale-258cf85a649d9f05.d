@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ft_scale-258cf85a649d9f05.d: examples/ft_scale.rs
+
+/root/repo/target/debug/examples/ft_scale-258cf85a649d9f05: examples/ft_scale.rs
+
+examples/ft_scale.rs:

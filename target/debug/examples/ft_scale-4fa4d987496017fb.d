@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ft_scale-4fa4d987496017fb.d: examples/ft_scale.rs
+
+/root/repo/target/debug/examples/ft_scale-4fa4d987496017fb: examples/ft_scale.rs
+
+examples/ft_scale.rs:

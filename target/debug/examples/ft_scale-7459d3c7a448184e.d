@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ft_scale-7459d3c7a448184e.d: examples/ft_scale.rs
+
+/root/repo/target/debug/examples/libft_scale-7459d3c7a448184e.rmeta: examples/ft_scale.rs
+
+examples/ft_scale.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ft_scale-8b0674703aa40675.d: examples/ft_scale.rs Cargo.toml
+
+/root/repo/target/debug/examples/libft_scale-8b0674703aa40675.rmeta: examples/ft_scale.rs Cargo.toml
+
+examples/ft_scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/partitioned_qft-7b0211217485e7b1.d: examples/partitioned_qft.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpartitioned_qft-7b0211217485e7b1.rmeta: examples/partitioned_qft.rs Cargo.toml
+
+examples/partitioned_qft.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/partitioned_qft-8ec34580fa929eb8.d: examples/partitioned_qft.rs
+
+/root/repo/target/debug/examples/libpartitioned_qft-8ec34580fa929eb8.rmeta: examples/partitioned_qft.rs
+
+examples/partitioned_qft.rs:

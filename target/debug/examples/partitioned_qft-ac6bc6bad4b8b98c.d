@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/partitioned_qft-ac6bc6bad4b8b98c.d: examples/partitioned_qft.rs
+
+/root/repo/target/debug/examples/partitioned_qft-ac6bc6bad4b8b98c: examples/partitioned_qft.rs
+
+examples/partitioned_qft.rs:

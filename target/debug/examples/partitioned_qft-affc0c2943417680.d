@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/partitioned_qft-affc0c2943417680.d: examples/partitioned_qft.rs
+
+/root/repo/target/debug/examples/partitioned_qft-affc0c2943417680: examples/partitioned_qft.rs
+
+examples/partitioned_qft.rs:

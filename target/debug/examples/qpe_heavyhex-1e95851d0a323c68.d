@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/qpe_heavyhex-1e95851d0a323c68.d: examples/qpe_heavyhex.rs
+
+/root/repo/target/debug/examples/qpe_heavyhex-1e95851d0a323c68: examples/qpe_heavyhex.rs
+
+examples/qpe_heavyhex.rs:

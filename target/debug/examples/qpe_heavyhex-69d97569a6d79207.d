@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/qpe_heavyhex-69d97569a6d79207.d: examples/qpe_heavyhex.rs Cargo.toml
+
+/root/repo/target/debug/examples/libqpe_heavyhex-69d97569a6d79207.rmeta: examples/qpe_heavyhex.rs Cargo.toml
+
+examples/qpe_heavyhex.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

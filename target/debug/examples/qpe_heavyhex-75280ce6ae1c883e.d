@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/qpe_heavyhex-75280ce6ae1c883e.d: examples/qpe_heavyhex.rs
+
+/root/repo/target/debug/examples/libqpe_heavyhex-75280ce6ae1c883e.rmeta: examples/qpe_heavyhex.rs
+
+examples/qpe_heavyhex.rs:

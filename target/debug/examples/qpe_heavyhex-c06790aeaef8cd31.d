@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/qpe_heavyhex-c06790aeaef8cd31.d: examples/qpe_heavyhex.rs
+
+/root/repo/target/debug/examples/qpe_heavyhex-c06790aeaef8cd31: examples/qpe_heavyhex.rs
+
+examples/qpe_heavyhex.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-07d862b3440d7f9d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-07d862b3440d7f9d.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

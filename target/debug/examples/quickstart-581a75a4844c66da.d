@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-581a75a4844c66da.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-581a75a4844c66da: examples/quickstart.rs
+
+examples/quickstart.rs:

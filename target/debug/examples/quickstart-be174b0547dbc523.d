@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-be174b0547dbc523.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-be174b0547dbc523: examples/quickstart.rs
+
+examples/quickstart.rs:

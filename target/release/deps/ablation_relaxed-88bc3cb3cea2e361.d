@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_relaxed-88bc3cb3cea2e361.d: crates/bench/src/bin/ablation_relaxed.rs
+
+/root/repo/target/release/deps/ablation_relaxed-88bc3cb3cea2e361: crates/bench/src/bin/ablation_relaxed.rs
+
+crates/bench/src/bin/ablation_relaxed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_relaxed-bb1dfcb60aeb10c3.d: crates/bench/src/bin/ablation_relaxed.rs
+
+/root/repo/target/release/deps/ablation_relaxed-bb1dfcb60aeb10c3: crates/bench/src/bin/ablation_relaxed.rs
+
+crates/bench/src/bin/ablation_relaxed.rs:

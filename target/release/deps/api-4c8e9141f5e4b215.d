@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/api-4c8e9141f5e4b215.d: tests/api.rs
+
+/root/repo/target/release/deps/api-4c8e9141f5e4b215: tests/api.rs
+
+tests/api.rs:

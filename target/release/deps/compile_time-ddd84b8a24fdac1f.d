@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/compile_time-ddd84b8a24fdac1f.d: crates/bench/benches/compile_time.rs
+
+/root/repo/target/release/deps/compile_time-ddd84b8a24fdac1f: crates/bench/benches/compile_time.rs
+
+crates/bench/benches/compile_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/complexity-0d7210f00d6be411.d: crates/bench/src/bin/complexity.rs
+
+/root/repo/target/release/deps/complexity-0d7210f00d6be411: crates/bench/src/bin/complexity.rs
+
+crates/bench/src/bin/complexity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/complexity-d2844a3350044367.d: crates/bench/src/bin/complexity.rs
+
+/root/repo/target/release/deps/complexity-d2844a3350044367: crates/bench/src/bin/complexity.rs
+
+crates/bench/src/bin/complexity.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-90f91a07f79fedad.d: crates/vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-90f91a07f79fedad.rlib: crates/vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-90f91a07f79fedad.rmeta: crates/vendor/criterion/src/lib.rs
+
+crates/vendor/criterion/src/lib.rs:

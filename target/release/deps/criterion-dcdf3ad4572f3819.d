@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-dcdf3ad4572f3819.d: crates/vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-dcdf3ad4572f3819: crates/vendor/criterion/src/lib.rs
+
+crates/vendor/criterion/src/lib.rs:

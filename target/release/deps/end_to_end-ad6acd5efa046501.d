@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-ad6acd5efa046501.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-ad6acd5efa046501: tests/end_to_end.rs
+
+tests/end_to_end.rs:

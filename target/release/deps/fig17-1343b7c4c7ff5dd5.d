@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17-1343b7c4c7ff5dd5.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/release/deps/fig17-1343b7c4c7ff5dd5: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17-9655a29513a0706a.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/release/deps/fig17-9655a29513a0706a: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig18-b2e8d0951cee669a.d: crates/bench/src/bin/fig18.rs
+
+/root/repo/target/release/deps/fig18-b2e8d0951cee669a: crates/bench/src/bin/fig18.rs
+
+crates/bench/src/bin/fig18.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig18-fd176164b95493aa.d: crates/bench/src/bin/fig18.rs
+
+/root/repo/target/release/deps/fig18-fd176164b95493aa: crates/bench/src/bin/fig18.rs
+
+crates/bench/src/bin/fig18.rs:

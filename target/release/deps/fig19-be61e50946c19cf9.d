@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig19-be61e50946c19cf9.d: crates/bench/src/bin/fig19.rs
+
+/root/repo/target/release/deps/fig19-be61e50946c19cf9: crates/bench/src/bin/fig19.rs
+
+crates/bench/src/bin/fig19.rs:

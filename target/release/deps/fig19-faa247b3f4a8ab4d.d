@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig19-faa247b3f4a8ab4d.d: crates/bench/src/bin/fig19.rs
+
+/root/repo/target/release/deps/fig19-faa247b3f4a8ab4d: crates/bench/src/bin/fig19.rs
+
+crates/bench/src/bin/fig19.rs:

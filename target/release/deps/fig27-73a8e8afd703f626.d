@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig27-73a8e8afd703f626.d: crates/bench/src/bin/fig27.rs
+
+/root/repo/target/release/deps/fig27-73a8e8afd703f626: crates/bench/src/bin/fig27.rs
+
+crates/bench/src/bin/fig27.rs:

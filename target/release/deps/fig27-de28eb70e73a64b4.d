@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig27-de28eb70e73a64b4.d: crates/bench/src/bin/fig27.rs
+
+/root/repo/target/release/deps/fig27-de28eb70e73a64b4: crates/bench/src/bin/fig27.rs
+
+crates/bench/src/bin/fig27.rs:

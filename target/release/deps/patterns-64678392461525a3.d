@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/patterns-64678392461525a3.d: crates/bench/benches/patterns.rs
+
+/root/repo/target/release/deps/patterns-64678392461525a3: crates/bench/benches/patterns.rs
+
+crates/bench/benches/patterns.rs:

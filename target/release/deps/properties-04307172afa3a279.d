@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-04307172afa3a279.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-04307172afa3a279: tests/properties.rs
+
+tests/properties.rs:

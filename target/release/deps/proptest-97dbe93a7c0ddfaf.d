@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-97dbe93a7c0ddfaf.d: crates/vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-97dbe93a7c0ddfaf: crates/vendor/proptest/src/lib.rs
+
+crates/vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-f9dea61dff438933.d: crates/vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-f9dea61dff438933.rlib: crates/vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-f9dea61dff438933.rmeta: crates/vendor/proptest/src/lib.rs
+
+crates/vendor/proptest/src/lib.rs:

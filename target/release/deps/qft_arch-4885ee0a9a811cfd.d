@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/qft_arch-4885ee0a9a811cfd.d: crates/arch/src/lib.rs crates/arch/src/devices.rs crates/arch/src/distance.rs crates/arch/src/graph.rs crates/arch/src/grid.rs crates/arch/src/hamiltonian.rs crates/arch/src/heavyhex.rs crates/arch/src/lattice.rs crates/arch/src/lnn.rs crates/arch/src/sycamore.rs
+
+/root/repo/target/release/deps/libqft_arch-4885ee0a9a811cfd.rlib: crates/arch/src/lib.rs crates/arch/src/devices.rs crates/arch/src/distance.rs crates/arch/src/graph.rs crates/arch/src/grid.rs crates/arch/src/hamiltonian.rs crates/arch/src/heavyhex.rs crates/arch/src/lattice.rs crates/arch/src/lnn.rs crates/arch/src/sycamore.rs
+
+/root/repo/target/release/deps/libqft_arch-4885ee0a9a811cfd.rmeta: crates/arch/src/lib.rs crates/arch/src/devices.rs crates/arch/src/distance.rs crates/arch/src/graph.rs crates/arch/src/grid.rs crates/arch/src/hamiltonian.rs crates/arch/src/heavyhex.rs crates/arch/src/lattice.rs crates/arch/src/lnn.rs crates/arch/src/sycamore.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/devices.rs:
+crates/arch/src/distance.rs:
+crates/arch/src/graph.rs:
+crates/arch/src/grid.rs:
+crates/arch/src/hamiltonian.rs:
+crates/arch/src/heavyhex.rs:
+crates/arch/src/lattice.rs:
+crates/arch/src/lnn.rs:
+crates/arch/src/sycamore.rs:

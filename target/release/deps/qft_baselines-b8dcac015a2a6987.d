@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/qft_baselines-b8dcac015a2a6987.d: crates/baselines/src/lib.rs crates/baselines/src/lnn_path.rs crates/baselines/src/optimal.rs crates/baselines/src/pipeline.rs crates/baselines/src/sabre.rs
+
+/root/repo/target/release/deps/libqft_baselines-b8dcac015a2a6987.rlib: crates/baselines/src/lib.rs crates/baselines/src/lnn_path.rs crates/baselines/src/optimal.rs crates/baselines/src/pipeline.rs crates/baselines/src/sabre.rs
+
+/root/repo/target/release/deps/libqft_baselines-b8dcac015a2a6987.rmeta: crates/baselines/src/lib.rs crates/baselines/src/lnn_path.rs crates/baselines/src/optimal.rs crates/baselines/src/pipeline.rs crates/baselines/src/sabre.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/lnn_path.rs:
+crates/baselines/src/optimal.rs:
+crates/baselines/src/pipeline.rs:
+crates/baselines/src/sabre.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/qft_baselines-ecf9f81b497dd50b.d: crates/baselines/src/lib.rs crates/baselines/src/lnn_path.rs crates/baselines/src/optimal.rs crates/baselines/src/pipeline.rs crates/baselines/src/sabre.rs
+
+/root/repo/target/release/deps/qft_baselines-ecf9f81b497dd50b: crates/baselines/src/lib.rs crates/baselines/src/lnn_path.rs crates/baselines/src/optimal.rs crates/baselines/src/pipeline.rs crates/baselines/src/sabre.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/lnn_path.rs:
+crates/baselines/src/optimal.rs:
+crates/baselines/src/pipeline.rs:
+crates/baselines/src/sabre.rs:

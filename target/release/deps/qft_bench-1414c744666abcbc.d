@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qft_bench-1414c744666abcbc.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libqft_bench-1414c744666abcbc.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libqft_bench-1414c744666abcbc.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/qft_bench-5f80d1857fe56613.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/qft_bench-5f80d1857fe56613: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/qft_ir-205cd09c47032796.d: crates/ir/src/lib.rs crates/ir/src/circuit.rs crates/ir/src/dag.rs crates/ir/src/gate.rs crates/ir/src/latency.rs crates/ir/src/layout.rs crates/ir/src/metrics.rs crates/ir/src/qasm.rs crates/ir/src/qft.rs crates/ir/src/render.rs
+
+/root/repo/target/release/deps/qft_ir-205cd09c47032796: crates/ir/src/lib.rs crates/ir/src/circuit.rs crates/ir/src/dag.rs crates/ir/src/gate.rs crates/ir/src/latency.rs crates/ir/src/layout.rs crates/ir/src/metrics.rs crates/ir/src/qasm.rs crates/ir/src/qft.rs crates/ir/src/render.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/circuit.rs:
+crates/ir/src/dag.rs:
+crates/ir/src/gate.rs:
+crates/ir/src/latency.rs:
+crates/ir/src/layout.rs:
+crates/ir/src/metrics.rs:
+crates/ir/src/qasm.rs:
+crates/ir/src/qft.rs:
+crates/ir/src/render.rs:

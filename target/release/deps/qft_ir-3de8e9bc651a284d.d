@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/qft_ir-3de8e9bc651a284d.d: crates/ir/src/lib.rs crates/ir/src/circuit.rs crates/ir/src/dag.rs crates/ir/src/gate.rs crates/ir/src/latency.rs crates/ir/src/layout.rs crates/ir/src/metrics.rs crates/ir/src/qasm.rs crates/ir/src/qft.rs crates/ir/src/render.rs
+
+/root/repo/target/release/deps/libqft_ir-3de8e9bc651a284d.rlib: crates/ir/src/lib.rs crates/ir/src/circuit.rs crates/ir/src/dag.rs crates/ir/src/gate.rs crates/ir/src/latency.rs crates/ir/src/layout.rs crates/ir/src/metrics.rs crates/ir/src/qasm.rs crates/ir/src/qft.rs crates/ir/src/render.rs
+
+/root/repo/target/release/deps/libqft_ir-3de8e9bc651a284d.rmeta: crates/ir/src/lib.rs crates/ir/src/circuit.rs crates/ir/src/dag.rs crates/ir/src/gate.rs crates/ir/src/latency.rs crates/ir/src/layout.rs crates/ir/src/metrics.rs crates/ir/src/qasm.rs crates/ir/src/qft.rs crates/ir/src/render.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/circuit.rs:
+crates/ir/src/dag.rs:
+crates/ir/src/gate.rs:
+crates/ir/src/latency.rs:
+crates/ir/src/layout.rs:
+crates/ir/src/metrics.rs:
+crates/ir/src/qasm.rs:
+crates/ir/src/qft.rs:
+crates/ir/src/render.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qft_kernels-b836f2f81d335807.d: src/lib.rs
+
+/root/repo/target/release/deps/libqft_kernels-b836f2f81d335807.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libqft_kernels-b836f2f81d335807.rmeta: src/lib.rs
+
+src/lib.rs:

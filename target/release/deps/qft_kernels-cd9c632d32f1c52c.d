@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/qft_kernels-cd9c632d32f1c52c.d: src/lib.rs
+
+/root/repo/target/release/deps/qft_kernels-cd9c632d32f1c52c: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/qft_sim-e15627f19f5ce83e.d: crates/sim/src/lib.rs crates/sim/src/complex.rs crates/sim/src/equiv.rs crates/sim/src/reference.rs crates/sim/src/state.rs crates/sim/src/symbolic.rs
+
+/root/repo/target/release/deps/libqft_sim-e15627f19f5ce83e.rlib: crates/sim/src/lib.rs crates/sim/src/complex.rs crates/sim/src/equiv.rs crates/sim/src/reference.rs crates/sim/src/state.rs crates/sim/src/symbolic.rs
+
+/root/repo/target/release/deps/libqft_sim-e15627f19f5ce83e.rmeta: crates/sim/src/lib.rs crates/sim/src/complex.rs crates/sim/src/equiv.rs crates/sim/src/reference.rs crates/sim/src/state.rs crates/sim/src/symbolic.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/complex.rs:
+crates/sim/src/equiv.rs:
+crates/sim/src/reference.rs:
+crates/sim/src/state.rs:
+crates/sim/src/symbolic.rs:

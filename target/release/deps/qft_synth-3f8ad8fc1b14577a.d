@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/qft_synth-3f8ad8fc1b14577a.d: crates/synth/src/lib.rs crates/synth/src/engine.rs crates/synth/src/patterns.rs
+
+/root/repo/target/release/deps/libqft_synth-3f8ad8fc1b14577a.rlib: crates/synth/src/lib.rs crates/synth/src/engine.rs crates/synth/src/patterns.rs
+
+/root/repo/target/release/deps/libqft_synth-3f8ad8fc1b14577a.rmeta: crates/synth/src/lib.rs crates/synth/src/engine.rs crates/synth/src/patterns.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/engine.rs:
+crates/synth/src/patterns.rs:

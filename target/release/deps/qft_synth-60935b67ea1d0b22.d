@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qft_synth-60935b67ea1d0b22.d: crates/synth/src/lib.rs crates/synth/src/engine.rs crates/synth/src/patterns.rs
+
+/root/repo/target/release/deps/qft_synth-60935b67ea1d0b22: crates/synth/src/lib.rs crates/synth/src/engine.rs crates/synth/src/patterns.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/engine.rs:
+crates/synth/src/patterns.rs:

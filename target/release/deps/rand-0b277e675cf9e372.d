@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-0b277e675cf9e372.d: crates/vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-0b277e675cf9e372: crates/vendor/rand/src/lib.rs
+
+crates/vendor/rand/src/lib.rs:

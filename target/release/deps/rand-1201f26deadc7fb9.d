@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-1201f26deadc7fb9.d: crates/vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-1201f26deadc7fb9.rlib: crates/vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-1201f26deadc7fb9.rmeta: crates/vendor/rand/src/lib.rs
+
+crates/vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-34889fd323e407f8.d: crates/vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-34889fd323e407f8.rlib: crates/vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-34889fd323e407f8.rmeta: crates/vendor/serde/src/lib.rs
+
+crates/vendor/serde/src/lib.rs:

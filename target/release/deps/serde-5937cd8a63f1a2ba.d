@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-5937cd8a63f1a2ba.d: crates/vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/serde-5937cd8a63f1a2ba: crates/vendor/serde/src/lib.rs
+
+crates/vendor/serde/src/lib.rs:

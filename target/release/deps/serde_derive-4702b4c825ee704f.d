@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-4702b4c825ee704f.d: crates/vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-4702b4c825ee704f.so: crates/vendor/serde_derive/src/lib.rs
+
+crates/vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-4822e26f74b04b8b.d: crates/vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/serde_derive-4822e26f74b04b8b: crates/vendor/serde_derive/src/lib.rs
+
+crates/vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-5d1da9082be1748f.d: crates/vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-5d1da9082be1748f.rlib: crates/vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-5d1da9082be1748f.rmeta: crates/vendor/serde_json/src/lib.rs
+
+crates/vendor/serde_json/src/lib.rs:

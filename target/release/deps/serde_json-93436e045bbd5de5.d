@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_json-93436e045bbd5de5.d: crates/vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/serde_json-93436e045bbd5de5: crates/vendor/serde_json/src/lib.rs
+
+crates/vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/substrates-7a18baf36c7d3847.d: tests/substrates.rs
+
+/root/repo/target/release/deps/substrates-7a18baf36c7d3847: tests/substrates.rs
+
+tests/substrates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/synth_patterns-05fbfa7fa11c194c.d: crates/bench/src/bin/synth_patterns.rs
+
+/root/repo/target/release/deps/synth_patterns-05fbfa7fa11c194c: crates/bench/src/bin/synth_patterns.rs
+
+crates/bench/src/bin/synth_patterns.rs:

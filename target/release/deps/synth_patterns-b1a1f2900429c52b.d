@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/synth_patterns-b1a1f2900429c52b.d: crates/bench/src/bin/synth_patterns.rs
+
+/root/repo/target/release/deps/synth_patterns-b1a1f2900429c52b: crates/bench/src/bin/synth_patterns.rs
+
+crates/bench/src/bin/synth_patterns.rs:

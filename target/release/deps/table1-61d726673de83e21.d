@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-61d726673de83e21.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-61d726673de83e21: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-ca99851c38f20c09.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-ca99851c38f20c09: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/compare_compilers-9375c38b4e18b266.d: examples/compare_compilers.rs
+
+/root/repo/target/release/examples/compare_compilers-9375c38b4e18b266: examples/compare_compilers.rs
+
+examples/compare_compilers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/ft_scale-fc3d564ca8963aca.d: examples/ft_scale.rs
+
+/root/repo/target/release/examples/ft_scale-fc3d564ca8963aca: examples/ft_scale.rs
+
+examples/ft_scale.rs:

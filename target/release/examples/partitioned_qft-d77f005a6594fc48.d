@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/partitioned_qft-d77f005a6594fc48.d: examples/partitioned_qft.rs
+
+/root/repo/target/release/examples/partitioned_qft-d77f005a6594fc48: examples/partitioned_qft.rs
+
+examples/partitioned_qft.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe_api-f49792d1a86a4922.d: examples/probe_api.rs
+
+/root/repo/target/release/examples/probe_api-f49792d1a86a4922: examples/probe_api.rs
+
+examples/probe_api.rs:

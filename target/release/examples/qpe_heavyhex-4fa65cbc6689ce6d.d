@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/qpe_heavyhex-4fa65cbc6689ce6d.d: examples/qpe_heavyhex.rs
+
+/root/repo/target/release/examples/qpe_heavyhex-4fa65cbc6689ce6d: examples/qpe_heavyhex.rs
+
+examples/qpe_heavyhex.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-5d7f60ab99524d73.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-5d7f60ab99524d73: examples/quickstart.rs
+
+examples/quickstart.rs:

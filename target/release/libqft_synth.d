@@ -1,0 +1,1 @@
+/root/repo/target/release/libqft_synth.rlib: /root/repo/crates/synth/src/engine.rs /root/repo/crates/synth/src/lib.rs /root/repo/crates/synth/src/patterns.rs
