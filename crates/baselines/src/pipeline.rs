@@ -61,7 +61,7 @@ impl QftCompiler for SabreMapper {
         let circuit = logical_qft(target.n_qubits(), opts.approximation);
         let dag = CircuitDag::build(&circuit, opts.dag_mode);
         let mc = sabre_compile(&dag, target.graph(), &config);
-        finish_result(self.name(), target, opts, mc, t0.elapsed().as_secs_f64())
+        finish_result(self.name(), target, opts, mc, t0)
     }
 }
 
@@ -93,13 +93,9 @@ impl QftCompiler for OptimalMapper {
         let circuit = logical_qft(target.n_qubits(), opts.approximation);
         let dag = CircuitDag::build(&circuit, opts.dag_mode);
         match optimal_compile(&dag, target.graph(), &config) {
-            OptimalResult::Solved { circuit, .. } => finish_result(
-                self.name(),
-                target,
-                opts,
-                circuit,
-                t0.elapsed().as_secs_f64(),
-            ),
+            OptimalResult::Solved { circuit, .. } => {
+                finish_result(self.name(), target, opts, circuit, t0)
+            }
             OptimalResult::TimedOut { nodes } => Err(CompileError::Timeout {
                 compiler: self.name().to_string(),
                 budget_s: opts.deadline_s,
@@ -178,7 +174,7 @@ impl QftCompiler for LnnPathMapper {
             let path = self.path_for(target)?;
             lnn_on_path(target.graph(), &path)
         };
-        finish_result(self.name(), target, opts, mc, t0.elapsed().as_secs_f64())
+        finish_result(self.name(), target, opts, mc, t0)
     }
 }
 

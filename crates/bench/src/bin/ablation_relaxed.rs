@@ -138,6 +138,7 @@ fn main() {
             depth: inter.two_qubit_depth(),
             swaps: inter.swap_count(),
             compile_s: 0.0,
+            pass_s: 0.0,
             note: format!("vs snake {}", snake.two_qubit_depth()),
         });
     }

@@ -33,6 +33,8 @@ pub struct Row {
     pub swaps: usize,
     /// Compile time in seconds.
     pub compile_s: f64,
+    /// Seconds of `compile_s` spent in the pass tail.
+    pub pass_s: f64,
     /// Notes (e.g. `TLE`).
     pub note: String,
 }
@@ -47,6 +49,7 @@ impl Row {
             depth: r.metrics.depth,
             swaps: r.metrics.swaps,
             compile_s: r.compile_s,
+            pass_s: r.pass_s(),
             note: r.note.clone(),
         }
     }
@@ -64,6 +67,7 @@ impl Row {
                 depth: 0,
                 swaps: 0,
                 compile_s: 0.0,
+                pass_s: 0.0,
                 note: other.to_string(),
             },
         }
@@ -78,6 +82,7 @@ impl Row {
             depth: 0,
             swaps: 0,
             compile_s: budget_s,
+            pass_s: 0.0,
             note: "TLE".to_string(),
         }
     }

@@ -21,6 +21,11 @@
 //! The schedule stops at semantic completion (all pairs + all H), giving
 //! two-qubit depth ≈ 5N for the paper's 4-main+1-dangler groups and ≤ 6N in
 //! general (Appendices 2–3).
+//!
+//! This module is a *construct* stage of the pass pipeline: it emits the
+//! raw analytical schedule, and the shared `qft_ir::passes` tail (chosen
+//! by `CompileOptions::opt_level`) runs afterwards in
+//! `qft_core::pipeline::finish_result`.
 
 use crate::progress::QftProgress;
 use qft_arch::heavyhex::HeavyHex;

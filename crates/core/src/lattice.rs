@@ -19,6 +19,11 @@
 //! a constant factor above the paper's 5N headline because we do not fuse
 //! IA(2k) + IE(2k,2k+1) + IA(2k+1) into the 2×N pattern of \[43\]; the fused
 //! variant is tracked in DESIGN.md §5 as an ablation.
+//!
+//! This module is a *construct* stage of the pass pipeline: it emits the
+//! raw analytical schedule, and the shared `qft_ir::passes` tail (chosen
+//! by `CompileOptions::opt_level`) runs afterwards in
+//! `qft_core::pipeline::finish_result`.
 
 use crate::line::{line_qft_schedule, LineOp};
 use crate::lnn::{run_line_qft, PathOrder};

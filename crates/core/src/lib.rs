@@ -6,6 +6,12 @@
 //! [`CompileOptions`] → [`CompileResult`]) and a string-addressable
 //! [`Registry`]. The search-based baselines in `qft-baselines` implement
 //! the same trait, so every compiler is driven identically.
+//!
+//! Compilation is construct → optimize → verify: each compiler's
+//! *construct* stage emits a raw schedule, then [`finish_result`] runs the
+//! shared `qft_ir::passes` tail (assembled by [`pass_manager_for`] from
+//! [`CompileOptions::opt_level`] / `extra_passes`), optional symbolic
+//! verification, and metrics.
 
 #![warn(missing_docs)]
 
@@ -28,8 +34,8 @@ pub use lattice::{compile_lattice, compile_lattice_with, IeMode};
 pub use line::{line_qft_schedule, LineOp, LineSchedule};
 pub use lnn::{compile_lnn, run_line_qft, PathOrder};
 pub use pipeline::{
-    finish_result, CompileError, CompileOptions, CompileResult, HeavyHexMapper, LatencyModel,
-    LatticeMapper, LnnMapper, QftCompiler, SycamoreMapper, VerifyLevel,
+    finish_result, pass_manager_for, CompileError, CompileOptions, CompileResult, HeavyHexMapper,
+    LatencyModel, LatticeMapper, LnnMapper, QftCompiler, SycamoreMapper, VerifyLevel,
 };
 pub use progress::QftProgress;
 pub use registry::Registry;

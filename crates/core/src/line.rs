@@ -23,6 +23,11 @@
 //! The eligibility gating (`H(i)` before `CP(i,j)` before `H(j)`) is exactly
 //! Type II of §3.1, and is what staggers the wavefront into the familiar
 //! 4N−6 two-qubit-layer triangle rather than a 2N sorting network.
+//!
+//! This module is a *construct* stage of the pass pipeline: it emits the
+//! raw analytical schedule, and the shared `qft_ir::passes` tail (chosen
+//! by `CompileOptions::opt_level`) runs afterwards in
+//! `qft_core::pipeline::finish_result`.
 
 use serde::{Deserialize, Serialize};
 

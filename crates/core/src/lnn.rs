@@ -1,5 +1,10 @@
 //! The concrete LNN QFT compiler: instantiates the abstract line schedule
 //! ([`crate::line`]) on a physical path with real gates.
+//!
+//! This module is a *construct* stage of the pass pipeline: it emits the
+//! raw analytical schedule, and the shared `qft_ir::passes` tail (chosen
+//! by `CompileOptions::opt_level`) runs afterwards in
+//! `qft_core::pipeline::finish_result`.
 
 use crate::line::{line_qft_schedule, LineOp};
 use qft_ir::circuit::{MappedCircuit, MappedCircuitBuilder};

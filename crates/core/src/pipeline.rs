@@ -7,12 +7,21 @@
 //! so the bench harness, examples, and any future serving layer drive them
 //! interchangeably (resolved by name through a
 //! [`Registry`](crate::registry::Registry)).
+//!
+//! Compilation is two-stage: a *construct* stage (the mapper/search proper,
+//! which emits an unoptimized [`MappedCircuit`]) followed by a shared
+//! [`PassManager`] tail assembled by [`pass_manager_for`] from
+//! [`CompileOptions::opt_level`] and [`CompileOptions::extra_passes`].
+//! Every compiler funnels through [`finish_result`], which runs the tail,
+//! optional symbolic verification, and metrics, and records the per-pass
+//! breakdown in [`CompileResult::passes`].
 
 use crate::target::{Target, TargetSpec};
 use crate::{compile_heavyhex, compile_lattice_with, compile_lnn, compile_sycamore, IeMode};
 use qft_ir::circuit::MappedCircuit;
 use qft_ir::dag::DagMode;
 use qft_ir::metrics::Metrics;
+use qft_ir::passes::{self, PassCtx, PassManager, PassReport};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::time::Instant;
@@ -70,6 +79,21 @@ pub struct CompileOptions {
     pub max_nodes: u64,
     /// Inter-unit interaction schedule on the lattice mapper (§3.3).
     pub ie_mode: IeMode,
+    /// Optimization level of the shared pass tail:
+    ///
+    /// * `0` — construct only: the mapper's raw output, no passes;
+    /// * `1` — default: the safe peepholes plus the layout-replay check.
+    ///   Reproduces the pre-pass-pipeline compilers byte-for-byte (the
+    ///   analytical schedules contain no cancellable SWAP pairs);
+    /// * `2` — aggressive: additionally fuses CPHASE+SWAP pairs into the
+    ///   paper's combined two-qubit interaction and re-layers the stream
+    ///   ASAP. Changes gate counts (fewer standalone SWAPs) and depth.
+    pub opt_level: u8,
+    /// Extra passes appended after the `opt_level` defaults, by registry
+    /// name (see [`qft_ir::passes::PASS_NAMES`] and
+    /// [`qft_ir::passes::named`]). Unknown names are reported as
+    /// [`CompileError::UnsupportedOption`].
+    pub extra_passes: Vec<String>,
 }
 
 impl Default for CompileOptions {
@@ -84,6 +108,8 @@ impl Default for CompileOptions {
             deadline_s: 10.0,
             max_nodes: 20_000_000,
             ie_mode: IeMode::Relaxed,
+            opt_level: 1,
+            extra_passes: Vec::new(),
         }
     }
 }
@@ -118,6 +144,33 @@ impl CompileOptions {
     /// Builder-style: set the stochastic seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Builder-style: truncate to a degree-`degree` approximate QFT (drop
+    /// `R_k` rotations with `k > degree`). Only the search-based compilers
+    /// honor this; analytical mappers reject it.
+    pub fn with_approximation(mut self, degree: u32) -> Self {
+        self.approximation = Some(degree);
+        self
+    }
+
+    /// Builder-style: set the lattice mapper's inter-unit interaction
+    /// schedule (§3.3).
+    pub fn with_ie_mode(mut self, ie_mode: IeMode) -> Self {
+        self.ie_mode = ie_mode;
+        self
+    }
+
+    /// Builder-style: set the pass-tail optimization level.
+    pub fn with_opt_level(mut self, opt_level: u8) -> Self {
+        self.opt_level = opt_level;
+        self
+    }
+
+    /// Builder-style: append an extra pass (by registry name) to the tail.
+    pub fn with_extra_pass(mut self, pass: impl Into<String>) -> Self {
+        self.extra_passes.push(pass.into());
         self
     }
 }
@@ -157,6 +210,16 @@ pub enum CompileError {
         elapsed_s: f64,
         /// Search nodes expanded before giving up.
         nodes: u64,
+    },
+    /// A pass in the tail failed (an invariant it depends on, or — for
+    /// verify passes — the property it checks).
+    Pass {
+        /// Compiler name.
+        compiler: String,
+        /// Name of the failing pass.
+        pass: String,
+        /// What went wrong.
+        reason: String,
     },
     /// The compiled kernel failed post-compile verification.
     Verification {
@@ -200,6 +263,13 @@ impl fmt::Display for CompileError {
                      budget {budget_s}s)"
                 )
             }
+            CompileError::Pass {
+                compiler,
+                pass,
+                reason,
+            } => {
+                write!(f, "{compiler}: pass '{pass}' failed: {reason}")
+            }
             CompileError::Verification { compiler, report } => {
                 write!(f, "{compiler} produced an invalid kernel: {report}")
             }
@@ -228,8 +298,12 @@ pub struct CompileResult {
     pub n: usize,
     /// Cost metrics under the requested latency model.
     pub metrics: Metrics,
-    /// Wall-clock compile time in seconds.
+    /// Wall-clock compile time in seconds (construct stage + pass tail +
+    /// verification).
     pub compile_s: f64,
+    /// Per-pass breakdown of the tail: one report per pass run, in order,
+    /// with wall time and op/SWAP/depth deltas.
+    pub passes: Vec<PassReport>,
     /// Free-form annotation (e.g. accounting concessions).
     pub note: String,
     /// The hardware-mapped circuit itself.
@@ -247,6 +321,11 @@ impl CompileResult {
     /// latency model).
     pub fn depth_uniform(&self) -> u64 {
         self.circuit.depth_uniform()
+    }
+
+    /// Total wall-clock seconds spent in the pass tail.
+    pub fn pass_s(&self) -> f64 {
+        self.passes.iter().map(|p| p.wall_s).sum()
     }
 }
 
@@ -274,16 +353,65 @@ pub trait QftCompiler: Send + Sync {
     ) -> Result<CompileResult, CompileError>;
 }
 
-/// Shared post-compile plumbing: optional verification, metrics under the
-/// requested latency model, and result assembly. Every implementation
-/// funnels through here so the artifact semantics stay uniform.
+/// Assembles the pass tail for one compile: the `opt_level` defaults, then
+/// `extra_passes` (resolved through [`qft_ir::passes::named`]), then the
+/// layout-replay check as the final gate (levels ≥ 1).
+///
+/// Level 1 runs only rewrites that are no-ops on every compiler's
+/// construct-stage output (the analytical schedules and both searches emit
+/// no cancellable SWAP pairs), so default-option compiles are byte-for-byte
+/// identical to the pre-pass-pipeline compilers.
+pub fn pass_manager_for(
+    compiler: &str,
+    opts: &CompileOptions,
+) -> Result<PassManager, CompileError> {
+    let mut pm = PassManager::new();
+    if opts.opt_level >= 1 {
+        pm.push(Box::new(passes::CancelAdjacentSwaps));
+    }
+    if opts.opt_level >= 2 {
+        pm.push(Box::new(passes::MergeSwapCphase));
+        pm.push(Box::new(passes::AsapLayering));
+    }
+    for name in &opts.extra_passes {
+        pm.push(
+            passes::named(name).ok_or_else(|| CompileError::UnsupportedOption {
+                compiler: compiler.to_string(),
+                option: format!(
+                    "unknown pass '{name}' (available: {})",
+                    passes::PASS_NAMES.join(", ")
+                ),
+            })?,
+        );
+    }
+    if opts.opt_level >= 1 {
+        pm.push(Box::new(passes::CheckLayout));
+    }
+    Ok(pm)
+}
+
+/// Shared post-construct plumbing: the [`PassManager`] tail, optional
+/// symbolic verification, metrics under the requested latency model, and
+/// result assembly. Every implementation funnels through here so the
+/// artifact semantics — including the per-pass breakdown and a compile
+/// time that covers the whole pipeline — stay uniform. `started` is when
+/// the construct stage began.
 pub fn finish_result(
     compiler: &'static str,
     target: &Target,
     opts: &CompileOptions,
-    circuit: MappedCircuit,
-    compile_s: f64,
+    mut circuit: MappedCircuit,
+    started: Instant,
 ) -> Result<CompileResult, CompileError> {
+    let pm = pass_manager_for(compiler, opts)?;
+    let graph = target.graph();
+    let adjacent = |a, b| graph.are_adjacent(a, b);
+    let ctx = PassCtx::with_adjacency(&adjacent);
+    let pass_reports = pm.run(&mut circuit, &ctx).map_err(|e| CompileError::Pass {
+        compiler: compiler.to_string(),
+        pass: e.pass,
+        reason: e.reason,
+    })?;
     match opts.verify {
         VerifyLevel::None => {}
         VerifyLevel::Symbolic => {
@@ -311,7 +439,8 @@ pub fn finish_result(
         target: target.name().to_string(),
         n: circuit.n_logical(),
         metrics,
-        compile_s,
+        compile_s: started.elapsed().as_secs_f64(),
+        passes: pass_reports,
         note: String::new(),
         circuit,
     })
@@ -344,6 +473,17 @@ fn wrong_family(compiler: &'static str, target: &Target, expected: &str) -> Comp
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LnnMapper;
 
+impl LnnMapper {
+    /// The construct stage: emits the raw wavefront schedule with no pass
+    /// tail (what `opt_level = 0` compiles reduce to).
+    pub fn construct(&self, target: &Target) -> Result<MappedCircuit, CompileError> {
+        let TargetSpec::Lnn { n } = target.spec() else {
+            return Err(wrong_family(self.name(), target, "LNN"));
+        };
+        Ok(compile_lnn(n))
+    }
+}
+
 impl QftCompiler for LnnMapper {
     fn name(&self) -> &'static str {
         "lnn"
@@ -363,18 +503,25 @@ impl QftCompiler for LnnMapper {
         opts: &CompileOptions,
     ) -> Result<CompileResult, CompileError> {
         reject_approximation(self.name(), opts)?;
-        let TargetSpec::Lnn { n } = target.spec() else {
-            return Err(wrong_family(self.name(), target, "LNN"));
-        };
         let t0 = Instant::now();
-        let mc = compile_lnn(n);
-        finish_result(self.name(), target, opts, mc, t0.elapsed().as_secs_f64())
+        let mc = self.construct(target)?;
+        finish_result(self.name(), target, opts, mc, t0)
     }
 }
 
 /// The Sycamore two-row-unit mapper (§5).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SycamoreMapper;
+
+impl SycamoreMapper {
+    /// The construct stage: emits the raw two-row-unit schedule.
+    pub fn construct(&self, target: &Target) -> Result<MappedCircuit, CompileError> {
+        let s = target
+            .as_sycamore()
+            .ok_or_else(|| wrong_family(self.name(), target, "Sycamore"))?;
+        Ok(compile_sycamore(s))
+    }
+}
 
 impl QftCompiler for SycamoreMapper {
     fn name(&self) -> &'static str {
@@ -395,18 +542,25 @@ impl QftCompiler for SycamoreMapper {
         opts: &CompileOptions,
     ) -> Result<CompileResult, CompileError> {
         reject_approximation(self.name(), opts)?;
-        let s = target
-            .as_sycamore()
-            .ok_or_else(|| wrong_family(self.name(), target, "Sycamore"))?;
         let t0 = Instant::now();
-        let mc = compile_sycamore(s);
-        finish_result(self.name(), target, opts, mc, t0.elapsed().as_secs_f64())
+        let mc = self.construct(target)?;
+        finish_result(self.name(), target, opts, mc, t0)
     }
 }
 
 /// The heavy-hex main-line-plus-danglers mapper (§4).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct HeavyHexMapper;
+
+impl HeavyHexMapper {
+    /// The construct stage: emits the raw main-line-plus-danglers schedule.
+    pub fn construct(&self, target: &Target) -> Result<MappedCircuit, CompileError> {
+        let hh = target
+            .as_heavy_hex()
+            .ok_or_else(|| wrong_family(self.name(), target, "heavy-hex"))?;
+        Ok(compile_heavyhex(hh))
+    }
+}
 
 impl QftCompiler for HeavyHexMapper {
     fn name(&self) -> &'static str {
@@ -427,18 +581,29 @@ impl QftCompiler for HeavyHexMapper {
         opts: &CompileOptions,
     ) -> Result<CompileResult, CompileError> {
         reject_approximation(self.name(), opts)?;
-        let hh = target
-            .as_heavy_hex()
-            .ok_or_else(|| wrong_family(self.name(), target, "heavy-hex"))?;
         let t0 = Instant::now();
-        let mc = compile_heavyhex(hh);
-        finish_result(self.name(), target, opts, mc, t0.elapsed().as_secs_f64())
+        let mc = self.construct(target)?;
+        finish_result(self.name(), target, opts, mc, t0)
     }
 }
 
 /// The lattice-surgery unit mapper (§6), latency-aware by construction.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LatticeMapper;
+
+impl LatticeMapper {
+    /// The construct stage: emits the raw unit schedule under `ie_mode`.
+    pub fn construct(
+        &self,
+        target: &Target,
+        ie_mode: IeMode,
+    ) -> Result<MappedCircuit, CompileError> {
+        let l = target
+            .as_lattice_surgery()
+            .ok_or_else(|| wrong_family(self.name(), target, "lattice-surgery"))?;
+        Ok(compile_lattice_with(l, ie_mode))
+    }
+}
 
 impl QftCompiler for LatticeMapper {
     fn name(&self) -> &'static str {
@@ -459,12 +624,9 @@ impl QftCompiler for LatticeMapper {
         opts: &CompileOptions,
     ) -> Result<CompileResult, CompileError> {
         reject_approximation(self.name(), opts)?;
-        let l = target
-            .as_lattice_surgery()
-            .ok_or_else(|| wrong_family(self.name(), target, "lattice-surgery"))?;
         let t0 = Instant::now();
-        let mc = compile_lattice_with(l, opts.ie_mode);
-        finish_result(self.name(), target, opts, mc, t0.elapsed().as_secs_f64())
+        let mc = self.construct(target, opts.ie_mode)?;
+        finish_result(self.name(), target, opts, mc, t0)
     }
 }
 

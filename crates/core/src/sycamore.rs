@@ -16,6 +16,11 @@
 //! Every IA and IE mirrors the contents of the units it touches, which the
 //! paper notes is exactly what the next stage wants; orientation is tracked
 //! through the live layout.
+//!
+//! This module is a *construct* stage of the pass pipeline: it emits the
+//! raw analytical schedule, and the shared `qft_ir::passes` tail (chosen
+//! by `CompileOptions::opt_level`) runs afterwards in
+//! `qft_core::pipeline::finish_result`.
 
 use crate::line::{line_qft_schedule, LineOp};
 use crate::lnn::{run_line_qft, PathOrder};

@@ -7,6 +7,11 @@
 //! hand-tuned interleaving (Fig. 16) reaches `≈ 3·(2L)`; the path-based
 //! variant is the simpler building block we ship, and the gap is confined
 //! to this stage (see DESIGN.md §5).
+//!
+//! This module is a *construct* stage of the pass pipeline: it emits the
+//! raw analytical schedule, and the shared `qft_ir::passes` tail (chosen
+//! by `CompileOptions::opt_level`) runs afterwards in
+//! `qft_core::pipeline::finish_result`.
 
 use crate::lnn::{run_line_qft, PathOrder};
 use qft_ir::circuit::{MappedCircuit, MappedCircuitBuilder};

@@ -161,16 +161,21 @@ impl MappedCircuit {
         &self.ops
     }
 
-    /// Number of SWAP gates inserted.
+    /// Number of standalone SWAP gates inserted. A fused
+    /// [`GateKind::CphaseSwap`] interaction is *not* counted: its swap
+    /// rides along with the CPHASE at no extra gate cost (that reduction
+    /// is the point of the `merge-swap-cphase` pass).
     pub fn swap_count(&self) -> usize {
         self.ops.iter().filter(|o| o.kind == GateKind::Swap).count()
     }
 
-    /// Number of CPHASE gates.
+    /// Number of CPHASE interactions, counting fused
+    /// [`GateKind::CphaseSwap`] gates (which perform the rotation too) —
+    /// `n(n-1)/2` for any valid full-QFT kernel.
     pub fn cphase_count(&self) -> usize {
         self.ops
             .iter()
-            .filter(|o| matches!(o.kind, GateKind::Cphase { .. }))
+            .filter(|o| o.kind.cphase_order().is_some())
             .count()
     }
 
@@ -200,6 +205,25 @@ impl MappedCircuit {
     /// convention of the paper's complexity formulas, e.g. 4N−6 for LNN).
     pub fn two_qubit_depth(&self) -> u64 {
         self.depth_with(|op| if op.kind.arity() == 2 { 1 } else { 0 })
+    }
+
+    /// Replaces the op stream in place — the mutation hook for
+    /// [`crate::passes`] implementations.
+    ///
+    /// The initial/final layouts and qubit counts are preserved: a pass must
+    /// only apply rewrites that keep the stream consistent with them (every
+    /// op's logical annotations must match SWAP replay from the initial
+    /// layout, and the replayed final layout must be unchanged). The
+    /// [`crate::passes::CheckLayout`] pass verifies exactly this.
+    pub fn set_ops(&mut self, ops: Vec<PhysOp>) {
+        self.ops = ops;
+    }
+
+    /// Takes the op stream out of the circuit (leaving it empty), avoiding
+    /// a copy when a pass rewrites in place. Pair with [`Self::set_ops`] to
+    /// put the (possibly rewritten) stream back.
+    pub fn take_ops(&mut self) -> Vec<PhysOp> {
+        std::mem::take(&mut self.ops)
     }
 
     /// Groups the op stream into ASAP layers of unit latency, for display
@@ -282,7 +306,10 @@ impl MappedCircuitBuilder {
     /// Emits a two-qubit non-SWAP gate between *logical* qubits.
     pub fn push_2q_logical(&mut self, kind: GateKind, a: LogicalQubit, b: LogicalQubit) {
         debug_assert_eq!(kind.arity(), 2);
-        debug_assert!(kind != GateKind::Swap, "use push_swap_phys for SWAPs");
+        debug_assert!(
+            !kind.swaps_operands(),
+            "use push_swap_phys / push_cphase_swap_phys for layout-moving gates"
+        );
         let (p1, p2) = (self.layout.phys(a), self.layout.phys(b));
         self.ops.push(PhysOp {
             kind,
@@ -297,7 +324,10 @@ impl MappedCircuitBuilder {
     /// annotations are taken from the live layout.
     pub fn push_2q_phys(&mut self, kind: GateKind, p1: PhysicalQubit, p2: PhysicalQubit) {
         debug_assert_eq!(kind.arity(), 2);
-        debug_assert!(kind != GateKind::Swap, "use push_swap_phys for SWAPs");
+        debug_assert!(
+            !kind.swaps_operands(),
+            "use push_swap_phys / push_cphase_swap_phys for layout-moving gates"
+        );
         let (l1, l2) = (self.layout.logical(p1), self.layout.logical(p2));
         self.ops.push(PhysOp {
             kind,
@@ -319,6 +349,21 @@ impl MappedCircuitBuilder {
             l1: l,
             l2: None,
         });
+    }
+
+    /// Emits a fused CPHASE+SWAP interaction ([`GateKind::CphaseSwap`])
+    /// between two physical locations and updates the layout (the fused
+    /// gate moves its operands exactly like a SWAP).
+    pub fn push_cphase_swap_phys(&mut self, k: u32, p1: PhysicalQubit, p2: PhysicalQubit) {
+        let (l1, l2) = (self.layout.logical(p1), self.layout.logical(p2));
+        self.ops.push(PhysOp {
+            kind: GateKind::CphaseSwap { k },
+            p1,
+            p2: Some(p2),
+            l1,
+            l2,
+        });
+        self.layout.swap_phys(p1, p2);
     }
 
     /// Emits a SWAP between two physical locations and updates the layout.

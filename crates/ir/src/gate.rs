@@ -66,6 +66,17 @@ pub enum GateKind {
     },
     /// SWAP gate: exchanges the states of its two operands.
     Swap,
+    /// The paper's *combined interaction*: a `CPHASE(R_k)` fused with the
+    /// SWAP that immediately follows it on the same qubit pair, executed as
+    /// one two-qubit interaction. `CPHASE` and `SWAP` on the same pair
+    /// commute (`CPHASE` is diagonal and symmetric), so the fusion is exact
+    /// regardless of which of the two came first in the unfused stream.
+    /// Produced by the `merge-swap-cphase` peephole pass; never emitted by
+    /// the construct stage of any compiler.
+    CphaseSwap {
+        /// Rotation order `k ≥ 1` of the fused `CPHASE`; angle `2π / 2^k`.
+        k: u32,
+    },
     /// Controlled-NOT, used when decomposing SWAPs on CNOT-only links.
     Cnot,
     /// Pauli-X, used in tests and examples.
@@ -83,7 +94,10 @@ impl GateKind {
     pub fn arity(self) -> usize {
         match self {
             GateKind::H | GateKind::X | GateKind::Rz { .. } => 1,
-            GateKind::Cphase { .. } | GateKind::Swap | GateKind::Cnot => 2,
+            GateKind::Cphase { .. }
+            | GateKind::Swap
+            | GateKind::CphaseSwap { .. }
+            | GateKind::Cnot => 2,
         }
     }
 
@@ -100,7 +114,28 @@ impl GateKind {
     /// Whether the operands can be exchanged without changing the unitary.
     #[inline]
     pub fn is_symmetric(self) -> bool {
-        matches!(self, GateKind::Cphase { .. } | GateKind::Swap)
+        matches!(
+            self,
+            GateKind::Cphase { .. } | GateKind::Swap | GateKind::CphaseSwap { .. }
+        )
+    }
+
+    /// Whether executing this gate exchanges the logical occupants of its
+    /// two physical operands — i.e. whether layout replay must apply a swap
+    /// after it. True for `SWAP` and the fused `CPHASE`+`SWAP` interaction.
+    #[inline]
+    pub fn swaps_operands(self) -> bool {
+        matches!(self, GateKind::Swap | GateKind::CphaseSwap { .. })
+    }
+
+    /// The rotation order of the `CPHASE` this gate performs, if any
+    /// (`Cphase` and the fused `CphaseSwap`).
+    #[inline]
+    pub fn cphase_order(self) -> Option<u32> {
+        match self {
+            GateKind::Cphase { k } | GateKind::CphaseSwap { k } => Some(k),
+            _ => None,
+        }
     }
 }
 
@@ -110,6 +145,7 @@ impl fmt::Display for GateKind {
             GateKind::H => write!(f, "H"),
             GateKind::Cphase { k } => write!(f, "CP(pi/2^{})", k.saturating_sub(1)),
             GateKind::Swap => write!(f, "SWAP"),
+            GateKind::CphaseSwap { k } => write!(f, "CPSWAP(pi/2^{})", k.saturating_sub(1)),
             GateKind::Cnot => write!(f, "CNOT"),
             GateKind::X => write!(f, "X"),
             GateKind::Rz { k } => write!(f, "RZ(2pi/2^{k})"),

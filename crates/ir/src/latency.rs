@@ -36,13 +36,15 @@ impl LinkClass {
     pub fn latency(self, kind: GateKind) -> u64 {
         match self {
             LinkClass::Uniform => 1,
+            // A fused CPHASE+SWAP costs what its SWAP half costs: the merge
+            // saves the separate interaction cycle, never the movement.
             LinkClass::FastSwap => match kind {
-                GateKind::Swap => 2,
+                GateKind::Swap | GateKind::CphaseSwap { .. } => 2,
                 GateKind::Cnot => 2,
                 _ => 1,
             },
             LinkClass::CnotOnly => match kind {
-                GateKind::Swap => 6,
+                GateKind::Swap | GateKind::CphaseSwap { .. } => 6,
                 GateKind::Cnot => 2,
                 _ => 1,
             },

@@ -12,6 +12,8 @@
 //!   the semantic checker every compiled kernel must pass;
 //! * [`latency`] — heterogeneous link latency classes (§2.3);
 //! * [`metrics`] — depth / SWAP-count accounting;
+//! * [`passes`] — the pass subsystem: [`Pass`]/[`PassManager`] plus the
+//!   shared peephole/scheduling/verify passes every compiler's tail runs;
 //! * [`qasm`] — OpenQASM 2.0 export.
 
 #![warn(missing_docs)]
@@ -22,6 +24,7 @@ pub mod gate;
 pub mod latency;
 pub mod layout;
 pub mod metrics;
+pub mod passes;
 pub mod qasm;
 pub mod qft;
 pub mod render;
@@ -32,4 +35,5 @@ pub use gate::{Gate, GateKind, LogicalQubit, PhysicalQubit};
 pub use latency::LinkClass;
 pub use layout::Layout;
 pub use metrics::Metrics;
+pub use passes::{Pass, PassCtx, PassError, PassManager, PassReport};
 pub use qft::{check_qft_circuit, check_qft_order, qft_circuit, qft_pair_count, Partition};

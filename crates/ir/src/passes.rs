@@ -1,0 +1,733 @@
+//! The pass subsystem: composable rewrites over [`MappedCircuit`]s.
+//!
+//! Every compiler in the stack — the paper's four analytical mappers and
+//! the three search baselines — emits its kernel through a *construct*
+//! stage and then hands the circuit to a [`PassManager`] tail. A [`Pass`]
+//! is a local, semantics-preserving rewrite (or a pure check); the manager
+//! chains passes, timing each one and recording gate/depth/SWAP deltas in
+//! a serde-serializable [`PassReport`] so the per-pass breakdown travels
+//! with the compile result.
+//!
+//! The shared concrete passes:
+//!
+//! * [`CancelAdjacentSwaps`] — peephole: back-to-back SWAPs on the same
+//!   physical pair (with nothing touching either qubit in between) compose
+//!   to the identity and are deleted;
+//! * [`MergeSwapCphase`] — the paper's *combined interaction*: a CPHASE
+//!   adjacent to a SWAP on the same pair fuses into one
+//!   [`GateKind::CphaseSwap`] two-qubit interaction (CPHASE is diagonal
+//!   and symmetric, so it commutes with the SWAP on its own pair and the
+//!   fusion is exact);
+//! * [`AsapLayering`] — scheduling: stable-reorders the op stream into
+//!   uniform ASAP layers (per-qubit order is preserved, so the rewrite is
+//!   an identity on semantics and on layout bookkeeping);
+//! * [`CheckLayout`] — verify: replays SWAPs from the initial layout and
+//!   checks every op's logical annotations, operand sanity, coupling-graph
+//!   adjacency (when the [`PassCtx`] carries an oracle), and the recorded
+//!   final layout. Never rewrites.
+//!
+//! Passes are addressable by name through [`named`] (see [`PASS_NAMES`]),
+//! which is how `CompileOptions::extra_passes` strings resolve.
+
+use crate::circuit::{MappedCircuit, PhysOp};
+use crate::gate::{GateKind, PhysicalQubit};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Instant;
+
+/// Read-only context a pass runs under.
+///
+/// Lives in `qft-ir`, which knows nothing about device models, so hardware
+/// structure enters as an *oracle*: an optional adjacency predicate over
+/// physical qubits. Peephole passes never need it (they only rewrite ops in
+/// place on pairs that were already adjacent); [`CheckLayout`] uses it to
+/// verify hardware compliance when present.
+#[derive(Default)]
+pub struct PassCtx<'a> {
+    adjacent: Option<&'a dyn Fn(PhysicalQubit, PhysicalQubit) -> bool>,
+}
+
+impl<'a> PassCtx<'a> {
+    /// A context with no device knowledge (adjacency checks are skipped).
+    pub fn new() -> Self {
+        PassCtx::default()
+    }
+
+    /// A context carrying a coupling-graph adjacency oracle.
+    pub fn with_adjacency(adjacent: &'a dyn Fn(PhysicalQubit, PhysicalQubit) -> bool) -> Self {
+        PassCtx {
+            adjacent: Some(adjacent),
+        }
+    }
+
+    /// Whether an adjacency oracle is available.
+    pub fn has_adjacency(&self) -> bool {
+        self.adjacent.is_some()
+    }
+
+    /// Adjacency of two physical qubits; vacuously true without an oracle.
+    pub fn adjacent(&self, a: PhysicalQubit, b: PhysicalQubit) -> bool {
+        self.adjacent.map(|f| f(a, b)).unwrap_or(true)
+    }
+}
+
+impl fmt::Debug for PassCtx<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PassCtx")
+            .field("has_adjacency", &self.has_adjacency())
+            .finish()
+    }
+}
+
+/// What one pass did to one circuit: filled in by the pass (`rewrites`,
+/// `note`) and completed by the [`PassManager`] (wall time and the
+/// before/after op, SWAP, and depth columns).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PassReport {
+    /// Registry name of the pass.
+    pub pass: String,
+    /// Number of rewrites applied (0 = the pass left the circuit alone).
+    pub rewrites: usize,
+    /// Wall-clock seconds this pass took.
+    pub wall_s: f64,
+    /// Op count entering the pass.
+    pub ops_before: usize,
+    /// Op count leaving the pass.
+    pub ops_after: usize,
+    /// Standalone SWAP count entering the pass.
+    pub swaps_before: usize,
+    /// Standalone SWAP count leaving the pass.
+    pub swaps_after: usize,
+    /// Uniform-latency depth entering the pass.
+    pub depth_before: u64,
+    /// Uniform-latency depth leaving the pass.
+    pub depth_after: u64,
+    /// Free-form annotation from the pass.
+    pub note: String,
+}
+
+impl PassReport {
+    /// A zeroed report for `pass`; the manager fills the delta columns.
+    pub fn new(pass: &str) -> Self {
+        PassReport {
+            pass: pass.to_string(),
+            rewrites: 0,
+            wall_s: 0.0,
+            ops_before: 0,
+            ops_after: 0,
+            swaps_before: 0,
+            swaps_after: 0,
+            depth_before: 0,
+            depth_after: 0,
+            note: String::new(),
+        }
+    }
+
+    /// Builder-style: record the number of rewrites.
+    pub fn with_rewrites(mut self, rewrites: usize) -> Self {
+        self.rewrites = rewrites;
+        self
+    }
+
+    /// Builder-style: attach an annotation.
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.note = note.into();
+        self
+    }
+
+    /// Whether the pass changed the circuit.
+    pub fn changed(&self) -> bool {
+        self.rewrites > 0
+    }
+}
+
+/// A pass failure: the circuit violated an invariant the pass depends on
+/// (or, for verify passes, the property being checked).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassError {
+    /// Registry name of the failing pass.
+    pub pass: String,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl PassError {
+    /// Builds an error for `pass`.
+    pub fn new(pass: &str, reason: impl Into<String>) -> Self {
+        PassError {
+            pass: pass.to_string(),
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for PassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pass '{}' failed: {}", self.pass, self.reason)
+    }
+}
+
+impl std::error::Error for PassError {}
+
+/// A compilation pass: a named, reusable rewrite (or check) over a mapped
+/// circuit. Implementations must preserve circuit semantics and layout
+/// bookkeeping — [`CheckLayout`] is the executable statement of that
+/// contract.
+pub trait Pass: Send + Sync {
+    /// Registry name (kebab-case, e.g. `"cancel-adjacent-swaps"`).
+    fn name(&self) -> &'static str;
+
+    /// One-line description for listings.
+    fn description(&self) -> &'static str;
+
+    /// Runs the pass. Returns a report with `rewrites`/`note` filled in
+    /// ([`PassManager::run`] completes the timing and delta columns).
+    fn run(&self, circuit: &mut MappedCircuit, ctx: &PassCtx) -> Result<PassReport, PassError>;
+}
+
+/// An ordered pass pipeline with per-pass accounting.
+#[derive(Default)]
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl PassManager {
+    /// An empty pipeline.
+    pub fn new() -> Self {
+        PassManager { passes: Vec::new() }
+    }
+
+    /// Builder-style: append a pass.
+    pub fn with_pass(mut self, pass: Box<dyn Pass>) -> Self {
+        self.passes.push(pass);
+        self
+    }
+
+    /// Appends a pass.
+    pub fn push(&mut self, pass: Box<dyn Pass>) {
+        self.passes.push(pass);
+    }
+
+    /// Names of the registered passes, in run order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Number of passes in the pipeline.
+    pub fn len(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// Whether the pipeline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.passes.is_empty()
+    }
+
+    /// Runs every pass in order, aborting on the first failure. Each
+    /// report's wall time and before/after columns are measured here so
+    /// individual passes cannot mis-report them.
+    pub fn run(
+        &self,
+        circuit: &mut MappedCircuit,
+        ctx: &PassCtx,
+    ) -> Result<Vec<PassReport>, PassError> {
+        let mut reports = Vec::with_capacity(self.passes.len());
+        for pass in &self.passes {
+            let (ops_before, swaps_before, depth_before) = (
+                circuit.ops().len(),
+                circuit.swap_count(),
+                circuit.depth_uniform(),
+            );
+            let t0 = Instant::now();
+            let mut report = pass.run(circuit, ctx)?;
+            report.wall_s = t0.elapsed().as_secs_f64();
+            report.pass = pass.name().to_string();
+            report.ops_before = ops_before;
+            report.swaps_before = swaps_before;
+            report.depth_before = depth_before;
+            report.ops_after = circuit.ops().len();
+            report.swaps_after = circuit.swap_count();
+            report.depth_after = circuit.depth_uniform();
+            reports.push(report);
+        }
+        Ok(reports)
+    }
+}
+
+impl fmt::Debug for PassManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PassManager")
+            .field("passes", &self.names())
+            .finish()
+    }
+}
+
+/// Names accepted by [`named`], in canonical order.
+pub const PASS_NAMES: &[&str] = &[
+    "cancel-adjacent-swaps",
+    "merge-swap-cphase",
+    "asap-layering",
+    "check-layout",
+];
+
+/// Resolves a shared pass by its registry name.
+pub fn named(name: &str) -> Option<Box<dyn Pass>> {
+    match name {
+        "cancel-adjacent-swaps" => Some(Box::new(CancelAdjacentSwaps)),
+        "merge-swap-cphase" => Some(Box::new(MergeSwapCphase)),
+        "asap-layering" => Some(Box::new(AsapLayering)),
+        "check-layout" => Some(Box::new(CheckLayout)),
+        _ => None,
+    }
+}
+
+/// Whether `a` and `b` act on the same unordered physical pair.
+fn same_pair(a: &PhysOp, b: &PhysOp) -> bool {
+    match (a.p2, b.p2) {
+        (Some(a2), Some(b2)) => (a.p1, a2) == (b.p1, b2) || (a.p1, a2) == (b2, b.p1),
+        _ => false,
+    }
+}
+
+/// One scan of a peephole: for each two-qubit op, finds the *previous* op
+/// touching either of its qubits (with nothing in between on either), and
+/// lets `rewrite` fuse or cancel the pair. Returns rewrites applied.
+fn peephole_scan(
+    ops: &mut Vec<PhysOp>,
+    mut rewrite: impl FnMut(&PhysOp, &PhysOp) -> Option<Option<PhysOp>>,
+) -> usize {
+    // last_touch[p] = index in `ops` of the most recent live op touching p.
+    let n_phys = ops
+        .iter()
+        .flat_map(|o| o.phys())
+        .map(|p| p.index() + 1)
+        .max()
+        .unwrap_or(0);
+    let mut last_touch: Vec<Option<usize>> = vec![None; n_phys];
+    let mut removed = vec![false; ops.len()];
+    let mut rewrites = 0;
+    for j in 0..ops.len() {
+        let op = ops[j];
+        // The candidate is valid only if it is the last op on BOTH qubits
+        // (nothing touched either in between) and still live.
+        let prev = match (op.p2, last_touch[op.p1.index()]) {
+            (Some(p2), Some(i1)) => match last_touch[p2.index()] {
+                Some(i2) if i1 == i2 && !removed[i1] => Some(i1),
+                _ => None,
+            },
+            _ => None,
+        };
+        if let Some(i) = prev {
+            if same_pair(&ops[i], &op) {
+                if let Some(replacement) = rewrite(&ops[i], &op) {
+                    rewrites += 1;
+                    match replacement {
+                        Some(fused) => {
+                            ops[i] = fused;
+                            removed[j] = true;
+                        }
+                        None => {
+                            removed[i] = true;
+                            removed[j] = true;
+                        }
+                    }
+                }
+            }
+        }
+        for p in op.phys() {
+            last_touch[p.index()] = Some(j);
+        }
+    }
+    if rewrites > 0 {
+        let mut idx = 0;
+        ops.retain(|_| {
+            let keep = !removed[idx];
+            idx += 1;
+            keep
+        });
+    }
+    rewrites
+}
+
+/// Peephole: deletes pairs of SWAPs on the same physical pair with nothing
+/// touching either qubit in between — their composition is the identity on
+/// both state and layout, so removal is exact.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CancelAdjacentSwaps;
+
+impl Pass for CancelAdjacentSwaps {
+    fn name(&self) -> &'static str {
+        "cancel-adjacent-swaps"
+    }
+
+    fn description(&self) -> &'static str {
+        "delete back-to-back SWAP pairs on the same physical link"
+    }
+
+    fn run(&self, circuit: &mut MappedCircuit, _ctx: &PassCtx) -> Result<PassReport, PassError> {
+        let mut ops = circuit.take_ops();
+        let mut total = 0;
+        // Chains (SWAP SWAP SWAP SWAP) cancel across iterations; each scan
+        // is O(ops), and real compiler output converges in one.
+        loop {
+            let n = peephole_scan(&mut ops, |prev, cur| {
+                (prev.kind == GateKind::Swap && cur.kind == GateKind::Swap).then_some(None)
+            });
+            total += n;
+            if n == 0 {
+                break;
+            }
+        }
+        circuit.set_ops(ops);
+        Ok(PassReport::new(self.name()).with_rewrites(total))
+    }
+}
+
+/// Peephole: fuses a CPHASE and a SWAP on the same physical pair (with
+/// nothing touching either qubit in between) into one
+/// [`GateKind::CphaseSwap`] interaction — the paper's combined
+/// SWAP+CPhase two-qubit interaction. Both orders fuse: CPHASE is
+/// diagonal and symmetric, so it commutes with the SWAP on its own pair.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MergeSwapCphase;
+
+impl Pass for MergeSwapCphase {
+    fn name(&self) -> &'static str {
+        "merge-swap-cphase"
+    }
+
+    fn description(&self) -> &'static str {
+        "fuse CPHASE+SWAP on the same link into one combined interaction"
+    }
+
+    fn run(&self, circuit: &mut MappedCircuit, _ctx: &PassCtx) -> Result<PassReport, PassError> {
+        let mut ops = circuit.take_ops();
+        let rewrites = peephole_scan(&mut ops, |prev, cur| match (prev.kind, cur.kind) {
+            // The fused op keeps the FIRST op's position, operands, and
+            // logical annotations: replay applies the CPHASE and then the
+            // swap, which matches either unfused order exactly (the pair's
+            // occupants only exchange, and CPHASE is symmetric).
+            (GateKind::Cphase { k }, GateKind::Swap) | (GateKind::Swap, GateKind::Cphase { k }) => {
+                Some(Some(PhysOp {
+                    kind: GateKind::CphaseSwap { k },
+                    ..*prev
+                }))
+            }
+            _ => None,
+        });
+        circuit.set_ops(ops);
+        Ok(PassReport::new(self.name()).with_rewrites(rewrites))
+    }
+}
+
+/// Scheduling: stable-reorders the op stream into uniform-latency ASAP
+/// layers (ops within a layer keep their original relative order). The
+/// rewrite preserves per-qubit op order, so semantics, annotations, and
+/// layout replay are untouched; it exists to give downstream consumers a
+/// layer-contiguous stream and to normalize streams emitted out of
+/// schedule order by search-based compilers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AsapLayering;
+
+impl Pass for AsapLayering {
+    fn name(&self) -> &'static str {
+        "asap-layering"
+    }
+
+    fn description(&self) -> &'static str {
+        "stable-reorder the op stream into uniform ASAP layers"
+    }
+
+    fn run(&self, circuit: &mut MappedCircuit, _ctx: &PassCtx) -> Result<PassReport, PassError> {
+        let relaid: Vec<PhysOp> = circuit.layers_uniform().into_iter().flatten().collect();
+        let moved = relaid
+            .iter()
+            .zip(circuit.ops())
+            .filter(|(a, b)| a != b)
+            .count();
+        if moved > 0 {
+            circuit.set_ops(relaid);
+        }
+        Ok(PassReport::new(self.name()).with_rewrites(moved))
+    }
+}
+
+/// Verify: replays SWAPs from the initial layout and checks that every
+/// op's logical annotations match, that operands are sane (arity, no
+/// self-loops), that two-qubit ops respect the adjacency oracle (when the
+/// context has one), and that the recorded final layout equals the replay.
+/// Never rewrites; failing any check is a [`PassError`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheckLayout;
+
+impl Pass for CheckLayout {
+    fn name(&self) -> &'static str {
+        "check-layout"
+    }
+
+    fn description(&self) -> &'static str {
+        "replay SWAPs and verify annotations, adjacency, and final layout"
+    }
+
+    fn run(&self, circuit: &mut MappedCircuit, ctx: &PassCtx) -> Result<PassReport, PassError> {
+        let fail = |reason: String| PassError::new(self.name(), reason);
+        let mut layout = circuit.initial_layout().clone();
+        for (i, op) in circuit.ops().iter().enumerate() {
+            match op.p2 {
+                None => {
+                    if op.kind.arity() != 1 {
+                        return Err(fail(format!(
+                            "op #{i} ({}) lacks a second operand",
+                            op.kind
+                        )));
+                    }
+                    if layout.logical(op.p1) != op.l1 {
+                        return Err(fail(format!("op #{i} annotation disagrees with replay")));
+                    }
+                }
+                Some(p2) => {
+                    if op.kind.arity() != 2 {
+                        return Err(fail(format!(
+                            "op #{i} ({}) has a spurious operand",
+                            op.kind
+                        )));
+                    }
+                    if op.p1 == p2 {
+                        return Err(fail(format!("op #{i} acts twice on {}", op.p1)));
+                    }
+                    if !ctx.adjacent(op.p1, p2) {
+                        return Err(fail(format!(
+                            "op #{i} spans non-adjacent qubits {} and {p2}",
+                            op.p1
+                        )));
+                    }
+                    if layout.logical(op.p1) != op.l1 || layout.logical(p2) != op.l2 {
+                        return Err(fail(format!("op #{i} annotation disagrees with replay")));
+                    }
+                    if op.kind.swaps_operands() {
+                        layout.swap_phys(op.p1, p2);
+                    }
+                }
+            }
+        }
+        if &layout != circuit.final_layout() {
+            return Err(fail("final layout does not match SWAP replay".to_string()));
+        }
+        let note = format!(
+            "{} ops checked{}",
+            circuit.ops().len(),
+            if ctx.has_adjacency() {
+                " (with adjacency)"
+            } else {
+                ""
+            }
+        );
+        Ok(PassReport::new(self.name()).with_note(note))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::MappedCircuitBuilder;
+    use crate::layout::Layout;
+
+    fn p(i: u32) -> PhysicalQubit {
+        PhysicalQubit(i)
+    }
+
+    /// H(0); CP(0,1); SWAP(0,1); SWAP(0,1); CP(1,2) — the double SWAP is
+    /// redundant.
+    fn with_redundant_swaps() -> MappedCircuit {
+        let mut b = MappedCircuitBuilder::new(Layout::identity(3, 3));
+        b.push_1q_phys(GateKind::H, p(0));
+        b.push_2q_phys(GateKind::Cphase { k: 2 }, p(0), p(1));
+        b.push_swap_phys(p(0), p(1));
+        b.push_swap_phys(p(0), p(1));
+        b.push_2q_phys(GateKind::Cphase { k: 2 }, p(1), p(2));
+        b.finish()
+    }
+
+    #[test]
+    fn cancel_removes_redundant_swap_pairs() {
+        let mut mc = with_redundant_swaps();
+        let report = CancelAdjacentSwaps.run(&mut mc, &PassCtx::new()).unwrap();
+        assert_eq!(report.rewrites, 1);
+        assert_eq!(mc.ops().len(), 3);
+        assert_eq!(mc.swap_count(), 0);
+        CheckLayout.run(&mut mc, &PassCtx::new()).unwrap();
+    }
+
+    #[test]
+    fn cancel_handles_chains() {
+        let mut b = MappedCircuitBuilder::new(Layout::identity(2, 2));
+        for _ in 0..4 {
+            b.push_swap_phys(p(0), p(1));
+        }
+        let mut mc = b.finish();
+        let report = CancelAdjacentSwaps.run(&mut mc, &PassCtx::new()).unwrap();
+        assert_eq!(report.rewrites, 2);
+        assert!(mc.ops().is_empty());
+        CheckLayout.run(&mut mc, &PassCtx::new()).unwrap();
+    }
+
+    #[test]
+    fn cancel_leaves_interleaved_swaps_alone() {
+        // SWAP(0,1); CP(1,2); SWAP(0,1): the CP touches Q1 in between.
+        let mut b = MappedCircuitBuilder::new(Layout::identity(3, 3));
+        b.push_swap_phys(p(0), p(1));
+        b.push_2q_phys(GateKind::Cphase { k: 2 }, p(1), p(2));
+        b.push_swap_phys(p(0), p(1));
+        let mut mc = b.finish();
+        let report = CancelAdjacentSwaps.run(&mut mc, &PassCtx::new()).unwrap();
+        assert_eq!(report.rewrites, 0);
+        assert_eq!(mc.ops().len(), 3);
+    }
+
+    #[test]
+    fn merge_fuses_cphase_then_swap() {
+        // CP(0,1); SWAP(0,1) fuses; the unrelated CP(1,2) stays.
+        let mut b = MappedCircuitBuilder::new(Layout::identity(3, 3));
+        b.push_2q_phys(GateKind::Cphase { k: 3 }, p(0), p(1));
+        b.push_swap_phys(p(0), p(1));
+        b.push_2q_phys(GateKind::Cphase { k: 2 }, p(1), p(2));
+        let mut mc = b.finish();
+        let report = MergeSwapCphase.run(&mut mc, &PassCtx::new()).unwrap();
+        assert_eq!(report.rewrites, 1);
+        assert_eq!(mc.ops().len(), 2);
+        assert_eq!(mc.ops()[0].kind, GateKind::CphaseSwap { k: 3 });
+        assert_eq!(mc.swap_count(), 0);
+        assert_eq!(mc.cphase_count(), 2);
+        CheckLayout.run(&mut mc, &PassCtx::new()).unwrap();
+    }
+
+    #[test]
+    fn merge_fuses_swap_then_cphase() {
+        let mut b = MappedCircuitBuilder::new(Layout::identity(2, 2));
+        b.push_swap_phys(p(0), p(1));
+        b.push_2q_phys(GateKind::Cphase { k: 2 }, p(1), p(0));
+        let mut mc = b.finish();
+        let report = MergeSwapCphase.run(&mut mc, &PassCtx::new()).unwrap();
+        assert_eq!(report.rewrites, 1);
+        assert_eq!(mc.ops().len(), 1);
+        assert_eq!(mc.ops()[0].kind, GateKind::CphaseSwap { k: 2 });
+        // The fused op keeps the SWAP's (pre-exchange) annotations.
+        assert_eq!(
+            mc.ops()[0].logical_pair().map(|(a, b)| (a.0, b.0)),
+            Some((0, 1))
+        );
+        CheckLayout.run(&mut mc, &PassCtx::new()).unwrap();
+    }
+
+    #[test]
+    fn merge_respects_intervening_ops() {
+        // CP(0,1); H at Q1; SWAP(0,1): H breaks the window.
+        let mut b = MappedCircuitBuilder::new(Layout::identity(2, 2));
+        b.push_2q_phys(GateKind::Cphase { k: 2 }, p(0), p(1));
+        b.push_1q_phys(GateKind::H, p(1));
+        b.push_swap_phys(p(0), p(1));
+        let mut mc = b.finish();
+        let report = MergeSwapCphase.run(&mut mc, &PassCtx::new()).unwrap();
+        assert_eq!(report.rewrites, 0);
+        assert_eq!(mc.ops().len(), 3);
+    }
+
+    #[test]
+    fn asap_layering_moves_parallel_ops_together() {
+        // CP(0,1); SWAP(0,1); CP(2,3): the last op is independent and
+        // belongs in layer 0, ahead of the SWAP.
+        let mut b = MappedCircuitBuilder::new(Layout::identity(4, 4));
+        b.push_2q_phys(GateKind::Cphase { k: 2 }, p(0), p(1));
+        b.push_swap_phys(p(0), p(1));
+        b.push_2q_phys(GateKind::Cphase { k: 2 }, p(2), p(3));
+        let mut mc = b.finish();
+        let before_pairs: Vec<_> = mc.ops().iter().map(|o| (o.p1, o.p2)).collect();
+        let report = AsapLayering.run(&mut mc, &PassCtx::new()).unwrap();
+        assert!(report.rewrites > 0);
+        let after_pairs: Vec<_> = mc.ops().iter().map(|o| (o.p1, o.p2)).collect();
+        assert_ne!(before_pairs, after_pairs);
+        assert_eq!(mc.depth_uniform(), 2);
+        CheckLayout.run(&mut mc, &PassCtx::new()).unwrap();
+    }
+
+    #[test]
+    fn check_layout_rejects_broken_annotations() {
+        let mut mc = with_redundant_swaps();
+        let mut ops = mc.ops().to_vec();
+        ops[1].l1 = Some(crate::gate::LogicalQubit(2)); // lie
+        mc.set_ops(ops);
+        let err = CheckLayout.run(&mut mc, &PassCtx::new()).unwrap_err();
+        assert!(err.reason.contains("annotation"), "{err}");
+    }
+
+    #[test]
+    fn check_layout_rejects_broken_final_layout() {
+        let mut mc = with_redundant_swaps();
+        let mut ops = mc.ops().to_vec();
+        ops.push(PhysOp {
+            kind: GateKind::Swap,
+            p1: p(0),
+            p2: Some(p(1)),
+            l1: mc.final_layout().logical(p(0)),
+            l2: mc.final_layout().logical(p(1)),
+        });
+        mc.set_ops(ops);
+        let err = CheckLayout.run(&mut mc, &PassCtx::new()).unwrap_err();
+        assert!(err.reason.contains("final layout"), "{err}");
+    }
+
+    #[test]
+    fn check_layout_uses_adjacency_oracle() {
+        let mut b = MappedCircuitBuilder::new(Layout::identity(3, 3));
+        b.push_2q_phys(GateKind::Cphase { k: 2 }, p(0), p(2));
+        let mut mc = b.finish();
+        // Without an oracle the op passes; a line oracle rejects it.
+        CheckLayout.run(&mut mc, &PassCtx::new()).unwrap();
+        let line = |a: PhysicalQubit, b: PhysicalQubit| a.0.abs_diff(b.0) == 1;
+        let err = CheckLayout
+            .run(&mut mc, &PassCtx::with_adjacency(&line))
+            .unwrap_err();
+        assert!(err.reason.contains("non-adjacent"), "{err}");
+    }
+
+    #[test]
+    fn manager_times_and_diffs_every_pass() {
+        let mut mc = with_redundant_swaps();
+        let pm = PassManager::new()
+            .with_pass(Box::new(CancelAdjacentSwaps))
+            .with_pass(Box::new(MergeSwapCphase))
+            .with_pass(Box::new(CheckLayout));
+        let reports = pm.run(&mut mc, &PassCtx::new()).unwrap();
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0].ops_before, 5);
+        assert_eq!(reports[0].ops_after, 3);
+        assert_eq!(reports[0].swaps_before, 2);
+        assert_eq!(reports[0].swaps_after, 0);
+        assert!(reports.iter().all(|r| r.wall_s >= 0.0));
+        assert!(!reports[2].changed());
+        assert_eq!(
+            pm.names(),
+            vec!["cancel-adjacent-swaps", "merge-swap-cphase", "check-layout"]
+        );
+    }
+
+    #[test]
+    fn named_resolves_every_registered_pass() {
+        for name in PASS_NAMES {
+            let p = named(name).unwrap_or_else(|| panic!("{name} must resolve"));
+            assert_eq!(p.name(), *name);
+            assert!(!p.description().is_empty());
+        }
+        assert!(named("constant-folding").is_none());
+    }
+
+    #[test]
+    fn pass_report_roundtrips_through_serde() {
+        let mut mc = with_redundant_swaps();
+        let pm = PassManager::new().with_pass(Box::new(CancelAdjacentSwaps));
+        let reports = pm.run(&mut mc, &PassCtx::new()).unwrap();
+        let json = serde_json::to_string(&reports).unwrap();
+        let back: Vec<PassReport> = serde_json::from_str(&json).unwrap();
+        assert_eq!(reports, back);
+    }
+}

@@ -25,6 +25,12 @@ fn emit_gate(out: &mut String, kind: GateKind, a: usize, b: Option<usize>) {
             writeln!(out, "cu1({}) q[{b}],q[{a}];", angle_expr(k)).unwrap()
         }
         (GateKind::Swap, Some(b)) => writeln!(out, "swap q[{a}],q[{b}];").unwrap(),
+        // OpenQASM 2.0 has no fused CPHASE+SWAP primitive: decompose in
+        // the order replay semantics define (rotation, then exchange).
+        (GateKind::CphaseSwap { k }, Some(b)) => {
+            writeln!(out, "cu1({}) q[{b}],q[{a}];", angle_expr(k)).unwrap();
+            writeln!(out, "swap q[{a}],q[{b}];").unwrap();
+        }
         (GateKind::Cnot, Some(b)) => writeln!(out, "cx q[{a}],q[{b}];").unwrap(),
         _ => unreachable!("two-qubit gate without second operand"),
     }

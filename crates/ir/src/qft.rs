@@ -287,13 +287,15 @@ pub fn check_qft_circuit(c: &Circuit) -> Result<(), QftOrderError> {
 }
 
 /// Extracts the logical H/CPHASE sequence from per-op logical annotations,
-/// dropping SWAPs. Used to check mapped circuits against the QFT contract.
+/// dropping SWAPs. A fused [`GateKind::CphaseSwap`] contributes its CPHASE
+/// (the swap half moves qubits but is identity on the logical state). Used
+/// to check mapped circuits against the QFT contract.
 pub fn logical_interactions<'a>(
     ops: impl IntoIterator<Item = &'a crate::circuit::PhysOp> + 'a,
 ) -> impl Iterator<Item = Gate> + 'a {
     ops.into_iter().filter_map(|op| match op.kind {
         GateKind::H => op.l1.map(|l| Gate::one(GateKind::H, l)),
-        GateKind::Cphase { k } => match (op.l1, op.l2) {
+        GateKind::Cphase { k } | GateKind::CphaseSwap { k } => match (op.l1, op.l2) {
             (Some(a), Some(b)) => Some(Gate::two(GateKind::Cphase { k }, a, b)),
             _ => None,
         },

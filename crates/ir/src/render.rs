@@ -7,7 +7,8 @@ use crate::gate::GateKind;
 use std::fmt::Write as _;
 
 /// Renders up to `max_layers` uniform-latency layers. Cells show
-/// `H`, `C` (CPHASE), `x` (SWAP) with the logical qubit index, `.` idle.
+/// `H`, `C` (CPHASE), `x` (SWAP), `*` (fused CPHASE+SWAP) with the
+/// logical qubit index, `.` idle.
 pub fn render_layers(mc: &MappedCircuit, max_layers: usize) -> String {
     let layers = mc.layers_uniform();
     let shown = layers.len().min(max_layers);
@@ -20,6 +21,7 @@ pub fn render_layers(mc: &MappedCircuit, max_layers: usize) -> String {
                 GateKind::H => 'H',
                 GateKind::Cphase { .. } => 'C',
                 GateKind::Swap => 'x',
+                GateKind::CphaseSwap { .. } => '*',
                 GateKind::Cnot => '@',
                 GateKind::X => 'X',
                 GateKind::Rz { .. } => 'Z',

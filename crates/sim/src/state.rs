@@ -167,6 +167,10 @@ impl StateVector {
             (GateKind::Rz { k }, _) => self.apply_rz(a, k),
             (GateKind::Cphase { k }, Some(b)) => self.apply_cphase(a, b.index(), k),
             (GateKind::Swap, Some(b)) => self.apply_swap(a, b.index()),
+            (GateKind::CphaseSwap { k }, Some(b)) => {
+                self.apply_cphase(a, b.index(), k);
+                self.apply_swap(a, b.index());
+            }
             (GateKind::Cnot, Some(b)) => self.apply_cnot(a, b.index()),
             _ => unreachable!("malformed gate {g}"),
         }
@@ -185,6 +189,12 @@ impl StateVector {
             // Diagonal gates: conjugate the phase.
             (GateKind::Rz { k }, _) => self.apply_phase_masked(1usize << a, k, true),
             (GateKind::Cphase { k }, Some(b)) => {
+                self.apply_phase_masked((1usize << a) | (1usize << b.index()), k, true)
+            }
+            (GateKind::CphaseSwap { k }, Some(b)) => {
+                // (CP · SWAP)^-1 = SWAP · CP^-1; the two commute on the
+                // same pair, so order is immaterial.
+                self.apply_swap(a, b.index());
                 self.apply_phase_masked((1usize << a) | (1usize << b.index()), k, true)
             }
             _ => unreachable!("malformed gate {g}"),

@@ -115,8 +115,11 @@ pub fn verify_qft_mapping(
                 if layout.logical(op.p1) != op.l1 || layout.logical(p2) != op.l2 {
                     return Err(VerifyError::WrongAnnotation { op_index: i });
                 }
-                if op.kind == GateKind::Swap {
-                    swaps += 1;
+                // Fused CPHASE+SWAP interactions move their operands too.
+                if op.kind.swaps_operands() {
+                    if op.kind == GateKind::Swap {
+                        swaps += 1;
+                    }
                     layout.swap_phys(op.p1, p2);
                 }
             }

@@ -8,7 +8,8 @@
 //! the paper's evaluation depends on.
 //!
 //! Crate map:
-//! * [`ir`] — circuit IR, dependency DAGs (Type I/II), metrics, QASM;
+//! * [`ir`] — circuit IR, dependency DAGs (Type I/II), metrics, QASM, and
+//!   the pass subsystem ([`PassManager`] + shared peephole/verify passes);
 //! * [`arch`] — coupling-graph models of every backend;
 //! * [`sim`] — state-vector simulator + scalable symbolic verifier;
 //! * [`synth`] — enumerative SKETCH-substitute for movement patterns;
@@ -18,7 +19,12 @@
 //!
 //! Every compiler — the four analytical mappers *and* the three baselines —
 //! implements the same [`QftCompiler`] trait and is resolvable by name
-//! through [`registry()`], so harnesses drive them interchangeably.
+//! through [`registry()`], so harnesses drive them interchangeably. Each
+//! compile runs construct → optimize → verify: the compiler's construct
+//! stage emits a raw schedule, then a shared [`PassManager`] tail (chosen
+//! by [`CompileOptions::opt_level`] and `extra_passes`) applies the
+//! peephole/scheduling/verify passes, and the per-pass breakdown lands in
+//! [`CompileResult::passes`].
 //!
 //! ## Quickstart
 //!
@@ -50,9 +56,10 @@ pub use qft_sim as sim;
 pub use qft_synth as synth;
 
 pub use qft_core::{
-    CompileError, CompileOptions, CompileResult, IeMode, LatencyModel, QftCompiler, Registry,
-    Target, TargetSpec, VerifyLevel,
+    pass_manager_for, CompileError, CompileOptions, CompileResult, IeMode, LatencyModel,
+    QftCompiler, Registry, Target, TargetSpec, VerifyLevel,
 };
+pub use qft_ir::passes::{Pass, PassCtx, PassError, PassManager, PassReport};
 
 use std::sync::OnceLock;
 

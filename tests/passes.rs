@@ -1,0 +1,304 @@
+//! Pass-pipeline invariants: byte-identity of the default tail with the
+//! pre-pass-pipeline compilers, semantics preservation of every shared
+//! pass (property-tested against the symbolic verifier and the
+//! state-vector simulator), and the serde contract of the per-pass report.
+
+use proptest::prelude::*;
+use qft_kernels::ir::circuit::MappedCircuit;
+use qft_kernels::ir::gate::GateKind;
+use qft_kernels::ir::passes::{CancelAdjacentSwaps, Pass, PassCtx};
+use qft_kernels::ir::{MappedCircuitBuilder, Metrics, PhysicalQubit};
+use qft_kernels::sim::equiv::mapped_equals_qft;
+use qft_kernels::sim::symbolic::verify_qft_mapping;
+use qft_kernels::{registry, CompileError, CompileOptions, CompileResult, Target};
+
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A stable digest of everything observable about a mapped circuit: both
+/// layouts and the full op stream (kinds, operands, annotations).
+fn digest(mc: &MappedCircuit) -> u64 {
+    use std::fmt::Write;
+    let mut s = String::new();
+    write!(s, "{:?}|{:?}|", mc.initial_layout(), mc.final_layout()).unwrap();
+    for op in mc.ops() {
+        write!(s, "{op:?};").unwrap();
+    }
+    fnv(s.as_bytes())
+}
+
+/// Digests of every compiler's output on the quickstart/table1 cases,
+/// captured from the pre-pass-pipeline compilers (commit 48b5a1d, before
+/// the construct/optimize split). `opt_level = 1` must reproduce these
+/// byte-for-byte.
+const PRE_REFACTOR_DIGESTS: &[(&str, &str, u64)] = &[
+    ("lnn", "lnn:16", 0x3080a5b95b6f3707),
+    ("sycamore", "sycamore:4", 0xd63099956efa89d9),
+    ("heavyhex", "heavyhex:4", 0xe19fb76a29a32b18),
+    ("lattice", "lattice:6", 0x9d7c36683ccc9da4),
+    ("sycamore", "sycamore:2", 0xae5d610590a90ecd),
+    ("sycamore", "sycamore:6", 0x472bc53928151350),
+    ("heavyhex", "heavyhex:2", 0x693f77b11d24bec5),
+    ("heavyhex", "heavyhex:6", 0x9739d01a917e8e81),
+    ("lattice", "lattice:10", 0x357e2133c48b7bcf),
+    ("sabre", "sycamore:2", 0x0883e621ae056580),
+    ("sabre", "sycamore:4", 0x85d57ed7db6d9a6a),
+    ("sabre", "heavyhex:2", 0x75384e5d049f574a),
+    ("sabre", "heavyhex:4", 0x8eb0c019bf4d7c4b),
+    ("sabre", "lattice:6", 0xca45de1afa892850),
+    ("sabre", "lnn:16", 0x87a8743ca0ce70f7),
+    ("lnn-path", "lnn:16", 0x3080a5b95b6f3707),
+    ("lnn-path", "lattice:6", 0xd8db0ca520187d20),
+    ("optimal", "lnn:4", 0xcd41cb61f43c873a),
+    ("optimal", "sycamore:2", 0xe2e9596bd46360c2),
+];
+
+#[test]
+fn opt_level_1_is_byte_identical_to_the_pre_refactor_compilers() {
+    for &(compiler, spec, expected) in PRE_REFACTOR_DIGESTS {
+        let t = Target::parse(spec).unwrap();
+        let r = registry()
+            .compile(compiler, &t, &CompileOptions::default())
+            .unwrap_or_else(|e| panic!("{compiler} on {spec}: {e}"));
+        assert_eq!(
+            digest(&r.circuit),
+            expected,
+            "{compiler} on {spec}: opt_level=1 output diverged from the pre-refactor compiler"
+        );
+        assert!(
+            !r.passes.is_empty(),
+            "{compiler} on {spec}: per-pass report must be non-empty"
+        );
+    }
+}
+
+#[test]
+fn opt_level_0_matches_opt_level_1_on_every_compiler() {
+    // The default tail only runs rewrites that are no-ops on real compiler
+    // output, so "construct only" and "default passes" agree on the
+    // circuit (and differ exactly in the report).
+    for (compiler, spec) in [
+        ("lnn", "lnn:12"),
+        ("sycamore", "sycamore:4"),
+        ("heavyhex", "heavyhex:3"),
+        ("lattice", "lattice:4"),
+        ("sabre", "heavyhex:3"),
+        ("optimal", "lnn:4"),
+        ("lnn-path", "lattice:4"),
+    ] {
+        let t = Target::parse(spec).unwrap();
+        let raw = registry()
+            .compile(compiler, &t, &CompileOptions::default().with_opt_level(0))
+            .unwrap();
+        let opt = registry()
+            .compile(compiler, &t, &CompileOptions::default())
+            .unwrap();
+        assert_eq!(raw.circuit.ops(), opt.circuit.ops(), "{compiler} on {spec}");
+        assert!(raw.passes.is_empty(), "opt_level=0 runs no passes");
+        assert_eq!(
+            opt.passes
+                .iter()
+                .map(|p| p.pass.as_str())
+                .collect::<Vec<_>>(),
+            vec!["cancel-adjacent-swaps", "check-layout"],
+            "{compiler} on {spec}"
+        );
+    }
+}
+
+#[test]
+fn opt_level_2_fuses_swaps_and_keeps_kernels_verified() {
+    for (compiler, spec) in [
+        ("lnn", "lnn:16"),
+        ("sycamore", "sycamore:4"),
+        ("heavyhex", "heavyhex:3"),
+        ("lattice", "lattice:4"),
+        ("sabre", "sycamore:4"),
+        ("lnn-path", "lattice:4"),
+    ] {
+        let t = Target::parse(spec).unwrap();
+        let base = registry()
+            .compile(compiler, &t, &CompileOptions::verified())
+            .unwrap();
+        let opts = CompileOptions::verified().with_opt_level(2);
+        let merged = registry().compile(compiler, &t, &opts).unwrap();
+        assert!(
+            merged.metrics.swaps < base.metrics.swaps,
+            "{compiler} on {spec}: fusion must absorb SWAPs ({} vs {})",
+            merged.metrics.swaps,
+            base.metrics.swaps
+        );
+        assert!(
+            merged.metrics.depth <= base.metrics.depth,
+            "{compiler} on {spec}: fusion must not worsen depth"
+        );
+        assert_eq!(
+            merged.metrics.cphases,
+            merged.n * (merged.n - 1) / 2,
+            "{compiler} on {spec}: every pair interaction survives fusion"
+        );
+        let fused = merged
+            .circuit
+            .ops()
+            .iter()
+            .filter(|o| matches!(o.kind, GateKind::CphaseSwap { .. }))
+            .count();
+        assert!(fused > 0, "{compiler} on {spec}: no fused interactions");
+    }
+}
+
+#[test]
+fn per_pass_report_roundtrips_through_serde() {
+    let t = Target::heavy_hex_groups(2).unwrap();
+    let r = registry()
+        .compile("heavyhex", &t, &CompileOptions::default().with_opt_level(2))
+        .unwrap();
+    assert!(r.passes.len() >= 3);
+    let json = serde_json::to_string(&r).unwrap();
+    let back: CompileResult = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.passes, r.passes);
+    assert_eq!(back.circuit.ops(), r.circuit.ops());
+    assert!(r.pass_s() >= 0.0);
+}
+
+#[test]
+fn extra_passes_append_to_the_default_tail() {
+    let t = Target::lnn(12).unwrap();
+    let opts = CompileOptions::verified().with_extra_pass("merge-swap-cphase");
+    let r = registry().compile("lnn", &t, &opts).unwrap();
+    assert_eq!(
+        r.passes.iter().map(|p| p.pass.as_str()).collect::<Vec<_>>(),
+        vec!["cancel-adjacent-swaps", "merge-swap-cphase", "check-layout"]
+    );
+    assert_eq!(r.metrics.swaps, 0, "the LNN schedule fuses completely");
+}
+
+#[test]
+fn unknown_extra_pass_is_a_described_error() {
+    let t = Target::lnn(4).unwrap();
+    let opts = CompileOptions::default().with_extra_pass("loop-unrolling");
+    match registry().compile("lnn", &t, &opts) {
+        Err(CompileError::UnsupportedOption { option, .. }) => {
+            assert!(option.contains("loop-unrolling"), "{option}");
+            assert!(option.contains("cancel-adjacent-swaps"), "{option}");
+        }
+        other => panic!("expected UnsupportedOption, got {other:?}"),
+    }
+}
+
+#[test]
+fn option_builders_cover_the_new_knobs() {
+    let opts = CompileOptions::default()
+        .with_approximation(3)
+        .with_ie_mode(qft_kernels::IeMode::Strict)
+        .with_opt_level(2)
+        .with_extra_pass("asap-layering");
+    assert_eq!(opts.approximation, Some(3));
+    assert_eq!(opts.opt_level, 2);
+    assert_eq!(opts.extra_passes, vec!["asap-layering".to_string()]);
+    // The AQFT builder actually shrinks sabre circuits.
+    let t = Target::lnn(8).unwrap();
+    let full = registry()
+        .compile("sabre", &t, &CompileOptions::default())
+        .unwrap();
+    let approx = registry()
+        .compile(
+            "sabre",
+            &t,
+            &CompileOptions::default().with_approximation(3),
+        )
+        .unwrap();
+    assert!(approx.metrics.cphases < full.metrics.cphases);
+}
+
+/// Streams `mc` through a fresh builder, injecting a redundant SWAP pair
+/// (on physical qubits `pair`, `pair + 1`) before each op index in
+/// `at_indices`. The injected pairs are net identity, so annotations of
+/// the original ops are unchanged.
+fn inject_redundant_swaps(mc: &MappedCircuit, at_indices: &[usize], pair: u32) -> MappedCircuit {
+    let mut b = MappedCircuitBuilder::new(mc.initial_layout().clone());
+    let inject = |b: &mut MappedCircuitBuilder| {
+        b.push_swap_phys(PhysicalQubit(pair), PhysicalQubit(pair + 1));
+        b.push_swap_phys(PhysicalQubit(pair), PhysicalQubit(pair + 1));
+    };
+    for (i, op) in mc.ops().iter().enumerate() {
+        if at_indices.contains(&i) {
+            inject(&mut b);
+        }
+        match (op.kind, op.p2) {
+            (GateKind::Swap, Some(p2)) => b.push_swap_phys(op.p1, p2),
+            (GateKind::CphaseSwap { k }, Some(p2)) => b.push_cphase_swap_phys(k, op.p1, p2),
+            (kind, Some(p2)) => b.push_2q_phys(kind, op.p1, p2),
+            (kind, None) => b.push_1q_phys(kind, op.p1),
+        }
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cancel_adjacent_swaps_removes_injected_redundancy(
+        n in 3usize..12,
+        raw_positions in collection::vec(0u32..1000, 1..5),
+        raw_pair in 0u32..1000,
+    ) {
+        let t = Target::lnn(n).unwrap();
+        let original = registry()
+            .compile("lnn", &t, &CompileOptions::default().with_opt_level(0))
+            .unwrap()
+            .circuit;
+        let at: Vec<usize> = raw_positions
+            .iter()
+            .map(|&p| p as usize % (original.ops().len() + 1))
+            .collect();
+        let pair = raw_pair % (n as u32 - 1);
+        let mut noisy = inject_redundant_swaps(&original, &at, pair);
+        prop_assert!(noisy.ops().len() > original.ops().len());
+
+        let report = CancelAdjacentSwaps.run(&mut noisy, &PassCtx::new()).unwrap();
+        prop_assert!(report.rewrites >= 1);
+        // The pass restores the original cost exactly (an injected swap
+        // adjacent to an original same-pair swap may cancel against it,
+        // leaving an equal op at the same depth rather than the identical
+        // stream).
+        prop_assert_eq!(noisy.ops().len(), original.ops().len());
+        prop_assert_eq!(Metrics::of(&noisy), Metrics::of(&original));
+        prop_assert_eq!(noisy.final_layout(), original.final_layout());
+        let graph = qft_kernels::arch::lnn::lnn(n);
+        prop_assert!(verify_qft_mapping(&noisy, &graph).is_ok());
+    }
+
+    #[test]
+    fn merged_kernels_stay_unitarily_equivalent(n in 2usize..8) {
+        // opt_level=2 (fusion + re-layering) must preserve the QFT unitary:
+        // checked against the state-vector reference, which exercises the
+        // CphaseSwap replay semantics end to end.
+        let t = Target::lnn(n).unwrap();
+        let r = registry()
+            .compile("lnn", &t, &CompileOptions::verified().with_opt_level(2))
+            .unwrap();
+        prop_assert!(mapped_equals_qft(&r.circuit, 2), "n={n}");
+    }
+
+    #[test]
+    fn asap_layering_preserves_depth_and_semantics(n in 3usize..10, seed in 0u64..8) {
+        // SABRE emits in routing order; re-layering must never worsen the
+        // uniform depth and must keep the kernel verified.
+        let t = Target::lnn(n).unwrap();
+        let base_opts = CompileOptions::verified().with_seed(seed);
+        let base = registry().compile("sabre", &t, &base_opts).unwrap();
+        let relaid = registry()
+            .compile("sabre", &t, &base_opts.clone().with_extra_pass("asap-layering"))
+            .unwrap();
+        prop_assert!(relaid.circuit.depth_uniform() <= base.circuit.depth_uniform());
+        prop_assert_eq!(relaid.metrics.swaps, base.metrics.swaps);
+    }
+}
