@@ -6,29 +6,25 @@ use crate::lnn_path::{lnn_on_lattice, lnn_on_path};
 use crate::optimal::{optimal_compile, OptimalConfig, OptimalResult};
 use crate::sabre::{sabre_compile, SabreConfig};
 use qft_arch::hamiltonian::{find_hamiltonian_path, HamiltonianResult};
-use qft_core::pipeline::{finish_result, CompileError, CompileOptions, CompileResult, QftCompiler};
+use qft_core::pipeline::{
+    finish_result, validate_approximation, CompileError, CompileOptions, CompileResult, QftCompiler,
+};
 use qft_core::target::{Target, TargetSpec};
 use qft_ir::circuit::Circuit;
 use qft_ir::dag::CircuitDag;
-use qft_ir::gate::{GateKind, PhysicalQubit};
+use qft_ir::gate::PhysicalQubit;
 use std::time::{Duration, Instant};
 
 /// The logical (possibly AQFT-truncated) circuit search-based compilers
 /// route: the textbook QFT with `R_k` rotations above `degree` dropped.
+/// Delegates to [`qft_ir::qft::aqft_circuit`], the same truncation
+/// definition the analytical mappers apply post-mapping through the
+/// `aqft-truncate` pass — so both compiler families agree on the reference
+/// semantics by construction.
 pub fn logical_qft(n: usize, approximation: Option<u32>) -> Circuit {
-    let full = qft_ir::qft::qft_circuit(n);
     match approximation {
-        None => full,
-        Some(degree) => {
-            let mut c = Circuit::new(n);
-            for g in full.gates() {
-                match g.kind {
-                    GateKind::Cphase { k } if k > degree => {}
-                    _ => c.push(*g),
-                }
-            }
-            c
-        }
+        None => qft_ir::qft::qft_circuit(n),
+        Some(degree) => qft_ir::qft::aqft_circuit(n, degree),
     }
 }
 
@@ -52,6 +48,7 @@ impl QftCompiler for SabreMapper {
         target: &Target,
         opts: &CompileOptions,
     ) -> Result<CompileResult, CompileError> {
+        validate_approximation(self.name(), opts)?;
         let config = SabreConfig {
             seed: opts.seed,
             random_initial: opts.random_initial,
@@ -85,6 +82,7 @@ impl QftCompiler for OptimalMapper {
         target: &Target,
         opts: &CompileOptions,
     ) -> Result<CompileResult, CompileError> {
+        validate_approximation(self.name(), opts)?;
         let config = OptimalConfig {
             deadline: Duration::from_secs_f64(opts.deadline_s.max(0.0)),
             max_nodes: opts.max_nodes,
@@ -159,13 +157,10 @@ impl QftCompiler for LnnPathMapper {
         target: &Target,
         opts: &CompileOptions,
     ) -> Result<CompileResult, CompileError> {
-        if opts.approximation.is_some() {
-            return Err(CompileError::UnsupportedOption {
-                compiler: self.name().to_string(),
-                option: "AQFT truncation (the line schedule is a full-QFT kernel)".to_string(),
-            });
-        }
         let t0 = Instant::now();
+        // The line schedule is constructed as a full-QFT kernel;
+        // `opts.approximation` is honored by the `aqft-truncate` stage of
+        // the shared pass tail, like the analytical mappers.
         // The lattice serpentine is the paper's Fig. 19 configuration; use
         // it directly instead of searching.
         let mc = if let Some(l) = target.as_lattice_surgery() {
@@ -298,6 +293,45 @@ mod tests {
         // Degree-3 AQFT keeps pairs with |i-j| <= 2: 7 + 6 pairs on n=8.
         assert_eq!(approx.metrics.cphases, 13);
         assert_eq!(approx.metrics.hadamards, 8);
+    }
+
+    #[test]
+    fn aqft_truncation_reaches_lnn_path_through_the_pass_tail() {
+        let t = Target::lnn(8).unwrap();
+        let opts = CompileOptions::default().with_approximation(3);
+        let r = LnnPathMapper.compile(&t, &opts).unwrap();
+        // Same degree-3 pair count as SABRE's pre-truncated input.
+        assert_eq!(r.metrics.cphases, 13);
+        assert_eq!(r.metrics.hadamards, 8);
+        let full = LnnPathMapper
+            .compile(&t, &CompileOptions::default())
+            .unwrap();
+        // On the line every SWAP still feeds a later nearest-neighbor
+        // interaction, so routing survives; only the rotations go.
+        assert!(r.metrics.total_ops < full.metrics.total_ops);
+        assert!(r.metrics.swaps <= full.metrics.swaps);
+        assert_eq!(
+            r.passes.iter().map(|p| p.dropped_rotations).sum::<usize>(),
+            full.metrics.cphases - r.metrics.cphases
+        );
+    }
+
+    #[test]
+    fn search_compilers_reject_degree_zero_before_searching() {
+        let t = Target::lnn(6).unwrap();
+        let opts = CompileOptions::default().with_approximation(0);
+        for c in [
+            &SabreMapper as &dyn QftCompiler,
+            &OptimalMapper,
+            &LnnPathMapper,
+        ] {
+            match c.compile(&t, &opts) {
+                Err(CompileError::UnsupportedOption { option, .. }) => {
+                    assert!(option.contains("degree 0"), "{}: {option}", c.name());
+                }
+                other => panic!("{}: expected UnsupportedOption, got {other:?}", c.name()),
+            }
+        }
     }
 
     #[test]

@@ -34,8 +34,9 @@ pub use lattice::{compile_lattice, compile_lattice_with, IeMode};
 pub use line::{line_qft_schedule, LineOp, LineSchedule};
 pub use lnn::{compile_lnn, run_line_qft, PathOrder};
 pub use pipeline::{
-    finish_result, pass_manager_for, CompileError, CompileOptions, CompileResult, HeavyHexMapper,
-    LatencyModel, LatticeMapper, LnnMapper, QftCompiler, SycamoreMapper, VerifyLevel,
+    finish_result, pass_manager_for, validate_approximation, CompileError, CompileOptions,
+    CompileResult, HeavyHexMapper, LatencyModel, LatticeMapper, LnnMapper, QftCompiler,
+    SycamoreMapper, VerifyLevel,
 };
 pub use progress::QftProgress;
 pub use registry::Registry;

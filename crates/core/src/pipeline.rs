@@ -57,9 +57,12 @@ pub enum VerifyLevel {
 #[derive(Debug, Clone)]
 pub struct CompileOptions {
     /// Approximate-QFT truncation: drop `R_k` rotations with `k` above this
-    /// degree. Only the search-based compilers (which consume a logical
-    /// circuit) support this; the analytical mappers emit full-QFT
-    /// schedules and reject it.
+    /// degree (must be `>= 1`; `>= n` is the exact QFT). Every compiler
+    /// honors it: the search-based compilers consume a pre-truncated
+    /// logical circuit, while the analytical mappers (which emit full-QFT
+    /// schedules) get the `aqft-truncate` pass prepended to their tail,
+    /// followed by the stranded-routing cleanups
+    /// (`cancel-adjacent-swaps` + `prune-dead-swap-chains`).
     pub approximation: Option<u32>,
     /// Depth/metrics accounting.
     pub latency: LatencyModel,
@@ -148,8 +151,8 @@ impl CompileOptions {
     }
 
     /// Builder-style: truncate to a degree-`degree` approximate QFT (drop
-    /// `R_k` rotations with `k > degree`). Only the search-based compilers
-    /// honor this; analytical mappers reject it.
+    /// `R_k` rotations with `k > degree`). Honored by every compiler;
+    /// `degree = 0` is rejected at compile time with a descriptive error.
     pub fn with_approximation(mut self, degree: u32) -> Self {
         self.approximation = Some(degree);
         self
@@ -353,21 +356,39 @@ pub trait QftCompiler: Send + Sync {
     ) -> Result<CompileResult, CompileError>;
 }
 
-/// Assembles the pass tail for one compile: the `opt_level` defaults, then
-/// `extra_passes` (resolved through [`qft_ir::passes::named`]), then the
-/// layout-replay check as the final gate (levels ≥ 1).
+/// Assembles the pass tail for one compile: the AQFT truncation stage
+/// (when [`CompileOptions::approximation`] is set), the `opt_level`
+/// defaults, then `extra_passes` (resolved through
+/// [`qft_ir::passes::named`]), then the layout-replay check as the final
+/// gate (levels ≥ 1).
 ///
-/// Level 1 runs only rewrites that are no-ops on every compiler's
-/// construct-stage output (the analytical schedules and both searches emit
-/// no cancellable SWAP pairs), so default-option compiles are byte-for-byte
-/// identical to the pre-pass-pipeline compilers.
+/// The truncation stage is semantic, not an optimization, so
+/// `aqft-truncate` runs at *every* opt level (for the search compilers,
+/// which already routed a truncated logical circuit, it is a no-op); its
+/// stranded-routing cleanup (`prune-dead-swap-chains`, after the shared
+/// `cancel-adjacent-swaps` peephole) joins at levels ≥ 1. A requested
+/// degree of 0 is rejected here with a descriptive error for every
+/// compiler.
+///
+/// Without approximation, level 1 runs only rewrites that are no-ops on
+/// every compiler's construct-stage output (the analytical schedules and
+/// both searches emit no cancellable SWAP pairs), so default-option
+/// compiles are byte-for-byte identical to the pre-pass-pipeline
+/// compilers.
 pub fn pass_manager_for(
     compiler: &str,
     opts: &CompileOptions,
 ) -> Result<PassManager, CompileError> {
     let mut pm = PassManager::new();
+    validate_approximation(compiler, opts)?;
+    if let Some(degree) = opts.approximation {
+        pm.push(Box::new(passes::AqftTruncate { degree }));
+    }
     if opts.opt_level >= 1 {
         pm.push(Box::new(passes::CancelAdjacentSwaps));
+        if opts.approximation.is_some() {
+            pm.push(Box::new(passes::PruneDeadSwapChains));
+        }
     }
     if opts.opt_level >= 2 {
         pm.push(Box::new(passes::MergeSwapCphase));
@@ -378,7 +399,7 @@ pub fn pass_manager_for(
             passes::named(name).ok_or_else(|| CompileError::UnsupportedOption {
                 compiler: compiler.to_string(),
                 option: format!(
-                    "unknown pass '{name}' (available: {})",
+                    "unknown pass '{name}' (available: {}, aqft-truncate(k))",
                     passes::PASS_NAMES.join(", ")
                 ),
             })?,
@@ -446,12 +467,18 @@ pub fn finish_result(
     })
 }
 
-/// Rejects the AQFT option for compilers that emit full-QFT schedules.
-fn reject_approximation(compiler: &'static str, opts: &CompileOptions) -> Result<(), CompileError> {
-    if opts.approximation.is_some() {
+/// Rejects a requested AQFT degree of 0 with a descriptive error. Part of
+/// [`pass_manager_for`]'s assembly, and also called *before* the construct
+/// stage by compilers that consume a truncated logical circuit (SABRE, the
+/// optimal A*), so the error fires before any search work — and before
+/// [`qft_ir::qft::aqft_circuit`]'s degree assertion could trip.
+pub fn validate_approximation(compiler: &str, opts: &CompileOptions) -> Result<(), CompileError> {
+    if opts.approximation == Some(0) {
         return Err(CompileError::UnsupportedOption {
             compiler: compiler.to_string(),
-            option: "AQFT truncation (analytical mappers emit full-QFT schedules)".to_string(),
+            option: "approximation degree 0 (a degree-0 AQFT truncates every rotation; \
+                     use degree >= 1, or no approximation for the exact QFT)"
+                .to_string(),
         });
     }
     Ok(())
@@ -502,7 +529,6 @@ impl QftCompiler for LnnMapper {
         target: &Target,
         opts: &CompileOptions,
     ) -> Result<CompileResult, CompileError> {
-        reject_approximation(self.name(), opts)?;
         let t0 = Instant::now();
         let mc = self.construct(target)?;
         finish_result(self.name(), target, opts, mc, t0)
@@ -541,7 +567,6 @@ impl QftCompiler for SycamoreMapper {
         target: &Target,
         opts: &CompileOptions,
     ) -> Result<CompileResult, CompileError> {
-        reject_approximation(self.name(), opts)?;
         let t0 = Instant::now();
         let mc = self.construct(target)?;
         finish_result(self.name(), target, opts, mc, t0)
@@ -580,7 +605,6 @@ impl QftCompiler for HeavyHexMapper {
         target: &Target,
         opts: &CompileOptions,
     ) -> Result<CompileResult, CompileError> {
-        reject_approximation(self.name(), opts)?;
         let t0 = Instant::now();
         let mc = self.construct(target)?;
         finish_result(self.name(), target, opts, mc, t0)
@@ -623,7 +647,6 @@ impl QftCompiler for LatticeMapper {
         target: &Target,
         opts: &CompileOptions,
     ) -> Result<CompileResult, CompileError> {
-        reject_approximation(self.name(), opts)?;
         let t0 = Instant::now();
         let mc = self.construct(target, opts.ie_mode)?;
         finish_result(self.name(), target, opts, mc, t0)
@@ -662,16 +685,63 @@ mod tests {
     }
 
     #[test]
-    fn mappers_reject_aqft_truncation() {
+    fn analytical_mappers_accept_aqft_truncation() {
+        let degree = 2u32;
+        let cases: [(&dyn QftCompiler, Target); 4] = [
+            (&LnnMapper, Target::lnn(8).unwrap()),
+            (&SycamoreMapper, Target::sycamore(4).unwrap()),
+            (&HeavyHexMapper, Target::heavy_hex_groups(2).unwrap()),
+            (&LatticeMapper, Target::lattice_surgery(4).unwrap()),
+        ];
+        for (c, t) in cases {
+            let opts = CompileOptions::default().with_approximation(degree);
+            let r = c
+                .compile(&t, &opts)
+                .unwrap_or_else(|e| panic!("{}: {e}", c.name()));
+            let full = c.compile(&t, &CompileOptions::default()).unwrap();
+            // Degree 2 keeps exactly the n-1 nearest-neighbor rotations.
+            assert_eq!(r.metrics.cphases, r.n - 1, "{}", c.name());
+            assert_eq!(r.metrics.hadamards, r.n, "{}", c.name());
+            assert!(r.metrics.depth < full.metrics.depth, "{}", c.name());
+            let dropped: usize = r.passes.iter().map(|p| p.dropped_rotations).sum();
+            assert_eq!(
+                dropped,
+                full.metrics.cphases - r.metrics.cphases,
+                "{}: PassReport must account for every dropped rotation",
+                c.name()
+            );
+            assert!(
+                r.passes.iter().any(|p| p.pass == "prune-dead-swap-chains"),
+                "{}: the stranded-routing cleanup must run",
+                c.name()
+            );
+        }
+    }
+
+    #[test]
+    fn aqft_degree_zero_is_a_described_error() {
         let t = Target::lnn(6).unwrap();
-        let opts = CompileOptions {
-            approximation: Some(3),
-            ..Default::default()
-        };
-        assert!(matches!(
-            LnnMapper.compile(&t, &opts),
-            Err(CompileError::UnsupportedOption { .. })
-        ));
+        let opts = CompileOptions::default().with_approximation(0);
+        match LnnMapper.compile(&t, &opts) {
+            Err(CompileError::UnsupportedOption { option, .. }) => {
+                assert!(option.contains("degree 0"), "{option}");
+                assert!(option.contains("degree >= 1"), "{option}");
+            }
+            other => panic!("expected UnsupportedOption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aqft_degree_above_n_truncates_nothing() {
+        let t = Target::lnn(6).unwrap();
+        let r = LnnMapper
+            .compile(&t, &CompileOptions::default().with_approximation(99))
+            .unwrap();
+        assert_eq!(r.metrics.cphases, 6 * 5 / 2);
+        assert_eq!(
+            r.passes.iter().map(|p| p.dropped_rotations).sum::<usize>(),
+            0
+        );
     }
 
     #[test]

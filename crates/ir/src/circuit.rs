@@ -213,10 +213,29 @@ impl MappedCircuit {
     /// The initial/final layouts and qubit counts are preserved: a pass must
     /// only apply rewrites that keep the stream consistent with them (every
     /// op's logical annotations must match SWAP replay from the initial
-    /// layout, and the replayed final layout must be unchanged). The
+    /// layout, and the replayed final layout must be unchanged — a pass
+    /// that deletes layout-moving ops, like `prune-dead-swap-chains`, must
+    /// follow up with [`Self::recompute_final_layout`]). The
     /// [`crate::passes::CheckLayout`] pass verifies exactly this.
     pub fn set_ops(&mut self, ops: Vec<PhysOp>) {
         self.ops = ops;
+    }
+
+    /// Re-derives the recorded final layout by replaying every
+    /// layout-moving op from the initial layout. Passes that *remove*
+    /// SWAPs whose permutation is never consumed again (the
+    /// `prune-dead-swap-chains` cleanup after AQFT truncation) call this so
+    /// the final-layout bookkeeping tracks the shortened stream.
+    pub fn recompute_final_layout(&mut self) {
+        let mut layout = self.initial.clone();
+        for op in &self.ops {
+            if op.kind.swaps_operands() {
+                if let Some(p2) = op.p2 {
+                    layout.swap_phys(op.p1, p2);
+                }
+            }
+        }
+        self.final_layout = layout;
     }
 
     /// Takes the op stream out of the circuit (leaving it empty), avoiding

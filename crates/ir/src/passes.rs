@@ -21,13 +21,22 @@
 //! * [`AsapLayering`] — scheduling: stable-reorders the op stream into
 //!   uniform ASAP layers (per-qubit order is preserved, so the rewrite is
 //!   an identity on semantics and on layout bookkeeping);
+//! * [`AqftTruncate`] — approximation: drops every `R_k` rotation with
+//!   `k > degree` (Coppersmith's AQFT truncation), demoting fused
+//!   [`GateKind::CphaseSwap`] interactions to plain SWAPs so routing
+//!   bookkeeping survives;
+//! * [`PruneDeadSwapChains`] — cleanup after truncation: removes SWAPs
+//!   whose permutation no later surviving op consumes (the routing chains
+//!   truncation strands), then recomputes the final layout;
 //! * [`CheckLayout`] — verify: replays SWAPs from the initial layout and
 //!   checks every op's logical annotations, operand sanity, coupling-graph
 //!   adjacency (when the [`PassCtx`] carries an oracle), and the recorded
 //!   final layout. Never rewrites.
 //!
 //! Passes are addressable by name through [`named`] (see [`PASS_NAMES`]),
-//! which is how `CompileOptions::extra_passes` strings resolve.
+//! which is how `CompileOptions::extra_passes` strings resolve. The
+//! truncation pass is parameterized and resolves from the form
+//! `aqft-truncate(degree)`, e.g. `aqft-truncate(3)`.
 
 use crate::circuit::{MappedCircuit, PhysOp};
 use crate::gate::{GateKind, PhysicalQubit};
@@ -102,6 +111,11 @@ pub struct PassReport {
     pub depth_before: u64,
     /// Uniform-latency depth leaving the pass.
     pub depth_after: u64,
+    /// Number of `R_k` rotations this pass dropped (only the
+    /// [`AqftTruncate`] pass reports a non-zero count; a demoted
+    /// `CphaseSwap` counts as one dropped rotation even though the SWAP
+    /// half survives).
+    pub dropped_rotations: usize,
     /// Free-form annotation from the pass.
     pub note: String,
 }
@@ -119,6 +133,7 @@ impl PassReport {
             swaps_after: 0,
             depth_before: 0,
             depth_after: 0,
+            dropped_rotations: 0,
             note: String::new(),
         }
     }
@@ -126,6 +141,12 @@ impl PassReport {
     /// Builder-style: record the number of rewrites.
     pub fn with_rewrites(mut self, rewrites: usize) -> Self {
         self.rewrites = rewrites;
+        self
+    }
+
+    /// Builder-style: record the number of dropped rotations.
+    pub fn with_dropped_rotations(mut self, dropped: usize) -> Self {
+        self.dropped_rotations = dropped;
         self
     }
 
@@ -262,22 +283,35 @@ impl fmt::Debug for PassManager {
     }
 }
 
-/// Names accepted by [`named`], in canonical order.
+/// Names accepted by [`named`], in canonical order. The parameterized
+/// truncation pass is additionally accepted as `aqft-truncate(degree)`
+/// with `degree >= 1`.
 pub const PASS_NAMES: &[&str] = &[
     "cancel-adjacent-swaps",
     "merge-swap-cphase",
     "asap-layering",
+    "prune-dead-swap-chains",
     "check-layout",
 ];
 
-/// Resolves a shared pass by its registry name.
+/// Resolves a shared pass by its registry name. Accepts the parameterized
+/// form `aqft-truncate(degree)` (e.g. `aqft-truncate(3)`) for the AQFT
+/// truncation pass; a missing, zero, or malformed degree fails to resolve.
 pub fn named(name: &str) -> Option<Box<dyn Pass>> {
     match name {
         "cancel-adjacent-swaps" => Some(Box::new(CancelAdjacentSwaps)),
         "merge-swap-cphase" => Some(Box::new(MergeSwapCphase)),
         "asap-layering" => Some(Box::new(AsapLayering)),
+        "prune-dead-swap-chains" => Some(Box::new(PruneDeadSwapChains)),
         "check-layout" => Some(Box::new(CheckLayout)),
-        _ => None,
+        _ => {
+            let degree: u32 = name
+                .strip_prefix("aqft-truncate(")?
+                .strip_suffix(')')?
+                .parse()
+                .ok()?;
+            (degree >= 1).then(|| Box::new(AqftTruncate { degree }) as Box<dyn Pass>)
+        }
     }
 }
 
@@ -449,6 +483,113 @@ impl Pass for AsapLayering {
             circuit.set_ops(relaid);
         }
         Ok(PassReport::new(self.name()).with_rewrites(moved))
+    }
+}
+
+/// Approximation: the AQFT truncation of Coppersmith applied *after*
+/// mapping. Every `R_k` rotation with `k > degree` is dropped: a plain
+/// [`GateKind::Cphase`] op is deleted outright, while a fused
+/// [`GateKind::CphaseSwap`] is demoted to a plain SWAP (its rotation is
+/// truncated but its routing half still moves qubits, so layout replay is
+/// untouched). Rotations kept/dropped match [`crate::qft::aqft_circuit`]
+/// exactly; the stranded SWAP chains the deleted rotations leave behind
+/// are the business of `cancel-adjacent-swaps` + [`PruneDeadSwapChains`].
+#[derive(Debug, Clone, Copy)]
+pub struct AqftTruncate {
+    /// Keep rotations of order `k <= degree`; must be `>= 1`.
+    pub degree: u32,
+}
+
+impl Pass for AqftTruncate {
+    fn name(&self) -> &'static str {
+        "aqft-truncate"
+    }
+
+    fn description(&self) -> &'static str {
+        "drop R_k rotations with k above the AQFT degree (post-mapping)"
+    }
+
+    fn run(&self, circuit: &mut MappedCircuit, _ctx: &PassCtx) -> Result<PassReport, PassError> {
+        if self.degree == 0 {
+            return Err(PassError::new(
+                self.name(),
+                "degree 0 would truncate every rotation; use degree >= 1",
+            ));
+        }
+        let mut ops = circuit.take_ops();
+        let mut dropped = 0usize;
+        ops.retain_mut(|op| match op.kind {
+            GateKind::Cphase { k } if k > self.degree => {
+                dropped += 1;
+                false
+            }
+            GateKind::CphaseSwap { k } if k > self.degree => {
+                dropped += 1;
+                op.kind = GateKind::Swap;
+                true
+            }
+            _ => true,
+        });
+        circuit.set_ops(ops);
+        Ok(PassReport::new(self.name())
+            .with_rewrites(dropped)
+            .with_dropped_rotations(dropped)
+            .with_note(format!("degree {}", self.degree)))
+    }
+}
+
+/// Cleanup: removes routing whose only consumer was truncated away. A
+/// backward liveness scan keeps a SWAP only if some later surviving op
+/// touches either of its physical qubits — otherwise its permutation is
+/// never consumed and the SWAP (and transitively the whole stranded chain)
+/// is deleted. The recorded final layout is recomputed from the shortened
+/// stream, so `check-layout` still gates the result.
+///
+/// Dropping a trailing SWAP changes where logical qubits *end up*, not the
+/// logical state, and the final layout is part of the artifact — so this
+/// is exact under the same convention the rest of the stack uses (SWAPs
+/// are routing, consumers read out through `final_layout`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PruneDeadSwapChains;
+
+impl Pass for PruneDeadSwapChains {
+    fn name(&self) -> &'static str {
+        "prune-dead-swap-chains"
+    }
+
+    fn description(&self) -> &'static str {
+        "delete SWAPs whose permutation no later op consumes"
+    }
+
+    fn run(&self, circuit: &mut MappedCircuit, _ctx: &PassCtx) -> Result<PassReport, PassError> {
+        let mut ops = circuit.take_ops();
+        let mut live = vec![false; circuit.n_physical()];
+        let mut keep = vec![true; ops.len()];
+        let mut removed = 0usize;
+        for (i, op) in ops.iter().enumerate().rev() {
+            let consumed = op.phys().any(|p| live[p.index()]);
+            if op.kind == GateKind::Swap && !consumed {
+                keep[i] = false;
+                removed += 1;
+            } else {
+                for p in op.phys() {
+                    live[p.index()] = true;
+                }
+            }
+        }
+        if removed > 0 {
+            let mut idx = 0;
+            ops.retain(|_| {
+                let k = keep[idx];
+                idx += 1;
+                k
+            });
+            circuit.set_ops(ops);
+            circuit.recompute_final_layout();
+        } else {
+            circuit.set_ops(ops);
+        }
+        Ok(PassReport::new(self.name()).with_rewrites(removed))
     }
 }
 
@@ -650,6 +791,119 @@ mod tests {
         CheckLayout.run(&mut mc, &PassCtx::new()).unwrap();
     }
 
+    /// H(0); CP2(0,1); CPSWAP3(1,2); SWAP(0,1) — mixed rotation orders with
+    /// a fused interaction and a trailing SWAP.
+    fn with_mixed_rotations() -> MappedCircuit {
+        let mut b = MappedCircuitBuilder::new(Layout::identity(3, 3));
+        b.push_1q_phys(GateKind::H, p(0));
+        b.push_2q_phys(GateKind::Cphase { k: 2 }, p(0), p(1));
+        b.push_cphase_swap_phys(3, p(1), p(2));
+        b.push_swap_phys(p(0), p(1));
+        b.finish()
+    }
+
+    #[test]
+    fn aqft_truncate_drops_high_orders_and_demotes_fused_ops() {
+        let mut mc = with_mixed_rotations();
+        let report = AqftTruncate { degree: 2 }
+            .run(&mut mc, &PassCtx::new())
+            .unwrap();
+        assert_eq!(report.dropped_rotations, 1);
+        assert_eq!(report.rewrites, 1);
+        // The k=3 CphaseSwap lost its rotation but kept its SWAP half.
+        assert_eq!(mc.ops()[2].kind, GateKind::Swap);
+        assert_eq!(mc.cphase_count(), 1);
+        // Layout replay is untouched by the demotion.
+        CheckLayout.run(&mut mc, &PassCtx::new()).unwrap();
+    }
+
+    #[test]
+    fn aqft_truncate_is_idempotent_and_noop_above_max_order() {
+        let mut mc = with_mixed_rotations();
+        let orig_final = mc.final_layout().clone();
+        AqftTruncate { degree: 9 }
+            .run(&mut mc, &PassCtx::new())
+            .unwrap();
+        assert_eq!(
+            mc.ops(),
+            with_mixed_rotations().ops(),
+            "degree 9 is a no-op"
+        );
+        let mut once = with_mixed_rotations();
+        AqftTruncate { degree: 2 }
+            .run(&mut once, &PassCtx::new())
+            .unwrap();
+        let mut twice = once.clone();
+        let second = AqftTruncate { degree: 2 }
+            .run(&mut twice, &PassCtx::new())
+            .unwrap();
+        assert_eq!(second.dropped_rotations, 0);
+        assert_eq!(once.ops(), twice.ops());
+        assert_eq!(&orig_final, once.final_layout());
+    }
+
+    #[test]
+    fn aqft_truncate_rejects_degree_zero() {
+        let mut mc = with_mixed_rotations();
+        let err = AqftTruncate { degree: 0 }
+            .run(&mut mc, &PassCtx::new())
+            .unwrap_err();
+        assert!(err.reason.contains("degree 0"), "{err}");
+    }
+
+    #[test]
+    fn prune_removes_stranded_trailing_chains() {
+        // CP(0,1); SWAP(0,1); SWAP(1,2): both SWAPs route toward nothing.
+        let mut b = MappedCircuitBuilder::new(Layout::identity(3, 3));
+        b.push_2q_phys(GateKind::Cphase { k: 2 }, p(0), p(1));
+        b.push_swap_phys(p(0), p(1));
+        b.push_swap_phys(p(1), p(2));
+        let mut mc = b.finish();
+        let report = PruneDeadSwapChains.run(&mut mc, &PassCtx::new()).unwrap();
+        assert_eq!(report.rewrites, 2);
+        assert_eq!(mc.ops().len(), 1);
+        assert_eq!(mc.final_layout(), &Layout::identity(3, 3));
+        CheckLayout.run(&mut mc, &PassCtx::new()).unwrap();
+    }
+
+    #[test]
+    fn prune_keeps_swaps_with_downstream_consumers() {
+        // SWAP(0,1); CP(1,2): the SWAP decides which logical qubit the CP
+        // touches — it is live routing even though CP doesn't touch Q0.
+        let mut b = MappedCircuitBuilder::new(Layout::identity(3, 3));
+        b.push_swap_phys(p(0), p(1));
+        b.push_2q_phys(GateKind::Cphase { k: 2 }, p(1), p(2));
+        let mut mc = b.finish();
+        let report = PruneDeadSwapChains.run(&mut mc, &PassCtx::new()).unwrap();
+        assert_eq!(report.rewrites, 0);
+        assert_eq!(mc.ops().len(), 2);
+        CheckLayout.run(&mut mc, &PassCtx::new()).unwrap();
+    }
+
+    #[test]
+    fn truncate_then_cleanups_compose() {
+        // The canonical AQFT tail: truncate, cancel, prune, check.
+        let mut b = MappedCircuitBuilder::new(Layout::identity(3, 3));
+        b.push_1q_phys(GateKind::H, p(0));
+        b.push_2q_phys(GateKind::Cphase { k: 2 }, p(0), p(1));
+        b.push_swap_phys(p(0), p(1));
+        b.push_2q_phys(GateKind::Cphase { k: 3 }, p(1), p(2)); // truncated
+        b.push_swap_phys(p(1), p(2)); // stranded once the k=3 CP is gone
+        b.push_1q_phys(GateKind::H, p(0));
+        let mut mc = b.finish();
+        let pm = PassManager::new()
+            .with_pass(Box::new(AqftTruncate { degree: 2 }))
+            .with_pass(Box::new(CancelAdjacentSwaps))
+            .with_pass(Box::new(PruneDeadSwapChains))
+            .with_pass(Box::new(CheckLayout));
+        let reports = pm.run(&mut mc, &PassCtx::new()).unwrap();
+        assert_eq!(reports[0].dropped_rotations, 1);
+        assert_eq!(reports[2].rewrites, 1, "the stranded SWAP(1,2) is pruned");
+        // SWAP(0,1) survives: H(q1) at Q0 still consumes its permutation.
+        assert_eq!(mc.swap_count(), 1);
+        assert_eq!(mc.cphase_count(), 1);
+    }
+
     #[test]
     fn check_layout_rejects_broken_annotations() {
         let mut mc = with_redundant_swaps();
@@ -719,6 +973,18 @@ mod tests {
             assert!(!p.description().is_empty());
         }
         assert!(named("constant-folding").is_none());
+        // The parameterized truncation pass resolves with a valid degree...
+        let t = named("aqft-truncate(3)").expect("parameterized form must resolve");
+        assert_eq!(t.name(), "aqft-truncate");
+        // ...and rejects missing, zero, or malformed degrees.
+        for bad in [
+            "aqft-truncate",
+            "aqft-truncate()",
+            "aqft-truncate(0)",
+            "aqft-truncate(x)",
+        ] {
+            assert!(named(bad).is_none(), "{bad} must not resolve");
+        }
     }
 
     #[test]

@@ -26,6 +26,41 @@ pub fn qft_circuit(n: usize) -> Circuit {
     c
 }
 
+/// The approximate QFT (AQFT) circuit on `n` qubits: the textbook circuit
+/// of [`qft_circuit`] with every `R_k` rotation of order `k > degree`
+/// dropped (Coppersmith's truncation). `degree >= n` keeps every rotation
+/// (the exact QFT); `degree = 1` keeps only the Hadamards. This is the
+/// semantic reference that both the search compilers' logical input and
+/// the `aqft-truncate` pass over mapped circuits must agree with.
+///
+/// # Panics
+/// Panics on `degree = 0`: a degree-0 truncation would also drop the
+/// Hadamard "rotations" and is rejected at the pipeline layer with a
+/// descriptive error before reaching this builder.
+pub fn aqft_circuit(n: usize, degree: u32) -> Circuit {
+    assert!(degree >= 1, "AQFT degree must be >= 1, got 0");
+    let mut c = Circuit::new(n);
+    for i in 0..n as u32 {
+        c.push(Gate::h(i));
+        for j in (i + 1)..n as u32 {
+            let k = rotation_order(i, j);
+            if k <= degree {
+                c.push(Gate::cphase(k, i, j));
+            }
+        }
+    }
+    c
+}
+
+/// Number of CPHASE gates the degree-`degree` AQFT on `n` qubits keeps:
+/// the pairs `(i, j)` with `|i - j| + 1 <= degree`.
+pub fn aqft_pair_count(n: usize, degree: u32) -> usize {
+    (1..n)
+        .filter(|&dist| (dist as u32) < degree)
+        .map(|dist| n - dist)
+        .sum()
+}
+
 /// A recursive partition of a contiguous qubit range, mirroring the
 /// `range_list` argument of the paper's `QFT-IA` pseudo-code (Fig. 8).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -324,6 +359,35 @@ mod tests {
         let c = qft_circuit(5);
         assert_eq!(c.len(), 5 + qft_pair_count(5));
         assert!(check_qft_circuit(&c).is_ok());
+    }
+
+    #[test]
+    fn aqft_truncates_high_order_rotations() {
+        // Degree >= n keeps everything (the exact QFT).
+        assert_eq!(aqft_circuit(5, 5).gates(), qft_circuit(5).gates());
+        assert_eq!(aqft_circuit(5, 9).gates(), qft_circuit(5).gates());
+        // Degree 1 keeps only the Hadamards.
+        let h_only = aqft_circuit(5, 1);
+        assert_eq!(h_only.len(), 5);
+        assert!(h_only.gates().iter().all(|g| g.kind == GateKind::H));
+        // Degree d keeps exactly the pairs with |i-j|+1 <= d.
+        for n in [2usize, 4, 7] {
+            for d in 1..=(n as u32 + 2) {
+                let c = aqft_circuit(n, d);
+                assert_eq!(c.len(), n + aqft_pair_count(n, d), "n={n} d={d}");
+                assert!(c
+                    .gates()
+                    .iter()
+                    .all(|g| g.kind.cphase_order().is_none_or(|k| k <= d)));
+            }
+        }
+        assert_eq!(aqft_pair_count(8, 3), 13); // 7 + 6 pairs on n=8
+    }
+
+    #[test]
+    #[should_panic(expected = "degree must be >= 1")]
+    fn aqft_degree_zero_panics() {
+        let _ = aqft_circuit(4, 0);
     }
 
     #[test]

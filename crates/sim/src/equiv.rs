@@ -44,6 +44,31 @@ pub fn mapped_equals_qft(mc: &MappedCircuit, n_seeds: u64) -> bool {
     })
 }
 
+/// Checks that a mapped circuit implements the degree-`degree` *approximate*
+/// QFT (the truncated reference [`qft_ir::qft::aqft_circuit`]) on `n_seeds`
+/// random states plus `|0…0⟩` and `|1…1⟩`, up to global phase.
+///
+/// This is the simulator-backed gate for AQFT kernels, which the symbolic
+/// verifier (a full-QFT contract checker) cannot certify. `degree >= n`
+/// reduces to [`mapped_equals_qft`]'s contract.
+pub fn mapped_equals_aqft(mc: &MappedCircuit, degree: u32, n_seeds: u64) -> bool {
+    let n = mc.n_logical();
+    let reference = qft_ir::qft::aqft_circuit(n, degree);
+    let mut inputs: Vec<StateVector> = vec![
+        StateVector::basis(n, 0),
+        StateVector::basis(n, (1usize << n) - 1),
+    ];
+    for seed in 0..n_seeds {
+        inputs.push(StateVector::random(n, seed * 2 + 1));
+    }
+    inputs.iter().all(|input| {
+        let got = apply_mapped_logically(mc, input);
+        let mut want = input.clone();
+        want.apply_circuit(&reference);
+        (got.fidelity(&want) - 1.0).abs() < FIDELITY_EPS
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,6 +93,42 @@ mod tests {
         b.push_2q_phys(GateKind::Cphase { k: 2 }, p(0), p(1));
         b.push_1q_phys(GateKind::H, p(1));
         assert!(mapped_equals_qft(&b.finish(), 4));
+    }
+
+    #[test]
+    fn truncated_line_kernel_matches_aqft_reference() {
+        // The 3-qubit line QFT with its k=3 rotation truncated (degree 2):
+        // the SWAP chain that routed q0 to meet q2 stays, the rotation goes.
+        let mut b = MappedCircuitBuilder::new(Layout::identity(3, 3));
+        b.push_1q_phys(GateKind::H, p(0));
+        b.push_2q_phys(GateKind::Cphase { k: 2 }, p(0), p(1));
+        b.push_swap_phys(p(0), p(1));
+        b.push_1q_phys(GateKind::H, p(0));
+        b.push_swap_phys(p(1), p(2));
+        b.push_2q_phys(GateKind::Cphase { k: 2 }, p(0), p(1));
+        b.push_1q_phys(GateKind::H, p(1));
+        let mc = b.finish();
+        assert!(mapped_equals_aqft(&mc, 2, 4));
+        // It is NOT the full QFT, and not a degree-3 AQFT either.
+        assert!(!mapped_equals_qft(&mc, 2));
+        assert!(!mapped_equals_aqft(&mc, 3, 2));
+    }
+
+    #[test]
+    fn full_kernel_matches_aqft_at_or_above_n() {
+        let mut b = MappedCircuitBuilder::new(Layout::identity(3, 3));
+        b.push_1q_phys(GateKind::H, p(0));
+        b.push_2q_phys(GateKind::Cphase { k: 2 }, p(0), p(1));
+        b.push_swap_phys(p(0), p(1));
+        b.push_2q_phys(GateKind::Cphase { k: 3 }, p(1), p(2));
+        b.push_1q_phys(GateKind::H, p(0));
+        b.push_swap_phys(p(1), p(2));
+        b.push_2q_phys(GateKind::Cphase { k: 2 }, p(0), p(1));
+        b.push_1q_phys(GateKind::H, p(1));
+        let mc = b.finish();
+        assert!(mapped_equals_aqft(&mc, 3, 2));
+        assert!(mapped_equals_aqft(&mc, 17, 2));
+        assert!(!mapped_equals_aqft(&mc, 2, 2));
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! Shared helpers for the integration suites: the cross-compiler AQFT
+//! equivalence harness.
+//!
+//! Every (compiler × degree × n) cell funnels through [`check_cell`]:
+//! compile through the registry, then prove the mapped kernel
+//! state-vector-equivalent to the truncated logical reference
+//! `logical_qft(n, degree)` from `crates/baselines` (the same circuit the
+//! search compilers route, and — by delegation to
+//! `qft_ir::qft::aqft_circuit` — the same truncation the `aqft-truncate`
+//! pass applies post-mapping, so `qft_sim::equiv::mapped_equals_aqft`
+//! checks the identical property and is not re-run per cell).
+
+// Each integration-test crate compiles its own copy of this module and
+// uses a different subset of the helpers.
+#![allow(dead_code)]
+
+use qft_kernels::baselines::pipeline::logical_qft;
+use qft_kernels::sim::equiv::{apply_mapped_logically, FIDELITY_EPS};
+use qft_kernels::sim::state::StateVector;
+use qft_kernels::{registry, CompileOptions, CompileResult, Target};
+
+/// Random probe states per equivalence check (plus `|0…0⟩` and `|1…1⟩`).
+pub const N_RANDOM_STATES: u64 = 3;
+
+/// The probe inputs every equivalence check runs over.
+pub fn probe_states(n: usize) -> Vec<StateVector> {
+    let mut inputs = vec![
+        StateVector::basis(n, 0),
+        StateVector::basis(n, (1 << n) - 1),
+    ];
+    for seed in 0..N_RANDOM_STATES {
+        inputs.push(StateVector::random(n, seed * 2 + 1));
+    }
+    inputs
+}
+
+/// Asserts that a compiled kernel's logical gate stream implements
+/// `logical_qft(n, degree)` on every probe state, up to global phase.
+pub fn assert_matches_logical_qft(r: &CompileResult, degree: Option<u32>, label: &str) {
+    let reference = logical_qft(r.n, degree);
+    for (i, input) in probe_states(r.n).iter().enumerate() {
+        let got = apply_mapped_logically(&r.circuit, input);
+        let mut want = input.clone();
+        want.apply_circuit(&reference);
+        let fidelity = got.fidelity(&want);
+        assert!(
+            (fidelity - 1.0).abs() < FIDELITY_EPS,
+            "{label}: probe state #{i} diverges from the logical reference \
+             (fidelity {fidelity})"
+        );
+    }
+}
+
+/// Compiles one (compiler × target × degree) cell through the registry and
+/// verifies it against the truncated reference. Returns the result so
+/// callers can make further per-cell assertions.
+pub fn check_cell(
+    compiler: &str,
+    target: &Target,
+    degree: u32,
+    opts: CompileOptions,
+) -> CompileResult {
+    let label = format!("{compiler} on {} at degree {degree}", target.name());
+    let r = registry()
+        .compile(compiler, target, &opts.with_approximation(degree))
+        .unwrap_or_else(|e| panic!("{label}: {e}"));
+    assert_matches_logical_qft(&r, Some(degree), &label);
+    // Structural sanity alongside the semantic check: the surviving
+    // rotation multiset is exactly the degree-d pair set, and every
+    // Hadamard survives truncation.
+    assert_eq!(
+        r.metrics.cphases,
+        qft_kernels::ir::qft::aqft_pair_count(r.n, degree),
+        "{label}: wrong surviving-rotation count"
+    );
+    assert_eq!(r.metrics.hadamards, r.n, "{label}: Hadamards must survive");
+    r
+}

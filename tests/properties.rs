@@ -1,5 +1,7 @@
 //! Property-based tests (proptest) over the core invariants of DESIGN.md §3.
 
+mod common;
+
 use proptest::prelude::*;
 use qft_kernels::arch::heavyhex::HeavyHex;
 use qft_kernels::arch::lattice::LatticeSurgery;
@@ -8,8 +10,10 @@ use qft_kernels::core::{compile_heavyhex, compile_lattice_with, IeMode};
 use qft_kernels::ir::dag::{CircuitDag, DagMode};
 use qft_kernels::ir::gate::PhysicalQubit;
 use qft_kernels::ir::layout::Layout;
+use qft_kernels::ir::passes::{AqftTruncate, Pass, PassCtx};
 use qft_kernels::ir::qft::{check_qft_circuit, qft_partitioned, Partition};
 use qft_kernels::sim::symbolic::verify_qft_mapping;
+use qft_kernels::{registry, CompileOptions, Target};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -128,6 +132,86 @@ proptest! {
         let cfg = SabreConfig { seed: sabre_seed, random_initial: true, ..Default::default() };
         let mc = sabre_qft(n, &g, DagMode::Strict, &cfg);
         verify_qft_mapping(&mc, &g).unwrap();
+    }
+
+    /// Truncation monotonicity: walking the AQFT degree *down* never
+    /// increases the op count or the two-qubit depth of a compiled kernel
+    /// (each analytical mapper, on its own family).
+    #[test]
+    fn aqft_truncation_is_monotone_in_degree(
+        which in 0usize..4,
+        param in 0usize..5,
+    ) {
+        let (compiler, target) = match which {
+            0 => ("lnn", Target::lnn(4 + param * 3).unwrap()),
+            1 => ("sycamore", Target::sycamore(2 + 2 * (param % 2)).unwrap()),
+            2 => ("heavyhex", Target::heavy_hex_groups(1 + param).unwrap()),
+            _ => ("lattice", Target::lattice_surgery(2 + param % 3).unwrap()),
+        };
+        let n = target.n_qubits() as u32;
+        let mut prev: Option<qft_kernels::ir::Metrics> = None;
+        // Ascending degrees, so each step compares d against d-1.
+        for d in 1..=n {
+            let r = registry()
+                .compile(compiler, &target, &CompileOptions::default().with_approximation(d))
+                .unwrap();
+            if let Some(lower) = &prev {
+                prop_assert!(
+                    lower.total_ops <= r.metrics.total_ops,
+                    "{compiler} n={n}: ops grew when truncating {d} -> {}", d - 1
+                );
+                prop_assert!(
+                    lower.two_qubit_depth <= r.metrics.two_qubit_depth,
+                    "{compiler} n={n}: 2q depth grew when truncating {d} -> {}", d - 1
+                );
+            }
+            prev = Some(r.metrics);
+        }
+        // The exact QFT (no approximation) caps the whole chain.
+        let full = registry()
+            .compile(compiler, &target, &CompileOptions::default())
+            .unwrap();
+        let last = prev.unwrap();
+        prop_assert!(last.total_ops <= full.metrics.total_ops);
+        prop_assert!(last.two_qubit_depth <= full.metrics.two_qubit_depth);
+    }
+
+    /// Truncating twice at the same degree is the same as truncating once,
+    /// on every compiler's raw construct-stage output.
+    #[test]
+    fn aqft_truncation_is_idempotent(
+        n in 4usize..12,
+        degree in 1u32..12,
+    ) {
+        for compiler in ["lnn", "sabre", "lnn-path"] {
+            let target = Target::lnn(n).unwrap();
+            let raw = registry()
+                .compile(compiler, &target, &CompileOptions::default().with_opt_level(0))
+                .unwrap()
+                .circuit;
+            let truncate = AqftTruncate { degree };
+            let mut once = raw.clone();
+            let first = truncate.run(&mut once, &PassCtx::new()).unwrap();
+            let mut twice = once.clone();
+            let second = truncate.run(&mut twice, &PassCtx::new()).unwrap();
+            prop_assert_eq!(second.dropped_rotations, 0);
+            prop_assert_eq!(once.ops(), twice.ops());
+            prop_assert_eq!(once.final_layout(), twice.final_layout());
+            prop_assert_eq!(first.dropped_rotations, raw.cphase_count() - once.cphase_count());
+        }
+    }
+
+    /// Every truncated compile stays equivalent to the logical reference —
+    /// the harness property, fuzzed over degree and size.
+    #[test]
+    fn truncated_compiles_match_the_reference(n in 4usize..9, degree in 1u32..10) {
+        for compiler in ["lnn", "sabre"] {
+            let target = Target::lnn(n).unwrap();
+            let r = registry()
+                .compile(compiler, &target, &CompileOptions::default().with_approximation(degree))
+                .unwrap();
+            common::assert_matches_logical_qft(&r, Some(degree), compiler);
+        }
     }
 
     /// Strict and relaxed DAG frontiers both drain completely on any QFT.
