@@ -4,9 +4,11 @@
 //! `table1`, `fig17`, `fig18`, `fig19`, `fig27`, `complexity`,
 //! `ablation_relaxed`, `synth_patterns`. Each prints the paper's
 //! rows/series and writes machine-readable JSON under
-//! `target/experiments/`. Two pipeline-health binaries ride along:
-//! `passes` (per-pass timing, writes `BENCH_passes.json`) and `aqft`
-//! (the AQFT degree sweep, writes `BENCH_aqft.json`).
+//! `target/experiments/`. Three pipeline-health binaries ride along:
+//! `passes` (per-pass timing, writes `BENCH_passes.json`), `aqft`
+//! (the AQFT degree sweep, writes `BENCH_aqft.json`), and `serve`
+//! (the cold-vs-cached serving workload through the
+//! `qft_serve::CompileService` pool, writes `BENCH_serve.json`).
 //!
 //! Every binary drives compilers through the pipeline API: targets are
 //! validated [`qft_core::Target`]s, compilers are resolved by name from

@@ -32,10 +32,11 @@ use qft_arch::lattice::LatticeSurgery;
 use qft_ir::circuit::{MappedCircuit, MappedCircuitBuilder};
 use qft_ir::gate::{GateKind, LogicalQubit, PhysicalQubit};
 use qft_ir::qft::rotation_order;
+use serde::{Deserialize, Serialize};
 
 /// Which inter-unit interaction schedule to use (§3.3's ablation: the
 /// relaxed pattern is ~2× faster than the strict one).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum IeMode {
     /// Commutativity-exploiting pattern (Fig. 30(b)): `m` movement steps.
     #[default]

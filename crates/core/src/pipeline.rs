@@ -27,7 +27,7 @@ use std::fmt;
 use std::time::Instant;
 
 /// How depth/metrics are accounted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum LatencyModel {
     /// Use the target's per-link latency classes (heterogeneous on the FT
     /// lattice; equal to uniform on NISQ backends). The default — matches
@@ -40,7 +40,7 @@ pub enum LatencyModel {
 }
 
 /// How much checking to run on the compiled kernel before returning it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum VerifyLevel {
     /// Trust the compiler (fastest; the old façade's behaviour).
     #[default]
@@ -54,7 +54,14 @@ pub enum VerifyLevel {
 /// Options shared by every compiler. Compilers ignore knobs that do not
 /// apply to them and reject (with [`CompileError::UnsupportedOption`]) the
 /// ones they cannot honor.
-#[derive(Debug, Clone)]
+///
+/// Serializes as a JSON object with one entry per field, in declaration
+/// order (a canonical rendering, so option sets are usable as cache-key
+/// material). Deserialization is lenient about *missing* fields — they take
+/// their [`Default`] value, so `{}` is the default option set — but strict
+/// about *unknown* ones, which are rejected with the known field list (a
+/// serving layer wants typos loud, not silently ignored).
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct CompileOptions {
     /// Approximate-QFT truncation: drop `R_k` rotations with `k` above this
     /// degree (must be `>= 1`; `>= n` is the exact QFT). Every compiler
@@ -175,6 +182,70 @@ impl CompileOptions {
     pub fn with_extra_pass(mut self, pass: impl Into<String>) -> Self {
         self.extra_passes.push(pass.into());
         self
+    }
+}
+
+/// The JSON field names of [`CompileOptions`], in declaration order —
+/// the vocabulary [`CompileOptions::from_value`] accepts (anything else is
+/// rejected with this list).
+pub const COMPILE_OPTION_FIELDS: [&str; 11] = [
+    "approximation",
+    "latency",
+    "verify",
+    "dag_mode",
+    "seed",
+    "random_initial",
+    "deadline_s",
+    "max_nodes",
+    "ie_mode",
+    "opt_level",
+    "extra_passes",
+];
+
+impl serde::Deserialize for CompileOptions {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        // `null` (an absent `options` field in a request) is the default set.
+        if matches!(v, serde::Value::Null) {
+            return Ok(CompileOptions::default());
+        }
+        let entries = v.as_object().ok_or_else(|| {
+            serde::Error::msg(format!("expected object for CompileOptions, got {v:?}"))
+        })?;
+        if let Some((key, _)) = entries
+            .iter()
+            .find(|(k, _)| !COMPILE_OPTION_FIELDS.contains(&k.as_str()))
+        {
+            return Err(serde::Error::msg(format!(
+                "unknown CompileOptions field '{key}' (known fields: {})",
+                COMPILE_OPTION_FIELDS.join(", ")
+            )));
+        }
+        /// Missing (`null`) fields fall back to the default's value.
+        fn get<T: serde::Deserialize>(
+            entries: &[(String, serde::Value)],
+            name: &str,
+            default: T,
+        ) -> Result<T, serde::Error> {
+            match serde::field(entries, name) {
+                serde::Value::Null => Ok(default),
+                present => T::from_value(present)
+                    .map_err(|e| serde::Error::msg(format!("CompileOptions field '{name}': {e}"))),
+            }
+        }
+        let d = CompileOptions::default();
+        Ok(CompileOptions {
+            approximation: get(entries, "approximation", d.approximation)?,
+            latency: get(entries, "latency", d.latency)?,
+            verify: get(entries, "verify", d.verify)?,
+            dag_mode: get(entries, "dag_mode", d.dag_mode)?,
+            seed: get(entries, "seed", d.seed)?,
+            random_initial: get(entries, "random_initial", d.random_initial)?,
+            deadline_s: get(entries, "deadline_s", d.deadline_s)?,
+            max_nodes: get(entries, "max_nodes", d.max_nodes)?,
+            ie_mode: get(entries, "ie_mode", d.ie_mode)?,
+            opt_level: get(entries, "opt_level", d.opt_level)?,
+            extra_passes: get(entries, "extra_passes", d.extra_passes)?,
+        })
     }
 }
 
@@ -329,6 +400,20 @@ impl CompileResult {
     /// Total wall-clock seconds spent in the pass tail.
     pub fn pass_s(&self) -> f64 {
         self.passes.iter().map(|p| p.wall_s).sum()
+    }
+
+    /// Zeroes every wall-clock field (`compile_s` and the per-pass
+    /// `wall_s` columns) in place. Wall times are the only
+    /// non-deterministic part of a result: with them stripped, compiling
+    /// the same request twice yields byte-identical serialized artifacts,
+    /// which is what lets a serving layer cache results and hand them
+    /// across threads while still promising determinism (the timings move
+    /// to response metadata instead).
+    pub fn strip_wall_times(&mut self) {
+        self.compile_s = 0.0;
+        for p in &mut self.passes {
+            p.wall_s = 0.0;
+        }
     }
 }
 
@@ -742,6 +827,47 @@ mod tests {
             r.passes.iter().map(|p| p.dropped_rotations).sum::<usize>(),
             0
         );
+    }
+
+    #[test]
+    fn compile_options_serde_roundtrip_and_defaults() {
+        let opts = CompileOptions::default()
+            .with_approximation(3)
+            .with_opt_level(2)
+            .with_seed(7)
+            .with_ie_mode(IeMode::Strict)
+            .with_extra_pass("asap-layering");
+        let json = serde_json::to_string(&opts).unwrap();
+        let back: CompileOptions = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, opts);
+        // Missing fields default; `null` is the default set; unknown
+        // fields are rejected with the vocabulary.
+        let sparse: CompileOptions = serde_json::from_str(r#"{"opt_level": 2}"#).unwrap();
+        assert_eq!(sparse, CompileOptions::default().with_opt_level(2));
+        let empty: CompileOptions = serde_json::from_str("{}").unwrap();
+        assert_eq!(empty, CompileOptions::default());
+        let null: CompileOptions = serde_json::from_str("null").unwrap();
+        assert_eq!(null, CompileOptions::default());
+        let err = serde_json::from_str::<CompileOptions>(r#"{"optlevel": 2}"#).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("unknown CompileOptions field 'optlevel'"),
+            "{msg}"
+        );
+        assert!(msg.contains("opt_level"), "{msg}");
+    }
+
+    #[test]
+    fn strip_wall_times_zeroes_every_timing_field() {
+        let t = Target::lnn(8).unwrap();
+        let mut r = LnnMapper
+            .compile(&t, &CompileOptions::default().with_approximation(3))
+            .unwrap();
+        assert!(!r.passes.is_empty());
+        r.strip_wall_times();
+        assert_eq!(r.compile_s, 0.0);
+        assert_eq!(r.pass_s(), 0.0);
+        assert!(r.passes.iter().all(|p| p.wall_s == 0.0));
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! Keyed LRU cache over compiled artifacts.
+//!
+//! Recency is a monotonic logical clock bumped on every touch; eviction
+//! scans for the stalest entry (`O(len)` — fine at serving capacities,
+//! where the compile behind a miss dwarfs the scan by orders of
+//! magnitude).
+
+use qft_core::CompileResult;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// What one cache slot remembers: the byte-deterministic artifact (wall
+/// times stripped, shared by `Arc` so a hit never deep-copies the mapped
+/// circuit) and the cold compile's wall-clock cost.
+#[derive(Debug, Clone)]
+pub(crate) struct CacheEntry {
+    pub result: Arc<CompileResult>,
+    pub cold_compile_s: f64,
+}
+
+#[derive(Debug)]
+pub(crate) struct LruCache {
+    capacity: usize,
+    clock: u64,
+    entries: HashMap<String, (u64, CacheEntry)>,
+}
+
+impl LruCache {
+    /// An empty cache holding at most `capacity >= 1` entries.
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity: capacity.max(1),
+            clock: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Looks up `key`, bumping its recency on a hit.
+    pub fn get(&mut self, key: &str) -> Option<&CacheEntry> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(key).map(|(stamp, entry)| {
+            *stamp = clock;
+            &*entry
+        })
+    }
+
+    /// Inserts (or refreshes) `key`, evicting least-recently-used entries
+    /// down to capacity first. Returns how many entries were evicted (0
+    /// or 1; refreshing an existing key never evicts).
+    pub fn insert(&mut self, key: String, entry: CacheEntry) -> u64 {
+        self.clock += 1;
+        let mut evicted = 0;
+        if !self.entries.contains_key(&key) {
+            while self.entries.len() >= self.capacity {
+                let stalest = self
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, (stamp, _))| *stamp)
+                    .map(|(k, _)| k.clone())
+                    .expect("a full cache has a stalest entry");
+                self.entries.remove(&stalest);
+                evicted += 1;
+            }
+        }
+        self.entries.insert(key, (self.clock, entry));
+        evicted
+    }
+
+    /// Whether `key` is currently resident (no recency bump).
+    pub fn contains(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
+    }
+}

@@ -1,0 +1,63 @@
+//! # qft-serve — the batched/concurrent compile service
+//!
+//! The ROADMAP's serving layer over the pipeline API: one process-wide
+//! [`Registry`] shared by every request, a bounded worker pool (std
+//! threads + channels, the same std-only convention as the bench
+//! harness's sweep bins), and a keyed LRU result cache, wrapped in serde
+//! request/response types so the whole surface speaks JSON.
+//!
+//! * [`CompileRequest`] — compiler name + compact target spec
+//!   (`"lnn:16"`, parsed and *validated* by [`qft_core::Target::parse`])
+//!   + a full [`CompileOptions`] set (missing fields default);
+//! * [`CompileService`] — [`CompileService::compile`] for one request,
+//!   [`CompileService::compile_batch`] to fan a batch across the worker
+//!   pool; malformed input comes back as descriptive [`ServeError`] JSON,
+//!   never a panic;
+//! * [`CompileResponse`] — the [`CompileResult`] artifact plus cache and
+//!   timing metadata. Cached results are **byte-deterministic**: wall
+//!   times are stripped from the artifact (they live in the response
+//!   metadata instead), so a cache hit returns bytes identical to the
+//!   cold miss and N threads compiling the same request all serialize
+//!   the same artifact;
+//! * [`ServeStats`] — hit/miss/eviction/error counters, serde-able for
+//!   dashboards.
+//!
+//! ```
+//! use qft_serve::{CompileRequest, CompileService};
+//!
+//! let service = CompileService::new();
+//! let req = CompileRequest::new("heavyhex", "heavyhex:2");
+//! let cold = service.compile(&req).unwrap();
+//! let warm = service.compile(&req).unwrap();
+//! assert!(!cold.cached && warm.cached);
+//! assert_eq!(
+//!     serde_json::to_string(&cold.result).unwrap(),
+//!     serde_json::to_string(&warm.result).unwrap(),
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+mod cache;
+pub mod service;
+pub mod types;
+
+pub use service::{CompileService, DEFAULT_CACHE_CAPACITY};
+pub use types::{CompileRequest, CompileResponse, ServeError, ServeStats};
+
+use qft_core::Registry;
+use std::sync::OnceLock;
+
+/// The process-wide shared compiler registry: the paper's four analytical
+/// mappers plus the three baselines, built once behind a `OnceLock` and
+/// shared by every service, thread, and caller for the life of the
+/// process. `qft_kernels::registry()` delegates here, so the facade crate
+/// and the service always agree on the instance.
+pub fn shared_registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let mut r = Registry::with_core();
+        qft_baselines::register_baselines(&mut r);
+        r
+    })
+}

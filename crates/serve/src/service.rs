@@ -1,0 +1,298 @@
+//! The compile service: shared registry + worker pool + result cache.
+
+use crate::cache::{CacheEntry, LruCache};
+use crate::types::{CompileRequest, CompileResponse, ServeError, ServeStats};
+use qft_core::Registry;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
+
+/// Default result-cache capacity (entries).
+pub const DEFAULT_CACHE_CAPACITY: usize = 256;
+
+/// Worker threads a fresh service fans batches across: the machine's
+/// parallelism, capped so a service never monopolizes a large host.
+fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(1, 8)
+}
+
+/// A thread-safe compile service over one shared [`Registry`].
+///
+/// Requests funnel through [`CompileService::compile`]; batches fan out
+/// across a bounded pool of std worker threads fed by an mpsc job channel
+/// ([`CompileService::compile_batch`]). Results are cached under the
+/// request's canonical serialization ([`CompileRequest::cache_key`]) in a
+/// keyed LRU, with hit/miss/eviction/error counters surfaced as
+/// [`ServeStats`].
+///
+/// Artifacts are byte-deterministic: wall times are stripped before an
+/// entry is cached, so concurrent compiles of the same request — and hits
+/// against it later — all serialize identically. Concurrent misses on the
+/// same key may both compile; whichever finishes last refreshes the entry
+/// with identical bytes, so the race is benign.
+#[derive(Debug)]
+pub struct CompileService {
+    registry: &'static Registry,
+    workers: usize,
+    cache: Mutex<LruCache>,
+    requests: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl CompileService {
+    /// A service over the process-wide [`crate::shared_registry`] with the
+    /// default cache capacity and worker count.
+    pub fn new() -> Self {
+        Self::with_config(DEFAULT_CACHE_CAPACITY, default_workers())
+    }
+
+    /// A service over the process-wide registry with an explicit cache
+    /// capacity (clamped to ≥ 1) and worker count (clamped to ≥ 1).
+    pub fn with_config(cache_capacity: usize, workers: usize) -> Self {
+        Self::with_registry(crate::shared_registry(), cache_capacity, workers)
+    }
+
+    /// A service over a caller-supplied registry (e.g. one extended with
+    /// custom compilers). The registry must be `'static` because worker
+    /// threads and cached artifacts outlive any one call.
+    pub fn with_registry(
+        registry: &'static Registry,
+        cache_capacity: usize,
+        workers: usize,
+    ) -> Self {
+        CompileService {
+            registry,
+            workers: workers.max(1),
+            cache: Mutex::new(LruCache::new(cache_capacity)),
+            requests: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        }
+    }
+
+    /// The registry this service resolves compiler names through.
+    pub fn registry(&self) -> &'static Registry {
+        self.registry
+    }
+
+    /// Worker threads a batch fans out across.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Serves one request: cache lookup, then (on a miss) validate →
+    /// compile → strip wall times → cache. Malformed requests (unknown
+    /// compiler, invalid target spec, degree-0 AQFT, …) come back as
+    /// descriptive [`ServeError`]s.
+    pub fn compile(&self, req: &CompileRequest) -> Result<CompileResponse, ServeError> {
+        let t0 = Instant::now();
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let key = req.cache_key();
+        if let Some((result, cold_compile_s)) = {
+            let mut cache = self.cache.lock().expect("cache mutex");
+            cache
+                .get(&key)
+                .map(|e| (e.result.clone(), e.cold_compile_s))
+        } {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(CompileResponse {
+                cached: true,
+                cache_key: key,
+                wall_s: t0.elapsed().as_secs_f64(),
+                compile_s: cold_compile_s,
+                result,
+            });
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let outcome = req
+            .validate(self.registry)
+            .and_then(|(compiler, target)| compiler.compile(&target, &req.options));
+        let mut result = match outcome {
+            Ok(r) => r,
+            Err(e) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::from(e));
+            }
+        };
+        let cold_compile_s = result.compile_s;
+        result.strip_wall_times();
+        let result = Arc::new(result);
+        let evicted = self.cache.lock().expect("cache mutex").insert(
+            key.clone(),
+            CacheEntry {
+                result: Arc::clone(&result),
+                cold_compile_s,
+            },
+        );
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        Ok(CompileResponse {
+            cached: false,
+            cache_key: key,
+            wall_s: t0.elapsed().as_secs_f64(),
+            compile_s: cold_compile_s,
+            result,
+        })
+    }
+
+    /// Serves a batch: requests are fed through an mpsc job channel to at
+    /// most [`CompileService::workers`] scoped worker threads, and the
+    /// responses come back in request order (per-request errors stay
+    /// per-request — one bad request never poisons the batch).
+    pub fn compile_batch(
+        &self,
+        reqs: &[CompileRequest],
+    ) -> Vec<Result<CompileResponse, ServeError>> {
+        if reqs.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.workers.min(reqs.len());
+        let (job_tx, job_rx) = mpsc::channel::<(usize, &CompileRequest)>();
+        for job in reqs.iter().enumerate() {
+            job_tx.send(job).expect("queue batch jobs");
+        }
+        drop(job_tx);
+        let job_rx = Mutex::new(job_rx);
+        let (res_tx, res_rx) = mpsc::channel();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let job_rx = &job_rx;
+                let res_tx = res_tx.clone();
+                scope.spawn(move || loop {
+                    // Hold the receiver lock only for the dequeue, not the
+                    // compile, so workers drain the queue concurrently.
+                    let job = job_rx.lock().expect("job queue mutex").recv();
+                    match job {
+                        Ok((idx, req)) => {
+                            let response = self.compile(req);
+                            res_tx.send((idx, response)).expect("deliver batch result");
+                        }
+                        Err(_) => break, // queue drained
+                    }
+                });
+            }
+        });
+        drop(res_tx);
+        let mut out: Vec<Option<Result<CompileResponse, ServeError>>> =
+            (0..reqs.len()).map(|_| None).collect();
+        for (idx, response) in res_rx.iter() {
+            out[idx] = Some(response);
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every batch job is answered exactly once"))
+            .collect()
+    }
+
+    /// A snapshot of the service counters.
+    pub fn stats(&self) -> ServeStats {
+        let cache = self.cache.lock().expect("cache mutex");
+        ServeStats {
+            workers: self.workers,
+            cache_capacity: cache.capacity(),
+            cache_entries: cache.len(),
+            requests: self.requests.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether a request is currently resident in the cache (no recency
+    /// bump — a pure inspection for tests and dashboards).
+    pub fn is_cached(&self, req: &CompileRequest) -> bool {
+        self.cache
+            .lock()
+            .expect("cache mutex")
+            .contains(&req.cache_key())
+    }
+}
+
+impl Default for CompileService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qft_core::CompileOptions;
+
+    #[test]
+    fn cold_then_hot_roundtrip() {
+        let service = CompileService::with_config(4, 2);
+        let req = CompileRequest::new("lnn", "lnn:8");
+        let cold = service.compile(&req).unwrap();
+        assert!(!cold.cached);
+        assert!(cold.compile_s > 0.0, "cold compile cost is preserved");
+        assert_eq!(cold.result.compile_s, 0.0, "artifact wall times stripped");
+        let hot = service.compile(&req).unwrap();
+        assert!(hot.cached);
+        assert_eq!(hot.compile_s, cold.compile_s);
+        let stats = service.stats();
+        assert_eq!((stats.requests, stats.hits, stats.misses), (2, 1, 1));
+        assert_eq!(stats.cache_entries, 1);
+    }
+
+    #[test]
+    fn batch_preserves_request_order() {
+        let service = CompileService::with_config(16, 4);
+        let reqs: Vec<CompileRequest> = (4..12)
+            .map(|n| CompileRequest::new("lnn", format!("lnn:{n}")))
+            .collect();
+        let responses = service.compile_batch(&reqs);
+        assert_eq!(responses.len(), reqs.len());
+        for (n, resp) in (4..12).zip(&responses) {
+            assert_eq!(resp.as_ref().unwrap().result.n, n);
+        }
+    }
+
+    #[test]
+    fn one_bad_request_never_poisons_a_batch() {
+        let service = CompileService::new();
+        let reqs = vec![
+            CompileRequest::new("lnn", "lnn:6"),
+            CompileRequest::new("nope", "lnn:6"),
+            CompileRequest::new("sycamore", "sycamore:3"),
+            CompileRequest::new("lnn", "lnn:7")
+                .with_options(CompileOptions::default().with_approximation(0)),
+            CompileRequest::new("lnn", "lnn:8"),
+        ];
+        let responses = service.compile_batch(&reqs);
+        assert!(responses[0].is_ok() && responses[4].is_ok());
+        assert_eq!(responses[1].as_ref().unwrap_err().kind, "unknown-compiler");
+        assert_eq!(responses[2].as_ref().unwrap_err().kind, "invalid-target");
+        assert_eq!(
+            responses[3].as_ref().unwrap_err().kind,
+            "unsupported-option"
+        );
+        assert_eq!(service.stats().errors, 3);
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity() {
+        let service = CompileService::with_config(3, 1);
+        for n in 4..9 {
+            service
+                .compile(&CompileRequest::new("lnn", format!("lnn:{n}")))
+                .unwrap();
+        }
+        let stats = service.stats();
+        assert_eq!(stats.cache_entries, 3);
+        assert_eq!(stats.evictions, 2);
+        // The two oldest entries are gone; the three newest are resident.
+        assert!(!service.is_cached(&CompileRequest::new("lnn", "lnn:4")));
+        assert!(!service.is_cached(&CompileRequest::new("lnn", "lnn:5")));
+        for n in 6..9 {
+            assert!(service.is_cached(&CompileRequest::new("lnn", format!("lnn:{n}"))));
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! The service's serde surface: requests, responses, errors, and counters.
+
+use qft_core::{
+    validate_approximation, CompileError, CompileOptions, CompileResult, QftCompiler, Registry,
+    Target,
+};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// One compile request: a compiler name (resolved through the shared
+/// [`Registry`]), a compact target spec (`family:param`, e.g. `"lnn:16"`
+/// or `"sycamore:6"` — parsed and validated by [`Target::parse`]), and a
+/// full option set (missing JSON fields take their defaults, so
+/// `{"compiler": "lnn", "target": "lnn:16"}` is a complete request).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompileRequest {
+    /// Registry name of the compiler (`lnn`, `sycamore`, `heavyhex`,
+    /// `lattice`, `sabre`, `optimal`, `lnn-path`).
+    pub compiler: String,
+    /// Compact target spec, `family:param` (see [`Target::parse`]).
+    pub target: String,
+    /// The option set forwarded to [`QftCompiler::compile`].
+    pub options: CompileOptions,
+}
+
+impl CompileRequest {
+    /// A request for `compiler` on `target` with default options.
+    pub fn new(compiler: impl Into<String>, target: impl Into<String>) -> Self {
+        CompileRequest {
+            compiler: compiler.into(),
+            target: target.into(),
+            options: CompileOptions::default(),
+        }
+    }
+
+    /// Builder-style: replace the option set.
+    pub fn with_options(mut self, options: CompileOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The request's cache key: the canonical (compact, declaration-order)
+    /// JSON serialization of every request field — compiler, target spec,
+    /// and the full option set. Two requests differing in *any* field get
+    /// distinct keys; response-side timing (`compile_s`, per-pass
+    /// `wall_s`/`pass_s`) is not a request field, so it can never leak
+    /// into the key.
+    pub fn cache_key(&self) -> String {
+        serde_json::to_string(self).expect("a CompileRequest always serializes")
+    }
+
+    /// Validates the request against `registry` without compiling:
+    /// resolves the compiler name (descriptive
+    /// [`CompileError::UnknownCompiler`] listing what *is* registered),
+    /// parses the target spec through [`Target::parse`] (reusing the
+    /// `Target` constructors' validation — odd Sycamore `m`, zero
+    /// heavy-hex groups, … come back as [`CompileError::InvalidTarget`]),
+    /// and runs [`validate_approximation`] so a degree-0 AQFT is rejected
+    /// before any work.
+    pub fn validate<'r>(
+        &self,
+        registry: &'r Registry,
+    ) -> Result<(&'r dyn QftCompiler, Target), CompileError> {
+        let compiler = registry.resolve(&self.compiler)?;
+        let target = Target::parse(&self.target)?;
+        validate_approximation(&self.compiler, &self.options)?;
+        Ok((compiler, target))
+    }
+}
+
+/// One compile response: the artifact plus cache/timing metadata.
+///
+/// The embedded [`CompileResult`] has its wall-clock fields stripped
+/// ([`CompileResult::strip_wall_times`]) before entering the cache, so it
+/// is byte-deterministic: a hit serializes identically to the cold miss
+/// that populated the entry. The timings live here instead.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompileResponse {
+    /// Whether this response was served from the result cache.
+    pub cached: bool,
+    /// The request's cache key (see [`CompileRequest::cache_key`]).
+    pub cache_key: String,
+    /// Service-side wall-clock seconds for *this* request: the cache
+    /// lookup on a hit, the full compile on a miss.
+    pub wall_s: f64,
+    /// Wall-clock seconds of the cold compile that produced the artifact
+    /// (preserved on cache hits, so clients always see the real cost).
+    pub compile_s: f64,
+    /// The compiled kernel, wall times stripped. Shared (`Arc`) with the
+    /// cache entry, so a hit costs a reference bump, not a deep copy of
+    /// the mapped circuit.
+    pub result: Arc<CompileResult>,
+}
+
+/// A serve-layer error: a stable machine-readable `kind` plus the
+/// underlying descriptive message. Serializes to JSON so the service can
+/// answer malformed input with a diagnosis instead of a panic.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeError {
+    /// Stable error class: the [`CompileError`] variant in kebab-case
+    /// (`unknown-compiler`, `invalid-target`, `unsupported-option`,
+    /// `unsupported-target`, `timeout`, `pass`, `verification`), or
+    /// `bad-request` for input that never parsed into a request.
+    pub kind: String,
+    /// Human-readable diagnosis (the [`CompileError`] display text).
+    pub error: String,
+}
+
+impl ServeError {
+    /// An error for input that did not parse into a [`CompileRequest`].
+    pub fn bad_request(reason: impl fmt::Display) -> Self {
+        ServeError {
+            kind: "bad-request".to_string(),
+            error: reason.to_string(),
+        }
+    }
+}
+
+impl From<CompileError> for ServeError {
+    fn from(e: CompileError) -> Self {
+        let kind = match e {
+            CompileError::InvalidTarget { .. } => "invalid-target",
+            CompileError::UnsupportedTarget { .. } => "unsupported-target",
+            CompileError::UnsupportedOption { .. } => "unsupported-option",
+            CompileError::Timeout { .. } => "timeout",
+            CompileError::Pass { .. } => "pass",
+            CompileError::Verification { .. } => "verification",
+            CompileError::UnknownCompiler { .. } => "unknown-compiler",
+        };
+        ServeError {
+            kind: kind.to_string(),
+            error: e.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.kind, self.error)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A serde-able snapshot of the service's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Worker threads a batch fans out across.
+    pub workers: usize,
+    /// Result-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Result-cache occupancy right now.
+    pub cache_entries: usize,
+    /// Requests accepted (hits + misses; errors count as misses that
+    /// never produced an artifact).
+    pub requests: u64,
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that had to compile (or failed trying).
+    pub misses: u64,
+    /// Entries dropped by LRU eviction.
+    pub evictions: u64,
+    /// Requests that ended in a [`ServeError`].
+    pub errors: u64,
+}

@@ -1,0 +1,82 @@
+//! `qft_serve` — the compile service as a JSON-lines CLI.
+//!
+//! Reads one [`CompileRequest`] per stdin line, serves it through a shared
+//! [`CompileService`] (so repeated requests hit the LRU result cache), and
+//! writes one JSON object per stdout line: a compact summary row by
+//! default, the full [`qft_serve::CompileResponse`] (mapped circuit
+//! included) under `--full`, or a [`ServeError`] (`kind` + `error`) for
+//! anything malformed — bad JSON, unknown compilers, invalid targets. The
+//! final [`ServeStats`] snapshot goes to stderr.
+//!
+//! ```text
+//! $ cargo run --release --example qft_serve <<'EOF'
+//! {"compiler": "heavyhex", "target": "heavyhex:4"}
+//! {"compiler": "lattice", "target": "lattice:6", "options": {"opt_level": 2, "approximation": 3}}
+//! {"compiler": "heavyhex", "target": "heavyhex:4"}
+//! EOF
+//! {"compiler":"heavyhex","target":"heavyhex-20",...,"cached":false,...}
+//! {"compiler":"lattice","target":"lattice-surgery-6x6",...,"cached":false,...}
+//! {"compiler":"heavyhex","target":"heavyhex-20",...,"cached":true,...}
+//! ```
+
+use qft_kernels::serve::{CompileRequest, CompileResponse, CompileService, ServeError};
+use serde::Serialize;
+use std::io::{BufRead, Write};
+
+/// The default per-request output row: headline metrics plus the cache
+/// and timing metadata.
+#[derive(Debug, Serialize)]
+struct Summary {
+    compiler: String,
+    target: String,
+    n: usize,
+    depth: u64,
+    swaps: usize,
+    cphases: usize,
+    cached: bool,
+    wall_s: f64,
+    compile_s: f64,
+}
+
+impl Summary {
+    fn of(resp: &CompileResponse) -> Summary {
+        Summary {
+            compiler: resp.result.compiler.clone(),
+            target: resp.result.target.clone(),
+            n: resp.result.n,
+            depth: resp.result.metrics.depth,
+            swaps: resp.result.metrics.swaps,
+            cphases: resp.result.metrics.cphases,
+            cached: resp.cached,
+            wall_s: resp.wall_s,
+            compile_s: resp.compile_s,
+        }
+    }
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let service = CompileService::new();
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout().lock();
+    for line in stdin.lock().lines() {
+        let line = line.expect("read stdin");
+        if line.trim().is_empty() {
+            continue;
+        }
+        let outcome = serde_json::from_str::<CompileRequest>(&line)
+            .map_err(ServeError::bad_request)
+            .and_then(|req| service.compile(&req));
+        let json = match &outcome {
+            Ok(resp) if full => serde_json::to_string(resp),
+            Ok(resp) => serde_json::to_string(&Summary::of(resp)),
+            Err(e) => serde_json::to_string(e),
+        }
+        .expect("responses always serialize");
+        writeln!(out, "{json}").expect("write stdout");
+    }
+    eprintln!(
+        "{}",
+        serde_json::to_string_pretty(&service.stats()).expect("stats always serialize")
+    );
+}

@@ -15,7 +15,11 @@
 //! * [`synth`] — enumerative SKETCH-substitute for movement patterns;
 //! * [`baselines`] — SABRE, exact-optimal A* (SATMAP substitute), LNN path;
 //! * [`core`] — the paper's compilers and the pipeline API ([`Target`],
-//!   [`QftCompiler`], [`CompileOptions`] → [`CompileResult`]).
+//!   [`QftCompiler`], [`CompileOptions`] → [`CompileResult`]);
+//! * [`serve`] — the batched/concurrent compile service: JSON
+//!   [`CompileRequest`]/[`CompileResponse`] types, a [`CompileService`]
+//!   with a bounded worker pool and a keyed LRU result cache, and the
+//!   process-wide shared registry behind [`registry()`].
 //!
 //! Every compiler — the four analytical mappers *and* the three baselines —
 //! implements the same [`QftCompiler`] trait and is resolvable by name
@@ -52,6 +56,7 @@ pub use qft_arch as arch;
 pub use qft_baselines as baselines;
 pub use qft_core as core;
 pub use qft_ir as ir;
+pub use qft_serve as serve;
 pub use qft_sim as sim;
 pub use qft_synth as synth;
 
@@ -60,24 +65,21 @@ pub use qft_core::{
     QftCompiler, Registry, Target, TargetSpec, VerifyLevel,
 };
 pub use qft_ir::passes::{Pass, PassCtx, PassError, PassManager, PassReport};
-
-use std::sync::OnceLock;
+pub use qft_serve::{CompileRequest, CompileResponse, CompileService, ServeError, ServeStats};
 
 /// The process-wide compiler registry: the paper's four analytical mappers
 /// (`lnn`, `sycamore`, `heavyhex`, `lattice`) plus the three baselines
-/// (`sabre`, `optimal`, `lnn-path`).
+/// (`sabre`, `optimal`, `lnn-path`) — one shared instance behind a
+/// `OnceLock` ([`qft_serve::shared_registry`]), never rebuilt per call, so
+/// every caller (bench bins, the serve layer, tests) resolves through the
+/// same compilers.
 ///
 /// For a custom set (overrides, extra compilers), build a
 /// [`Registry`] directly: `Registry::with_core()` +
 /// [`qft_baselines::register_baselines`] + your own
 /// [`Registry::register`] calls.
 pub fn registry() -> &'static Registry {
-    static REGISTRY: OnceLock<Registry> = OnceLock::new();
-    REGISTRY.get_or_init(|| {
-        let mut r = Registry::with_core();
-        qft_baselines::register_baselines(&mut r);
-        r
-    })
+    qft_serve::shared_registry()
 }
 
 /// Names of every registered compiler, in registration order.

@@ -17,10 +17,53 @@
 use qft_kernels::baselines::pipeline::logical_qft;
 use qft_kernels::sim::equiv::{apply_mapped_logically, FIDELITY_EPS};
 use qft_kernels::sim::state::StateVector;
-use qft_kernels::{registry, CompileOptions, CompileResult, Target};
+use qft_kernels::{registry, CompileOptions, CompileRequest, CompileResult, IeMode, Target};
 
 /// Random probe states per equivalence check (plus `|0…0⟩` and `|1…1⟩`).
 pub const N_RANDOM_STATES: u64 = 3;
+
+/// Every compiler the serve suites replay, in registration order.
+pub const SERVE_COMPILERS: [&str; 7] = [
+    "lnn", "sycamore", "heavyhex", "lattice", "sabre", "optimal", "lnn-path",
+];
+
+/// Request builder: a serve request for `compiler` on `target` with the
+/// given options.
+pub fn serve_request(compiler: &str, target: &str, opts: CompileOptions) -> CompileRequest {
+    CompileRequest::new(compiler, target).with_options(opts)
+}
+
+/// Request builder for the property suites: deterministically maps
+/// sampled field values onto a *valid* request — the compiler index picks
+/// the name, `param` becomes a family-appropriate target spec (search
+/// compilers get small LNN/lattice targets they can route), and the
+/// remaining fields land in [`CompileOptions`]. Distinct field tuples may
+/// only collide when they produce equal requests, which is exactly the
+/// property the cache-key tests pin down.
+pub fn serve_request_from_fields(
+    compiler_idx: usize,
+    param: usize,
+    opt_level: u8,
+    degree: Option<u32>,
+    ie_strict: bool,
+    seed: u64,
+) -> CompileRequest {
+    let compiler = SERVE_COMPILERS[compiler_idx % SERVE_COMPILERS.len()];
+    let target = match compiler {
+        "lnn" | "sabre" | "optimal" => format!("lnn:{}", 4 + param),
+        "sycamore" => format!("sycamore:{}", 2 * (1 + param)),
+        "heavyhex" => format!("heavyhex:{}", 1 + param),
+        _ => format!("lattice:{}", 2 + param),
+    };
+    let mut opts = CompileOptions::default()
+        .with_opt_level(opt_level)
+        .with_seed(seed);
+    opts.approximation = degree;
+    if ie_strict {
+        opts = opts.with_ie_mode(IeMode::Strict);
+    }
+    serve_request(compiler, &target, opts)
+}
 
 /// The probe inputs every equivalence check runs over.
 pub fn probe_states(n: usize) -> Vec<StateVector> {

@@ -1,0 +1,288 @@
+//! The serving suite: concurrency determinism, cache semantics, and the
+//! negative paths of the batched compile service (ISSUE 4).
+//!
+//! The determinism contract under test: because the service caches
+//! results and hands them across threads, compiling the same
+//! [`CompileRequest`] must yield **byte-identical** serialized
+//! [`qft_kernels::CompileResult`]s — whichever thread compiled it,
+//! whether it was a cold miss or a cache hit, and whichever service
+//! instance served it (wall times are stripped from the artifact and live
+//! in the [`CompileResponse`] metadata instead).
+
+mod common;
+
+use common::{serve_request, serve_request_from_fields, SERVE_COMPILERS};
+use proptest::prelude::*;
+use qft_kernels::serve::shared_registry;
+use qft_kernels::{registry, CompileOptions, CompileRequest, CompileService, IeMode, ServeError};
+
+/// The request the concurrency tests hammer: a stochastic search compiler
+/// (so determinism is a property of the pipeline, not just of analytical
+/// construction) with truncation and the aggressive pass tail switched on.
+fn contended_request() -> CompileRequest {
+    serve_request(
+        "sabre",
+        "lattice:4",
+        CompileOptions::default()
+            .with_seed(7)
+            .with_opt_level(2)
+            .with_approximation(3),
+    )
+}
+
+#[test]
+fn registry_is_one_process_wide_instance() {
+    // The facade and the serve layer hand out the same shared instance…
+    assert!(std::ptr::eq(registry(), shared_registry()));
+    // …from every thread (OnceLock, not a per-call rebuild).
+    let here = registry() as *const _ as usize;
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(move || {
+                assert_eq!(registry() as *const _ as usize, here);
+                assert_eq!(shared_registry() as *const _ as usize, here);
+            });
+        }
+    });
+    assert_eq!(registry().names(), SERVE_COMPILERS);
+}
+
+#[test]
+fn n_threads_compile_byte_identical_results() {
+    let service = CompileService::new();
+    let req = contended_request();
+    let n_threads = 8;
+    let mut bytes: Vec<String> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_threads)
+            .map(|_| {
+                let service = &service;
+                let req = &req;
+                scope.spawn(move || {
+                    let resp = service.compile(req).expect("contended compile");
+                    serde_json::to_string(&resp.result).expect("serialize artifact")
+                })
+            })
+            .collect();
+        bytes.extend(handles.into_iter().map(|h| h.join().expect("worker")));
+    });
+    assert_eq!(bytes.len(), n_threads);
+    for b in &bytes[1..] {
+        assert_eq!(b, &bytes[0], "threads must serialize identical artifacts");
+    }
+    // Every request was served, and hits + misses account for all of them
+    // (racing cold misses may both compile — that only shifts the
+    // hit/miss split, never the bytes).
+    let stats = service.stats();
+    assert_eq!(stats.requests, n_threads as u64);
+    assert_eq!(stats.hits + stats.misses, n_threads as u64);
+    assert!(stats.misses >= 1);
+
+    // Determinism is a pipeline property, not a cache artifact: a fresh
+    // service (cold cache) reproduces the same bytes.
+    let fresh = CompileService::new();
+    let resp = fresh.compile(&req).expect("fresh compile");
+    assert!(!resp.cached);
+    assert_eq!(
+        serde_json::to_string(&resp.result).unwrap(),
+        bytes[0],
+        "a cold compile in a fresh service must reproduce the cached bytes"
+    );
+}
+
+#[test]
+fn cache_hit_returns_bytes_identical_to_the_cold_miss() {
+    let service = CompileService::new();
+    let req = contended_request();
+    let cold = service.compile(&req).expect("cold compile");
+    let hot = service.compile(&req).expect("cache hit");
+    assert!(!cold.cached && hot.cached);
+    assert_eq!(
+        serde_json::to_string(&cold.result).unwrap(),
+        serde_json::to_string(&hot.result).unwrap(),
+        "a hit must return the cold miss's bytes"
+    );
+    // Wall times are response metadata, not artifact fields: the artifact
+    // carries none (so `pass_s` et al. cannot make two compiles of the
+    // same request diverge), while the response preserves the real cold
+    // compile cost and its own (much smaller) service wall.
+    assert_eq!(cold.result.compile_s, 0.0);
+    assert_eq!(cold.result.pass_s(), 0.0);
+    assert!(cold.compile_s > 0.0);
+    assert_eq!(hot.compile_s, cold.compile_s);
+    // And the key is over request fields only — no timing can enter it.
+    assert_eq!(cold.cache_key, req.cache_key());
+    for timing_field in ["pass_s", "wall_s", "compile_s"] {
+        assert!(
+            !cold.cache_key.contains(timing_field),
+            "cache key must not contain '{timing_field}': {}",
+            cold.cache_key
+        );
+    }
+}
+
+#[test]
+fn batched_duplicates_are_deterministic_across_the_pool() {
+    let service = CompileService::new();
+    let req = contended_request();
+    let batch: Vec<CompileRequest> = (0..12).map(|_| req.clone()).collect();
+    let responses = service.compile_batch(&batch);
+    let reference = serde_json::to_string(&responses[0].as_ref().unwrap().result).unwrap();
+    for resp in &responses {
+        let resp = resp.as_ref().expect("batched compile");
+        assert_eq!(
+            serde_json::to_string(&resp.result).unwrap(),
+            reference,
+            "batch workers must serialize identical artifacts"
+        );
+    }
+    assert!(
+        responses.iter().any(|r| r.as_ref().unwrap().cached),
+        "a 12-duplicate batch must hit the cache at least once"
+    );
+}
+
+#[test]
+fn malformed_requests_are_descriptive_json_errors_not_panics() {
+    let service = CompileService::new();
+    // (request, expected kind, fragments the diagnosis must contain)
+    let cases: Vec<(CompileRequest, &str, Vec<&str>)> = vec![
+        (
+            serve_request("nope", "lnn:8", CompileOptions::default()),
+            "unknown-compiler",
+            vec!["nope", "available", "sycamore"],
+        ),
+        (
+            serve_request("sycamore", "sycamore:3", CompileOptions::default()),
+            "invalid-target",
+            vec!["even m", "got m=3"],
+        ),
+        (
+            serve_request(
+                "lnn",
+                "lnn:8",
+                CompileOptions::default().with_approximation(0),
+            ),
+            "unsupported-option",
+            vec!["degree 0", "degree >= 1"],
+        ),
+        (
+            serve_request("lnn", "toric:3", CompileOptions::default()),
+            "invalid-target",
+            vec!["unknown target family", "toric"],
+        ),
+        (
+            serve_request("lnn", "lattice:4", CompileOptions::default()),
+            "unsupported-target",
+            vec!["analytical mapper", "LNN"],
+        ),
+    ];
+    for (req, kind, fragments) in cases {
+        let err = service.compile(&req).expect_err("must be rejected");
+        assert_eq!(err.kind, kind, "{req:?}");
+        for fragment in fragments {
+            assert!(
+                err.error.contains(fragment),
+                "{kind} diagnosis {:?} missing {fragment:?}",
+                err.error
+            );
+        }
+        // The error is itself a serde artifact: it round-trips as JSON, so
+        // the service can answer malformed input with a diagnosis.
+        let json = serde_json::to_string(&err).expect("errors serialize");
+        assert!(json.contains(&format!("\"kind\":\"{kind}\"")), "{json}");
+        let back: ServeError = serde_json::from_str(&json).expect("errors round-trip");
+        assert_eq!(back, err);
+    }
+    // Nothing broken reaches the cache; every rejection is counted.
+    let stats = service.stats();
+    assert_eq!(stats.errors, 5);
+    assert_eq!(stats.cache_entries, 0);
+}
+
+#[test]
+fn unknown_option_fields_are_rejected_at_the_json_boundary() {
+    let line = r#"{"compiler": "lnn", "target": "lnn:8", "options": {"degree": 1}}"#;
+    let err = serde_json::from_str::<CompileRequest>(line).expect_err("typo must be rejected");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("unknown CompileOptions field 'degree'"),
+        "{msg}"
+    );
+    assert!(msg.contains("approximation"), "{msg}");
+    // A terse request is complete: missing options default.
+    let terse: CompileRequest =
+        serde_json::from_str(r#"{"compiler": "lnn", "target": "lnn:8"}"#).unwrap();
+    assert_eq!(terse.options, CompileOptions::default());
+    assert_eq!(terse, CompileRequest::new("lnn", "lnn:8"));
+}
+
+#[test]
+fn request_roundtrips_and_key_is_canonical() {
+    let req = serve_request(
+        "lattice",
+        "lattice:6",
+        CompileOptions::default()
+            .with_opt_level(2)
+            .with_ie_mode(IeMode::Strict)
+            .with_approximation(4)
+            .with_extra_pass("asap-layering"),
+    );
+    let json = serde_json::to_string(&req).unwrap();
+    let back: CompileRequest = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, req);
+    // The key IS the canonical serialization: stable across round-trips.
+    assert_eq!(back.cache_key(), req.cache_key());
+    assert_eq!(req.cache_key(), json);
+}
+
+#[test]
+fn lru_eviction_respects_capacity_and_recency() {
+    let service = CompileService::with_config(4, 1);
+    let req_for = |n: usize| serve_request("lnn", &format!("lnn:{n}"), CompileOptions::default());
+    for n in 4..12 {
+        service.compile(&req_for(n)).expect("fill the cache");
+    }
+    let stats = service.stats();
+    assert_eq!(stats.cache_entries, 4, "capacity is a hard ceiling");
+    assert_eq!(stats.evictions, 4, "8 distinct fills through capacity 4");
+    // LRU order: the four newest survive, the four oldest are gone.
+    for n in 8..12 {
+        assert!(service.is_cached(&req_for(n)), "lnn:{n} must be resident");
+    }
+    for n in 4..8 {
+        assert!(!service.is_cached(&req_for(n)), "lnn:{n} must be evicted");
+    }
+    // Touching an entry protects it: hit lnn:8, insert one more, and the
+    // eviction falls on lnn:9 (now the stalest) instead.
+    assert!(service.compile(&req_for(8)).unwrap().cached);
+    service.compile(&req_for(12)).unwrap();
+    assert!(service.is_cached(&req_for(8)));
+    assert!(!service.is_cached(&req_for(9)));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Cache-key injectivity: two requests get the same key exactly when
+    /// they are the same request — any difference in any field (compiler,
+    /// target size, opt_level, degree, ie_mode, seed) separates the keys.
+    #[test]
+    fn distinct_requests_get_distinct_cache_keys(
+        a in (0usize..7, 0usize..6, 0u8..3, 0u32..5, 0usize..2, 0u64..3),
+        b in (0usize..7, 0usize..6, 0u8..3, 0u32..5, 0usize..2, 0u64..3),
+    ) {
+        let build = |(ci, param, opt, deg, ie, seed): (usize, usize, u8, u32, usize, u64)| {
+            serve_request_from_fields(
+                ci,
+                param,
+                opt,
+                (deg > 0).then_some(deg),
+                ie == 1,
+                seed,
+            )
+        };
+        let (ra, rb) = (build(a), build(b));
+        prop_assert_eq!(ra == rb, ra.cache_key() == rb.cache_key());
+    }
+}
