@@ -161,6 +161,14 @@ impl MappedCircuit {
         &self.ops
     }
 
+    /// The logical H/CPHASE gate stream of this circuit, SWAPs dropped and
+    /// fused `CPHASE+SWAP` interactions contributing their rotation — the
+    /// stream every simulator-backed equivalence check replays. Delegates
+    /// to [`crate::qft::logical_interactions`].
+    pub fn logical_interactions(&self) -> impl Iterator<Item = Gate> + '_ {
+        crate::qft::logical_interactions(self.ops())
+    }
+
     /// Number of standalone SWAP gates inserted. A fused
     /// [`GateKind::CphaseSwap`] interaction is *not* counted: its swap
     /// rides along with the CPHASE at no extra gate cost (that reduction

@@ -209,6 +209,18 @@ impl Gate {
         Gate::two(GateKind::Swap, LogicalQubit(a), LogicalQubit(b))
     }
 
+    /// `RZ` of rotation order `k` on `q`.
+    #[inline]
+    pub fn rz(k: u32, q: u32) -> Self {
+        Gate::one(GateKind::Rz { k }, LogicalQubit(q))
+    }
+
+    /// CNOT with control `c` and target `t`.
+    #[inline]
+    pub fn cnot(c: u32, t: u32) -> Self {
+        Gate::two(GateKind::Cnot, LogicalQubit(c), LogicalQubit(t))
+    }
+
     /// The qubits this gate touches, in operand order.
     #[inline]
     pub fn qubits(&self) -> impl Iterator<Item = LogicalQubit> + '_ {

@@ -1,13 +1,47 @@
 //! Small-N unitary equivalence: the redundant, state-vector cross-check of
 //! the symbolic verifier (DESIGN.md invariant 5).
+//!
+//! Both checkers ([`mapped_equals_qft`] / [`mapped_equals_aqft`]) build
+//! their reference circuit **once**, pack the probe states into a
+//! [`StateBatch`], and stream the mapped kernel's gate sequence through
+//! the batch — each gate is decoded a single time for all inputs, instead
+//! of the old per-seed loop that also rebuilt the reference (an O(4^n)
+//! DFT, in the exact-QFT case) for every input state.
+//!
+//! [`apply_mapped_physically`] additionally replays the *full physical op
+//! stream* — the SWAP-dominated mapped circuit itself, not just its
+//! logical interactions — which the lazy-SWAP engine turns into a nearly
+//! phase-only workload.
 
-use crate::reference::qft_circuit_reference;
-use crate::state::StateVector;
-use qft_ir::circuit::MappedCircuit;
-use qft_ir::qft::logical_interactions;
+use crate::batch::StateBatch;
+use crate::state::{embed_amplitudes, StateVector};
+use qft_ir::circuit::{Circuit, MappedCircuit};
+use qft_ir::gate::{GateKind, LogicalQubit};
 
 /// Fidelity tolerance for equivalence (|⟨a|b⟩|² ≥ 1 − ε).
 pub const FIDELITY_EPS: f64 = 1e-9;
+
+/// The physical bit position of each of the first `n_l` logical qubits
+/// under `layout` — the embedding/extraction map every physical-replay
+/// path shares.
+pub(crate) fn logical_places(layout: &qft_ir::layout::Layout, n_l: usize) -> Vec<usize> {
+    (0..n_l)
+        .map(|l| layout.phys(LogicalQubit(l as u32)).index())
+        .collect()
+}
+
+/// The probe inputs every equivalence check runs over: `|0…0⟩`, `|1…1⟩`,
+/// and `n_seeds` reproducible random states.
+pub fn probe_states(n: usize, n_seeds: u64) -> Vec<StateVector> {
+    let mut inputs: Vec<StateVector> = vec![
+        StateVector::basis(n, 0),
+        StateVector::basis(n, (1usize << n) - 1),
+    ];
+    for seed in 0..n_seeds {
+        inputs.push(StateVector::random(n, seed * 2 + 1));
+    }
+    inputs
+}
 
 /// Applies the *logical* gate stream of a mapped circuit to `input`.
 ///
@@ -17,31 +51,196 @@ pub const FIDELITY_EPS: f64 = 1e-9;
 pub fn apply_mapped_logically(mc: &MappedCircuit, input: &StateVector) -> StateVector {
     assert_eq!(mc.n_logical(), input.n_qubits());
     let mut s = input.clone();
-    for g in logical_interactions(mc.ops()) {
+    for g in mc.logical_interactions() {
         s.apply_gate(&g);
     }
     s
 }
 
+/// Replays the full *physical* op stream of a mapped circuit: the input is
+/// embedded at the initial layout (spare physical qubits in `|0⟩`), every
+/// op — H, CPHASE, SWAP, fused CPHASE+SWAP, CNOT, … — executes on its
+/// physical operands, and the logical state is read back out at the final
+/// layout.
+///
+/// With the lazy-SWAP engine the routing chains cost O(1) bookkeeping
+/// apiece, so a SWAP-dominated mapped kernel simulates at nearly the cost
+/// of its phase gates alone.
+pub fn apply_mapped_physically(mc: &MappedCircuit, input: &StateVector) -> StateVector {
+    let (n_l, n_p) = (mc.n_logical(), mc.n_physical());
+    assert_eq!(input.n_qubits(), n_l);
+    assert!(n_p <= 26, "physical register too large ({n_p} qubits)");
+    let place = logical_places(mc.initial_layout(), n_l);
+    let amps = embed_amplitudes(&input.resolved_amplitudes(), n_p, &place);
+    let mut s = StateVector::from_amplitudes(n_p, amps);
+    for op in mc.ops() {
+        let p1 = op.p1.index();
+        match (op.kind, op.p2) {
+            (GateKind::H, _) => s.apply_h(p1),
+            (GateKind::X, _) => s.apply_x(p1),
+            (GateKind::Rz { k }, _) => s.apply_rz(p1, k),
+            (GateKind::Cphase { k }, Some(p2)) => s.apply_cphase(p1, p2.index(), k),
+            (GateKind::Swap, Some(p2)) => s.apply_swap(p1, p2.index()),
+            (GateKind::CphaseSwap { k }, Some(p2)) => s.apply_cphase_swap(p1, p2.index(), k),
+            (GateKind::Cnot, Some(p2)) => s.apply_cnot(p1, p2.index()),
+            _ => unreachable!("malformed physical op"),
+        }
+    }
+    // Extraction composes the pending lazy permutation into the gather
+    // (one 2^{n_l} pass — no full 2^{n_p} resolve sweep).
+    let final_place = logical_places(mc.final_layout(), n_l);
+    StateVector::from_amplitudes(n_l, s.extracted_amplitudes(&final_place))
+}
+
+/// The batched equivalence core: checks the mapped circuit's logical
+/// stream against an arbitrary pre-built logical `reference` circuit on
+/// the standard probe set, up to global phase per state.
+pub fn mapped_matches_reference(mc: &MappedCircuit, reference: &Circuit, n_seeds: u64) -> bool {
+    mapped_matches_reference_on(mc, reference, &probe_states(mc.n_logical(), n_seeds))
+}
+
+/// [`mapped_matches_reference`] over caller-supplied input states (probe
+/// construction hoisted — harnesses checking many kernels of the same
+/// width build the inputs once).
+pub fn mapped_matches_reference_on(
+    mc: &MappedCircuit,
+    reference: &Circuit,
+    inputs: &[StateVector],
+) -> bool {
+    let n = mc.n_logical();
+    assert_eq!(reference.n_qubits(), n);
+    // Pack once; the second batch is a plain memcpy of the planes.
+    let mut want = StateBatch::from_states(inputs);
+    let mut got = want.clone();
+    got.apply_gates(mc.logical_interactions());
+    want.apply_circuit(reference);
+    got.fidelities(&want)
+        .iter()
+        .all(|f| (f - 1.0).abs() < FIDELITY_EPS)
+}
+
+/// Like [`mapped_matches_reference`], but replaying the full physical op
+/// stream — SWAP chains and all — batched over the probe states (embed at
+/// the initial layout, one fused op sweep, extract at the final layout).
+pub fn mapped_physically_matches_reference(
+    mc: &MappedCircuit,
+    reference: &Circuit,
+    n_seeds: u64,
+) -> bool {
+    mapped_physically_matches_reference_on(mc, reference, &probe_states(mc.n_logical(), n_seeds))
+}
+
+/// [`mapped_physically_matches_reference`] over caller-supplied inputs.
+pub fn mapped_physically_matches_reference_on(
+    mc: &MappedCircuit,
+    reference: &Circuit,
+    inputs: &[StateVector],
+) -> bool {
+    let (n_l, n_p) = (mc.n_logical(), mc.n_physical());
+    assert_eq!(reference.n_qubits(), n_l);
+    assert!(n_p <= 26, "physical register too large ({n_p} qubits)");
+    let place = logical_places(mc.initial_layout(), n_l);
+    let mut phys = StateBatch::embedded(inputs, n_p, &place);
+    phys.apply_phys_ops(mc.ops());
+    let got = phys.extracted(&logical_places(mc.final_layout(), n_l));
+    let mut want = StateBatch::from_states(inputs);
+    want.apply_circuit(reference);
+    got.fidelities(&want)
+        .iter()
+        .all(|f| (f - 1.0).abs() < FIDELITY_EPS)
+}
+
+/// A prepared equivalence checker: the probe inputs are packed and the
+/// reference outputs computed **once**, after which any number of mapped
+/// kernels can be verified against them — the amortized form the
+/// cross-compiler matrix (many kernels, one reference per `(n, degree)`)
+/// and the `sim` bench consume.
+///
+/// Repeated checks reuse one scratch batch (no per-check allocation of
+/// the amplitude planes).
+#[derive(Debug)]
+pub struct ReferenceChecker {
+    inputs: Vec<StateVector>,
+    base: StateBatch,
+    want: StateBatch,
+    scratch: StateBatch,
+    phys_scratch: StateBatch,
+}
+
+impl ReferenceChecker {
+    /// Prepares a checker for `reference` over the given probe inputs.
+    pub fn new(reference: &Circuit, inputs: Vec<StateVector>) -> Self {
+        let base = StateBatch::from_states(&inputs);
+        let mut want = base.clone();
+        want.apply_circuit(reference);
+        let scratch = base.clone();
+        ReferenceChecker {
+            inputs,
+            base,
+            want,
+            scratch,
+            phys_scratch: StateBatch::empty(),
+        }
+    }
+
+    /// A checker for the exact `n`-qubit QFT on the standard probe set.
+    pub fn for_qft(n: usize, n_seeds: u64) -> Self {
+        Self::new(&qft_ir::qft::qft_circuit(n), probe_states(n, n_seeds))
+    }
+
+    /// The probe inputs the checker verifies over.
+    pub fn inputs(&self) -> &[StateVector] {
+        &self.inputs
+    }
+
+    /// Per-state fidelity of the mapped kernel's logical stream against
+    /// the prepared reference outputs.
+    pub fn logical_fidelities(&mut self, mc: &MappedCircuit) -> Vec<f64> {
+        assert_eq!(mc.n_logical(), self.base.n_qubits());
+        self.scratch.copy_from(&self.base);
+        self.scratch.apply_gates(mc.logical_interactions());
+        self.scratch.fidelities(&self.want)
+    }
+
+    /// Checks the mapped kernel's logical stream (batched, amortized).
+    pub fn matches_logical(&mut self, mc: &MappedCircuit) -> bool {
+        self.logical_fidelities(mc)
+            .iter()
+            .all(|f| (f - 1.0).abs() < FIDELITY_EPS)
+    }
+
+    /// Checks the mapped kernel by full physical op-stream replay (embed
+    /// at the initial layout, fused sweep with lazy SWAPs, extract at the
+    /// final layout). The physical and extraction buffers are reused
+    /// across calls.
+    pub fn matches_physically(&mut self, mc: &MappedCircuit) -> bool {
+        let (n_l, n_p) = (mc.n_logical(), mc.n_physical());
+        assert_eq!(n_l, self.base.n_qubits());
+        assert!(n_p <= 26, "physical register too large ({n_p} qubits)");
+        let place = logical_places(mc.initial_layout(), n_l);
+        self.phys_scratch
+            .embed_into(&self.inputs, n_p, Some(&place));
+        self.phys_scratch.apply_phys_ops(mc.ops());
+        self.phys_scratch
+            .extract_into(&logical_places(mc.final_layout(), n_l), &mut self.scratch);
+        self.scratch
+            .fidelities(&self.want)
+            .iter()
+            .all(|f| (f - 1.0).abs() < FIDELITY_EPS)
+    }
+}
+
 /// Checks that a mapped circuit implements the textbook QFT on `n_seeds`
 /// random states (plus `|0…0⟩` and `|1…1⟩`), up to global phase.
+///
+/// The reference is the textbook circuit [`qft_ir::qft::qft_circuit`]
+/// (equal to `DFT ∘ bit-reverse`; the relation is pinned by
+/// `reference.rs`), built once and applied to the whole probe batch.
 ///
 /// Only feasible for small `n` (≤ ~14); larger circuits rely on the
 /// symbolic verifier, whose soundness this function cross-validates.
 pub fn mapped_equals_qft(mc: &MappedCircuit, n_seeds: u64) -> bool {
-    let n = mc.n_logical();
-    let mut inputs: Vec<StateVector> = vec![
-        StateVector::basis(n, 0),
-        StateVector::basis(n, (1usize << n) - 1),
-    ];
-    for seed in 0..n_seeds {
-        inputs.push(StateVector::random(n, seed * 2 + 1));
-    }
-    inputs.iter().all(|input| {
-        let got = apply_mapped_logically(mc, input);
-        let want = qft_circuit_reference(input);
-        (got.fidelity(&want) - 1.0).abs() < FIDELITY_EPS
-    })
+    mapped_matches_reference(mc, &qft_ir::qft::qft_circuit(mc.n_logical()), n_seeds)
 }
 
 /// Checks that a mapped circuit implements the degree-`degree` *approximate*
@@ -52,21 +251,11 @@ pub fn mapped_equals_qft(mc: &MappedCircuit, n_seeds: u64) -> bool {
 /// verifier (a full-QFT contract checker) cannot certify. `degree >= n`
 /// reduces to [`mapped_equals_qft`]'s contract.
 pub fn mapped_equals_aqft(mc: &MappedCircuit, degree: u32, n_seeds: u64) -> bool {
-    let n = mc.n_logical();
-    let reference = qft_ir::qft::aqft_circuit(n, degree);
-    let mut inputs: Vec<StateVector> = vec![
-        StateVector::basis(n, 0),
-        StateVector::basis(n, (1usize << n) - 1),
-    ];
-    for seed in 0..n_seeds {
-        inputs.push(StateVector::random(n, seed * 2 + 1));
-    }
-    inputs.iter().all(|input| {
-        let got = apply_mapped_logically(mc, input);
-        let mut want = input.clone();
-        want.apply_circuit(&reference);
-        (got.fidelity(&want) - 1.0).abs() < FIDELITY_EPS
-    })
+    mapped_matches_reference(
+        mc,
+        &qft_ir::qft::aqft_circuit(mc.n_logical(), degree),
+        n_seeds,
+    )
 }
 
 #[cfg(test)]
@@ -80,8 +269,7 @@ mod tests {
         PhysicalQubit(i)
     }
 
-    #[test]
-    fn swap_reordered_qft3_is_equivalent() {
+    fn line_qft3() -> MappedCircuit {
         // The same valid 3-qubit line QFT as in symbolic.rs tests.
         let mut b = MappedCircuitBuilder::new(Layout::identity(3, 3));
         b.push_1q_phys(GateKind::H, p(0));
@@ -92,7 +280,28 @@ mod tests {
         b.push_swap_phys(p(1), p(2));
         b.push_2q_phys(GateKind::Cphase { k: 2 }, p(0), p(1));
         b.push_1q_phys(GateKind::H, p(1));
-        assert!(mapped_equals_qft(&b.finish(), 4));
+        b.finish()
+    }
+
+    #[test]
+    fn swap_reordered_qft3_is_equivalent() {
+        assert!(mapped_equals_qft(&line_qft3(), 4));
+    }
+
+    #[test]
+    fn physical_replay_matches_logical_replay() {
+        let mc = line_qft3();
+        for seed in [1u64, 5, 9] {
+            let input = StateVector::random(3, seed);
+            let logical = apply_mapped_logically(&mc, &input);
+            let physical = apply_mapped_physically(&mc, &input);
+            assert!((logical.fidelity(&physical) - 1.0).abs() < FIDELITY_EPS);
+        }
+        assert!(mapped_physically_matches_reference(
+            &mc,
+            &qft_ir::qft::qft_circuit(3),
+            3
+        ));
     }
 
     #[test]
@@ -116,16 +325,7 @@ mod tests {
 
     #[test]
     fn full_kernel_matches_aqft_at_or_above_n() {
-        let mut b = MappedCircuitBuilder::new(Layout::identity(3, 3));
-        b.push_1q_phys(GateKind::H, p(0));
-        b.push_2q_phys(GateKind::Cphase { k: 2 }, p(0), p(1));
-        b.push_swap_phys(p(0), p(1));
-        b.push_2q_phys(GateKind::Cphase { k: 3 }, p(1), p(2));
-        b.push_1q_phys(GateKind::H, p(0));
-        b.push_swap_phys(p(1), p(2));
-        b.push_2q_phys(GateKind::Cphase { k: 2 }, p(0), p(1));
-        b.push_1q_phys(GateKind::H, p(1));
-        let mc = b.finish();
+        let mc = line_qft3();
         assert!(mapped_equals_aqft(&mc, 3, 2));
         assert!(mapped_equals_aqft(&mc, 17, 2));
         assert!(!mapped_equals_aqft(&mc, 2, 2));
@@ -146,5 +346,22 @@ mod tests {
         b.push_1q_phys(GateKind::H, p(0));
         b.push_1q_phys(GateKind::H, p(1));
         assert!(!mapped_equals_qft(&b.finish(), 2));
+    }
+
+    #[test]
+    fn physical_replay_handles_spare_qubits() {
+        // 2 logical qubits on a 3-qubit device: the spare rides along
+        // through a SWAP and must not corrupt the extracted state.
+        let mut b = MappedCircuitBuilder::new(Layout::identity(2, 3));
+        b.push_1q_phys(GateKind::H, p(0));
+        b.push_2q_phys(GateKind::Cphase { k: 2 }, p(0), p(1));
+        b.push_swap_phys(p(1), p(2)); // q1 moves to the spare's slot
+        b.push_1q_phys(GateKind::H, p(2));
+        let mc = b.finish();
+        assert!(mapped_physically_matches_reference(
+            &mc,
+            &qft_ir::qft::qft_circuit(2),
+            3
+        ));
     }
 }

@@ -3,25 +3,42 @@
 //! The paper verifies its compiler outputs with an open-source simulator;
 //! this crate is that component:
 //!
-//! * [`complex`] / [`state`] — a dense state-vector simulator for the QFT
-//!   gate set (H, CPHASE, SWAP, CNOT, …);
+//! * [`complex`] / [`state`] — the *fast* dense state-vector engine for
+//!   the QFT gate set: branch-free stride-pair kernels (H/X/CNOT),
+//!   diagonal fast paths (RZ/CPHASE), lazy O(1) SWAPs resolved by a
+//!   table-driven gather at readout, and a fused CPHASE+SWAP pass;
+//! * [`batch`] — the structure-of-arrays multi-state engine: one decoded
+//!   gate stream drives every probe state at once, with optional
+//!   row-chunk thread parallelism above a size threshold;
+//! * [`naive`] — the retained scan-everything kernels, kept as the
+//!   differential oracle the fast engine is property-tested (and
+//!   benchmarked — `BENCH_sim.json` enforces a ≥ 5× aggregate speedup)
+//!   against;
 //! * [`mod@reference`] — the exact DFT and the textbook-circuit ↔ DFT relation
 //!   (bit-reversed outputs), pinning down gate conventions;
-//! * [`equiv`] — small-N unitary equivalence checks for mapped circuits;
+//! * [`equiv`] — small-N unitary equivalence checks for mapped circuits,
+//!   batched over the probe states, plus full physical-op-stream replay;
 //! * [`symbolic`] — the scalable verifier (adjacency, SWAP-replay layout
 //!   consistency, QFT interaction semantics) that works at thousands of
 //!   qubits.
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod complex;
 pub mod equiv;
+pub mod naive;
 pub mod reference;
 pub mod state;
 pub mod symbolic;
 
+pub use batch::StateBatch;
 pub use complex::Complex64;
-pub use equiv::{apply_mapped_logically, mapped_equals_qft};
+pub use equiv::{
+    apply_mapped_logically, apply_mapped_physically, mapped_equals_aqft, mapped_equals_qft,
+    mapped_matches_reference, probe_states, ReferenceChecker,
+};
+pub use naive::NaiveStateVector;
 pub use reference::{bit_reverse, dft, qft_circuit_reference};
-pub use state::StateVector;
+pub use state::{phase_angle, StateVector};
 pub use symbolic::{verify_qft_mapping, VerifyError, VerifyReport};

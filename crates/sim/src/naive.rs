@@ -1,0 +1,376 @@
+//! The retained *naive* simulation kernels — the differential oracle for
+//! the fast engine in [`crate::state`].
+//!
+//! Every gate here scans all `2^n` amplitudes with a branch per index and
+//! every SWAP is an eager full sweep — exactly the pre-rewrite kernels,
+//! kept so property tests can pin the branch-free/lazy-SWAP/batched paths
+//! against an independent implementation, and so the `sim` bench bin can
+//! measure the speedup it must enforce. The only semantic change carried
+//! over is the [`crate::state::phase_angle`] fix: both engines now compute
+//! `R_k` angles exactly for `k > 30` (the oracle must agree with the fast
+//! engine bit-for-bit on intent, not reproduce an old bug).
+
+use crate::complex::Complex64;
+use crate::state::{embed_amplitudes, extract_amplitudes, phase_angle, StateVector};
+use qft_ir::circuit::{Circuit, MappedCircuit};
+use qft_ir::gate::{Gate, GateKind};
+
+/// A state vector driven by the naive (scan-everything) kernels.
+#[derive(Debug, Clone)]
+pub struct NaiveStateVector {
+    n: usize,
+    amps: Vec<Complex64>,
+}
+
+impl NaiveStateVector {
+    /// `|0…0⟩` on `n` qubits.
+    pub fn zero(n: usize) -> Self {
+        assert!(n <= 26, "state vector too large ({n} qubits)");
+        let mut amps = vec![Complex64::ZERO; 1 << n];
+        amps[0] = Complex64::ONE;
+        NaiveStateVector { n, amps }
+    }
+
+    /// The computational basis state `|b⟩`.
+    pub fn basis(n: usize, b: usize) -> Self {
+        assert!(b < (1 << n));
+        let mut s = NaiveStateVector::zero(n);
+        s.amps[0] = Complex64::ZERO;
+        s.amps[b] = Complex64::ONE;
+        s
+    }
+
+    /// The same reproducible pseudo-random state as
+    /// [`StateVector::random`] (built through it, so the two engines see
+    /// identical inputs in differential tests).
+    pub fn random(n: usize, seed: u64) -> Self {
+        Self::from_state(&StateVector::random(n, seed))
+    }
+
+    /// Snapshots a fast-engine state (resolving any lazy permutation).
+    pub fn from_state(s: &StateVector) -> Self {
+        NaiveStateVector {
+            n: s.n_qubits(),
+            amps: s.resolved_amplitudes().into_owned(),
+        }
+    }
+
+    /// Converts into a fast-engine state.
+    pub fn to_state(&self) -> StateVector {
+        StateVector::from_amplitudes(self.n, self.amps.clone())
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The raw amplitudes (always in canonical qubit order — the naive
+    /// engine has no lazy layout).
+    #[inline]
+    pub fn amplitudes(&self) -> &[Complex64] {
+        &self.amps
+    }
+
+    /// `⟨self|other⟩`.
+    pub fn inner(&self, other: &NaiveStateVector) -> Complex64 {
+        assert_eq!(self.n, other.n);
+        let mut acc = Complex64::ZERO;
+        for (a, b) in self.amps.iter().zip(&other.amps) {
+            acc += a.conj() * *b;
+        }
+        acc
+    }
+
+    /// `|⟨self|other⟩|²` — 1.0 iff equal up to global phase.
+    pub fn fidelity(&self, other: &NaiveStateVector) -> f64 {
+        self.inner(other).abs2()
+    }
+
+    /// Total probability.
+    pub fn norm2(&self) -> f64 {
+        self.amps.iter().map(|a| a.abs2()).sum()
+    }
+
+    /// Hadamard on qubit `q`: full `2^n` scan with a mask branch.
+    pub fn apply_h(&mut self, q: usize) {
+        debug_assert!(q < self.n);
+        let mask = 1usize << q;
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        for b in 0..self.amps.len() {
+            if b & mask == 0 {
+                let (a0, a1) = (self.amps[b], self.amps[b | mask]);
+                self.amps[b] = (a0 + a1).scale(s);
+                self.amps[b | mask] = (a0 - a1).scale(s);
+            }
+        }
+    }
+
+    /// Pauli-X on qubit `q`.
+    pub fn apply_x(&mut self, q: usize) {
+        let mask = 1usize << q;
+        for b in 0..self.amps.len() {
+            if b & mask == 0 {
+                self.amps.swap(b, b | mask);
+            }
+        }
+    }
+
+    /// `RZ` with angle `2π/2^k` on qubit `q`.
+    pub fn apply_rz(&mut self, q: usize, k: u32) {
+        self.phase_masked(1usize << q, k, false);
+    }
+
+    /// `CPHASE` of order `k` between `q1` and `q2`.
+    pub fn apply_cphase(&mut self, q1: usize, q2: usize, k: u32) {
+        debug_assert!(q1 != q2 && q1 < self.n && q2 < self.n);
+        self.phase_masked((1usize << q1) | (1usize << q2), k, false);
+    }
+
+    /// SWAP between `q1` and `q2`: the eager full-sweep exchange.
+    pub fn apply_swap(&mut self, q1: usize, q2: usize) {
+        debug_assert!(q1 != q2);
+        let (m1, m2) = (1usize << q1, 1usize << q2);
+        for b in 0..self.amps.len() {
+            // Visit each pair once: swap where bit q1 = 1, q2 = 0.
+            if b & m1 != 0 && b & m2 == 0 {
+                self.amps.swap(b, b ^ m1 ^ m2);
+            }
+        }
+    }
+
+    /// CNOT with control `c` and target `t`.
+    pub fn apply_cnot(&mut self, c: usize, t: usize) {
+        debug_assert!(c != t);
+        let (mc, mt) = (1usize << c, 1usize << t);
+        for b in 0..self.amps.len() {
+            if b & mc != 0 && b & mt == 0 {
+                self.amps.swap(b, b | mt);
+            }
+        }
+    }
+
+    /// Applies a logical gate. The fused `CPHASE+SWAP` runs as its two
+    /// constituent full sweeps (the naive engine has no fused pass).
+    pub fn apply_gate(&mut self, g: &Gate) {
+        let a = g.a.index();
+        match (g.kind, g.b) {
+            (GateKind::H, _) => self.apply_h(a),
+            (GateKind::X, _) => self.apply_x(a),
+            (GateKind::Rz { k }, _) => self.apply_rz(a, k),
+            (GateKind::Cphase { k }, Some(b)) => self.apply_cphase(a, b.index(), k),
+            (GateKind::Swap, Some(b)) => self.apply_swap(a, b.index()),
+            (GateKind::CphaseSwap { k }, Some(b)) => {
+                self.apply_cphase(a, b.index(), k);
+                self.apply_swap(a, b.index());
+            }
+            (GateKind::Cnot, Some(b)) => self.apply_cnot(a, b.index()),
+            _ => unreachable!("malformed gate {g}"),
+        }
+    }
+
+    /// Applies the inverse of a logical gate.
+    pub fn apply_gate_inverse(&mut self, g: &Gate) {
+        let a = g.a.index();
+        match (g.kind, g.b) {
+            (GateKind::H, _) => self.apply_h(a),
+            (GateKind::X, _) => self.apply_x(a),
+            (GateKind::Swap, Some(b)) => self.apply_swap(a, b.index()),
+            (GateKind::Cnot, Some(b)) => self.apply_cnot(a, b.index()),
+            (GateKind::Rz { k }, _) => self.phase_masked(1usize << a, k, true),
+            (GateKind::Cphase { k }, Some(b)) => {
+                self.phase_masked((1usize << a) | (1usize << b.index()), k, true)
+            }
+            (GateKind::CphaseSwap { k }, Some(b)) => {
+                self.apply_swap(a, b.index());
+                self.phase_masked((1usize << a) | (1usize << b.index()), k, true)
+            }
+            _ => unreachable!("malformed gate {g}"),
+        }
+    }
+
+    /// Multiplies amplitudes whose basis index contains all bits of `mask`
+    /// by `e^{±2πi/2^k}` — the branch-per-index diagonal sweep.
+    fn phase_masked(&mut self, mask: usize, k: u32, inverse: bool) {
+        let theta = phase_angle(k);
+        let phase = Complex64::from_angle(if inverse { -theta } else { theta });
+        for (b, a) in self.amps.iter_mut().enumerate() {
+            if b & mask == mask {
+                *a = *a * phase;
+            }
+        }
+    }
+
+    /// Applies every gate of a logical circuit in order.
+    pub fn apply_circuit(&mut self, c: &Circuit) {
+        assert_eq!(c.n_qubits(), self.n);
+        for g in c.gates() {
+            self.apply_gate(g);
+        }
+    }
+
+    /// Permutes qubits: qubit `q` moves to position `perm[q]` — the old
+    /// O(2^n · n) per-index bit walk plus full reallocation, retained as
+    /// the oracle for the table-driven fast path.
+    pub fn permute_qubits(&mut self, perm: &[usize]) {
+        assert_eq!(perm.len(), self.n);
+        let mut out = vec![Complex64::ZERO; self.amps.len()];
+        for (b, &a) in self.amps.iter().enumerate() {
+            let mut nb = 0usize;
+            for (q, &target) in perm.iter().enumerate() {
+                if b & (1 << q) != 0 {
+                    nb |= 1 << target;
+                }
+            }
+            out[nb] = a;
+        }
+        self.amps = out;
+    }
+}
+
+/// Applies the *logical* gate stream of a mapped circuit through the naive
+/// kernels (the pre-rewrite [`crate::equiv::apply_mapped_logically`]).
+pub fn apply_mapped_logically(mc: &MappedCircuit, input: &NaiveStateVector) -> NaiveStateVector {
+    assert_eq!(mc.n_logical(), input.n_qubits());
+    let mut s = input.clone();
+    for g in mc.logical_interactions() {
+        s.apply_gate(&g);
+    }
+    s
+}
+
+/// Replays the full *physical* op stream (SWAPs as eager sweeps) through
+/// the naive kernels; the mirror of
+/// [`crate::equiv::apply_mapped_physically`].
+pub fn apply_mapped_physically(mc: &MappedCircuit, input: &NaiveStateVector) -> NaiveStateVector {
+    let (n_l, n_p) = (mc.n_logical(), mc.n_physical());
+    assert_eq!(input.n_qubits(), n_l);
+    assert!(n_p <= 26, "physical register too large ({n_p} qubits)");
+    let place = crate::equiv::logical_places(mc.initial_layout(), n_l);
+    let mut s = NaiveStateVector {
+        n: n_p,
+        amps: embed_amplitudes(&input.amps, n_p, &place),
+    };
+    for op in mc.ops() {
+        let p1 = op.p1.index();
+        match (op.kind, op.p2) {
+            (GateKind::H, _) => s.apply_h(p1),
+            (GateKind::X, _) => s.apply_x(p1),
+            (GateKind::Rz { k }, _) => s.apply_rz(p1, k),
+            (GateKind::Cphase { k }, Some(p2)) => s.apply_cphase(p1, p2.index(), k),
+            (GateKind::Swap, Some(p2)) => s.apply_swap(p1, p2.index()),
+            (GateKind::CphaseSwap { k }, Some(p2)) => {
+                s.apply_cphase(p1, p2.index(), k);
+                s.apply_swap(p1, p2.index());
+            }
+            (GateKind::Cnot, Some(p2)) => s.apply_cnot(p1, p2.index()),
+            _ => unreachable!("malformed physical op"),
+        }
+    }
+    let final_place = crate::equiv::logical_places(mc.final_layout(), n_l);
+    NaiveStateVector {
+        n: n_l,
+        amps: extract_amplitudes(&s.amps, &final_place),
+    }
+}
+
+/// The naive-engine equivalence check: one state at a time, each gate
+/// decoded per state — the per-seed loop the batched fast checker
+/// replaces. The reference circuit is passed in pre-built (both engines
+/// get the hoisting fix; the bench compares kernels, not construction).
+pub fn mapped_matches_reference(mc: &MappedCircuit, reference: &Circuit, n_seeds: u64) -> bool {
+    mapped_matches_reference_on(
+        mc,
+        reference,
+        &crate::equiv::probe_states(mc.n_logical(), n_seeds),
+    )
+}
+
+/// [`mapped_matches_reference`] over caller-supplied input states (the
+/// same hoisting hook the fast checker offers, so differential benchmarks
+/// feed both engines identical probes).
+pub fn mapped_matches_reference_on(
+    mc: &MappedCircuit,
+    reference: &Circuit,
+    inputs: &[StateVector],
+) -> bool {
+    inputs.iter().all(|input| {
+        let naive_in = NaiveStateVector::from_state(input);
+        let got = apply_mapped_logically(mc, &naive_in);
+        let mut want = naive_in.clone();
+        want.apply_circuit(reference);
+        (got.fidelity(&want) - 1.0).abs() < crate::equiv::FIDELITY_EPS
+    })
+}
+
+/// The naive-engine physical-replay equivalence check (eager SWAP sweeps).
+pub fn mapped_physically_matches_reference(
+    mc: &MappedCircuit,
+    reference: &Circuit,
+    n_seeds: u64,
+) -> bool {
+    mapped_physically_matches_reference_on(
+        mc,
+        reference,
+        &crate::equiv::probe_states(mc.n_logical(), n_seeds),
+    )
+}
+
+/// [`mapped_physically_matches_reference`] over caller-supplied inputs.
+pub fn mapped_physically_matches_reference_on(
+    mc: &MappedCircuit,
+    reference: &Circuit,
+    inputs: &[StateVector],
+) -> bool {
+    inputs.iter().all(|input| {
+        let naive_in = NaiveStateVector::from_state(input);
+        let got = apply_mapped_physically(mc, &naive_in);
+        let mut want = naive_in.clone();
+        want.apply_circuit(reference);
+        (got.fidelity(&want) - 1.0).abs() < crate::equiv::FIDELITY_EPS
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-10;
+
+    #[test]
+    fn naive_h_matches_fast_h() {
+        let mut fast = StateVector::random(5, 3);
+        let mut naive = NaiveStateVector::from_state(&fast);
+        fast.apply_h(2);
+        naive.apply_h(2);
+        for (a, b) in naive.amplitudes().iter().zip(fast.amplitudes()) {
+            assert!((a.re - b.re).abs() < EPS && (a.im - b.im).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn naive_swap_matches_lazy_swap() {
+        let mut fast = StateVector::random(4, 9);
+        let mut naive = NaiveStateVector::from_state(&fast);
+        fast.apply_swap(0, 3);
+        fast.apply_cphase(0, 1, 2);
+        naive.apply_swap(0, 3);
+        naive.apply_cphase(0, 1, 2);
+        for (a, b) in naive.amplitudes().iter().zip(fast.amplitudes()) {
+            assert!((a.re - b.re).abs() < EPS && (a.im - b.im).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn naive_permute_matches_table_driven_permute() {
+        let mut fast = StateVector::random(5, 77);
+        let mut naive = NaiveStateVector::from_state(&fast);
+        let perm = [3usize, 0, 4, 1, 2];
+        fast.permute_qubits(&perm);
+        naive.permute_qubits(&perm);
+        for (a, b) in naive.amplitudes().iter().zip(fast.amplitudes()) {
+            assert!((a.re - b.re).abs() < EPS && (a.im - b.im).abs() < EPS);
+        }
+    }
+}

@@ -14,7 +14,7 @@ pub fn dft(state: &StateVector) -> StateVector {
     let n = state.n_qubits();
     let m = 1usize << n;
     let scale = 1.0 / (m as f64).sqrt();
-    let amps = state.amplitudes();
+    let amps = state.resolved_amplitudes();
     let mut out = vec![Complex64::ZERO; m];
     for (k, o) in out.iter_mut().enumerate() {
         let mut acc = Complex64::ZERO;
@@ -51,18 +51,6 @@ pub fn qft_circuit_reference(input: &StateVector) -> StateVector {
     dft(&bit_reverse(input))
 }
 
-impl StateVector {
-    /// Builds a state from raw amplitudes (must have length `2^n`).
-    pub fn from_amplitudes(n: usize, amps: Vec<Complex64>) -> StateVector {
-        assert_eq!(amps.len(), 1usize << n);
-        // Reconstruct through the public surface of `state`: a zero state
-        // then overwrite. Kept here (same crate) via a crate-internal path.
-        let mut s = StateVector::zero(n);
-        s.set_amplitudes(amps);
-        s
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,7 +61,7 @@ mod tests {
     #[test]
     fn dft_of_basis_zero_is_uniform() {
         let s = StateVector::basis(3, 0);
-        let f = dft(&s);
+        let mut f = dft(&s);
         for a in f.amplitudes() {
             assert!((a.re - 1.0 / (8f64).sqrt()).abs() < EPS);
             assert!(a.im.abs() < EPS);
@@ -91,7 +79,10 @@ mod tests {
     fn textbook_circuit_equals_dft_with_bit_reversal() {
         // This pins down our gate conventions: H-then-controlled-phases
         // produces the DFT up to the bit-reversal output permutation.
-        for n in 1..=6 {
+        // Runs to n = 10 so the circuit-based references the equivalence
+        // harness uses at n = 7..14 stay anchored to the analytic DFT
+        // well past the small-n regime.
+        for n in 1..=10 {
             for seed in [1u64, 2, 3] {
                 let input = StateVector::random(n, seed);
                 let mut circuit_out = input.clone();
@@ -107,7 +98,7 @@ mod tests {
     fn dft_on_basis_one_has_linear_phases() {
         // DFT|1> amplitudes: (1/sqrt M) e^{2 pi i k / M}.
         let m = 8;
-        let f = dft(&StateVector::basis(3, 1));
+        let mut f = dft(&StateVector::basis(3, 1));
         for (k, a) in f.amplitudes().iter().enumerate() {
             let expect = Complex64::from_angle(2.0 * PI * k as f64 / m as f64)
                 .scale(1.0 / (m as f64).sqrt());

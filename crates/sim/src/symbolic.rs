@@ -15,7 +15,9 @@
 //!
 //! Together with the CPHASE commutation theorem (all same-segment diagonal
 //! gates commute — cross-checked against state vectors in this crate's
-//! tests), (3) implies unitary equivalence to the textbook QFT.
+//! tests), (3) implies unitary equivalence to the textbook QFT. At small N
+//! the claim is additionally replayed numerically by [`crate::equiv`]
+//! (batched fast engine, differentially pinned against [`crate::naive`]).
 
 use qft_arch::graph::CouplingGraph;
 use qft_ir::circuit::MappedCircuit;

@@ -17,7 +17,6 @@
 //! cargo run --release --example qpe_heavyhex
 //! ```
 
-use qft_kernels::ir::qft::logical_interactions;
 use qft_kernels::sim::state::StateVector;
 use qft_kernels::{registry, CompileOptions, Target};
 use std::f64::consts::PI;
@@ -46,7 +45,7 @@ fn main() {
         let mut state = uniform_with_phase_kicks(n, phi);
 
         // Step 2: inverse QFT = the compiled kernel run backwards.
-        let gates: Vec<_> = logical_interactions(mc.ops()).collect();
+        let gates: Vec<_> = mc.logical_interactions().collect();
         for g in gates.iter().rev() {
             state.apply_gate_inverse(g);
         }

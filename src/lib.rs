@@ -11,7 +11,9 @@
 //! * [`ir`] — circuit IR, dependency DAGs (Type I/II), metrics, QASM, and
 //!   the pass subsystem ([`PassManager`] + shared peephole/verify passes);
 //! * [`arch`] — coupling-graph models of every backend;
-//! * [`sim`] — state-vector simulator + scalable symbolic verifier;
+//! * [`sim`] — fast state-vector engine (branch-free kernels, lazy
+//!   SWAPs, batched multi-state verification with a retained `naive`
+//!   differential oracle) + scalable symbolic verifier;
 //! * [`synth`] — enumerative SKETCH-substitute for movement patterns;
 //! * [`baselines`] — SABRE, exact-optimal A* (SATMAP substitute), LNN path;
 //! * [`core`] — the paper's compilers and the pipeline API ([`Target`],

@@ -17,12 +17,14 @@ fn degrees(n: usize) -> [u32; 4] {
 }
 
 /// The (compiler, target) cells of the differential matrix. Each compiler
-/// runs on its device family at every feasible size with 4..=8 qubits; the
-/// exact-search `optimal` stops at 6 qubits so the full-QFT (degree = n)
-/// column stays inside its budget under debug builds.
+/// runs on its device family at every feasible size with 4..=10 qubits
+/// (widened from the original 4..=8 now that the batched engine makes
+/// cells cheap); the exact-search `optimal` stops at 6 qubits so the
+/// full-QFT (degree = n) column stays inside its budget under debug
+/// builds.
 fn matrix() -> Vec<(&'static str, Target)> {
     let mut cells: Vec<(&'static str, Target)> = Vec::new();
-    for n in 4..=8 {
+    for n in 4..=10 {
         cells.push(("lnn", Target::lnn(n).unwrap()));
         cells.push(("sabre", Target::lnn(n).unwrap()));
         cells.push(("lnn-path", Target::lnn(n).unwrap()));
@@ -30,17 +32,20 @@ fn matrix() -> Vec<(&'static str, Target)> {
     for n in 4..=6 {
         cells.push(("optimal", Target::lnn(n).unwrap()));
     }
-    // The other families' smallest devices land inside 4..=8 qubits:
-    // sycamore 2x2 = 4, one heavy-hex group = 5, lattice 2x2 = 4.
+    // The other families' devices inside 4..=10 qubits: sycamore 2x2 = 4,
+    // heavy-hex 1 group = 5 / 2 groups = 10, lattice 2x2 = 4 / 3x3 = 9.
     cells.push(("sycamore", Target::sycamore(2).unwrap()));
     cells.push(("heavyhex", Target::heavy_hex_groups(1).unwrap()));
+    cells.push(("heavyhex", Target::heavy_hex_groups(2).unwrap()));
     cells.push(("lattice", Target::lattice_surgery(2).unwrap()));
+    cells.push(("lattice", Target::lattice_surgery(3).unwrap()));
     cells.push(("sabre", Target::sycamore(2).unwrap()));
     cells.push(("sabre", Target::heavy_hex_groups(1).unwrap()));
     cells.push(("sabre", Target::lattice_surgery(2).unwrap()));
     cells.push(("optimal", Target::sycamore(2).unwrap()));
     cells.push(("optimal", Target::heavy_hex_groups(1).unwrap()));
     cells.push(("lnn-path", Target::lattice_surgery(2).unwrap()));
+    cells.push(("lnn-path", Target::lattice_surgery(3).unwrap()));
     cells
 }
 
@@ -53,7 +58,7 @@ fn every_compiler_degree_cell_matches_the_logical_reference() {
             checked += 1;
         }
     }
-    assert!(checked >= 4 * 16, "matrix shrank: only {checked} cells");
+    assert!(checked >= 4 * 36, "matrix shrank: only {checked} cells");
 }
 
 #[test]

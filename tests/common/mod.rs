@@ -15,7 +15,7 @@
 #![allow(dead_code)]
 
 use qft_kernels::baselines::pipeline::logical_qft;
-use qft_kernels::sim::equiv::{apply_mapped_logically, FIDELITY_EPS};
+use qft_kernels::sim::equiv::{self, ReferenceChecker, FIDELITY_EPS};
 use qft_kernels::sim::state::StateVector;
 use qft_kernels::{registry, CompileOptions, CompileRequest, CompileResult, IeMode, Target};
 
@@ -65,27 +65,22 @@ pub fn serve_request_from_fields(
     serve_request(compiler, &target, opts)
 }
 
-/// The probe inputs every equivalence check runs over.
+/// The probe inputs every equivalence check runs over (delegates to the
+/// sim crate's canonical probe set).
 pub fn probe_states(n: usize) -> Vec<StateVector> {
-    let mut inputs = vec![
-        StateVector::basis(n, 0),
-        StateVector::basis(n, (1 << n) - 1),
-    ];
-    for seed in 0..N_RANDOM_STATES {
-        inputs.push(StateVector::random(n, seed * 2 + 1));
-    }
-    inputs
+    equiv::probe_states(n, N_RANDOM_STATES)
 }
 
 /// Asserts that a compiled kernel's logical gate stream implements
 /// `logical_qft(n, degree)` on every probe state, up to global phase.
+///
+/// Routed through the batched [`ReferenceChecker`]: the probe set is
+/// packed once, the kernel's gate stream is decoded once for all states,
+/// and the reference circuit is built once, not per input.
 pub fn assert_matches_logical_qft(r: &CompileResult, degree: Option<u32>, label: &str) {
     let reference = logical_qft(r.n, degree);
-    for (i, input) in probe_states(r.n).iter().enumerate() {
-        let got = apply_mapped_logically(&r.circuit, input);
-        let mut want = input.clone();
-        want.apply_circuit(&reference);
-        let fidelity = got.fidelity(&want);
+    let mut checker = ReferenceChecker::new(&reference, probe_states(r.n));
+    for (i, fidelity) in checker.logical_fidelities(&r.circuit).iter().enumerate() {
         assert!(
             (fidelity - 1.0).abs() < FIDELITY_EPS,
             "{label}: probe state #{i} diverges from the logical reference \

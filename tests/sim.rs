@@ -1,0 +1,255 @@
+//! Differential suite for the fast state-vector engine: every fast kernel
+//! (branch-free stride pairs, diagonal fast paths, lazy SWAPs, fused
+//! CPHASE+SWAP, the batched SoA engine with diagonal-run/radix-4 fusion,
+//! and the table-driven permutation) is pinned against the retained
+//! `qft_sim::naive` oracle on random states.
+
+use proptest::prelude::*;
+use qft_kernels::ir::gate::{Gate, GateKind, LogicalQubit};
+use qft_kernels::ir::qft::qft_circuit;
+use qft_kernels::sim::equiv::{
+    self, apply_mapped_logically, apply_mapped_physically, ReferenceChecker, FIDELITY_EPS,
+};
+use qft_kernels::sim::naive::{self, NaiveStateVector};
+use qft_kernels::sim::{phase_angle, StateBatch, StateVector};
+use qft_kernels::{registry, CompileOptions, Target};
+
+const EPS: f64 = 1e-9;
+
+/// Decodes a sampled `(kind, q1, q2, k)` tuple into a valid gate on `n`
+/// qubits (the second operand is forced distinct from the first).
+fn decode_gate(n: usize, kind: usize, q1: usize, q2: usize, k: u32) -> Gate {
+    let a = (q1 % n) as u32;
+    let b = ((q1 + 1 + q2 % (n - 1)) % n) as u32;
+    match kind % 7 {
+        0 => Gate::h(a),
+        1 => Gate::one(GateKind::X, LogicalQubit(a)),
+        2 => Gate::rz(k, a),
+        3 => Gate::cphase(k, a, b),
+        4 => Gate::swap(a, b),
+        5 => Gate::two(GateKind::CphaseSwap { k }, LogicalQubit(a), LogicalQubit(b)),
+        _ => Gate::cnot(a, b),
+    }
+}
+
+/// Element-wise comparison of the fast engine (lazy layout resolved)
+/// against the naive oracle.
+fn assert_same_state(fast: &StateVector, naive: &NaiveStateVector, ctx: &str) {
+    let resolved = fast.resolved_amplitudes();
+    assert_eq!(resolved.len(), naive.amplitudes().len(), "{ctx}");
+    for (i, (a, b)) in resolved.iter().zip(naive.amplitudes()).enumerate() {
+        assert!(
+            (a.re - b.re).abs() < EPS && (a.im - b.im).abs() < EPS,
+            "{ctx}: amplitude {i} diverges (fast {a:?}, naive {b:?})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random gate programs over the full gate set (including rotation
+    /// orders past the old k=30 clamp) act identically in both engines.
+    #[test]
+    fn fast_kernels_match_naive_on_random_programs(
+        n in 2usize..7,
+        seed in 0u64..1000,
+        prog in collection::vec((0usize..7, 0usize..8, 0usize..8, 1u32..45), 1..24),
+    ) {
+        let mut fast = StateVector::random(n, seed);
+        let mut oracle = NaiveStateVector::from_state(&fast);
+        for &(kind, q1, q2, k) in &prog {
+            let g = decode_gate(n, kind, q1, q2, k);
+            fast.apply_gate(&g);
+            oracle.apply_gate(&g);
+        }
+        assert_same_state(&fast, &oracle, "forward program");
+        prop_assert!((fast.norm2() - 1.0).abs() < EPS, "norm drifted");
+    }
+
+    /// Applying a program then its inverse in reverse order restores the
+    /// input exactly (through lazy swaps and fused gates).
+    #[test]
+    fn inverse_round_trip_is_identity(
+        n in 2usize..7,
+        seed in 0u64..1000,
+        prog in collection::vec((0usize..7, 0usize..8, 0usize..8, 1u32..45), 1..20),
+    ) {
+        let orig = StateVector::random(n, seed);
+        let mut s = orig.clone();
+        let gates: Vec<Gate> = prog
+            .iter()
+            .map(|&(kind, q1, q2, k)| decode_gate(n, kind, q1, q2, k))
+            .collect();
+        for g in &gates {
+            s.apply_gate(g);
+        }
+        for g in gates.iter().rev() {
+            s.apply_gate_inverse(g);
+        }
+        prop_assert!((s.fidelity(&orig) - 1.0).abs() < EPS);
+    }
+
+    /// The batched engine (diagonal-run + radix-4 fusion) agrees with
+    /// per-state fast application, which agrees with the oracle.
+    #[test]
+    fn batch_matches_singles_and_naive(
+        n in 2usize..7,
+        count in 1usize..6,
+        prog in collection::vec((0usize..7, 0usize..8, 0usize..8, 1u32..20), 1..24),
+    ) {
+        let states: Vec<StateVector> =
+            (0..count as u64).map(|s| StateVector::random(n, 3 * s + 1)).collect();
+        let gates: Vec<Gate> = prog
+            .iter()
+            .map(|&(kind, q1, q2, k)| decode_gate(n, kind, q1, q2, k))
+            .collect();
+        let mut batch = StateBatch::from_states(&states);
+        batch.apply_gates(gates.iter().copied());
+        for (input, got) in states.iter().zip(batch.to_states()) {
+            let mut oracle = NaiveStateVector::from_state(input);
+            for g in &gates {
+                oracle.apply_gate(g);
+            }
+            assert_same_state(&got, &oracle, "batched program");
+        }
+    }
+
+    /// The table-driven lazy permutation equals the naive per-index bit
+    /// walk for arbitrary permutations.
+    #[test]
+    fn permute_qubits_matches_naive(
+        n in 1usize..9,
+        seed in 0u64..100,
+        order in collection::vec(0usize..64, 0..8),
+    ) {
+        // Build a permutation by composing transpositions from `order`.
+        let mut perm: Vec<usize> = (0..n).collect();
+        for (i, &x) in order.iter().enumerate() {
+            perm.swap(i % n, x % n);
+        }
+        let mut fast = StateVector::random(n, seed);
+        let mut oracle = NaiveStateVector::from_state(&fast);
+        fast.permute_qubits(&perm);
+        oracle.permute_qubits(&perm);
+        assert_same_state(&fast, &oracle, "permutation");
+    }
+
+    /// Physical replay (lazy SWAPs, fused diag sweeps) matches both the
+    /// naive physical replay and the logical-stream shortcut on compiled
+    /// kernels.
+    #[test]
+    fn physical_replay_matches_naive_and_logical(
+        n in 4usize..8,
+        seed in 0u64..50,
+        opt_level in 1u8..3,
+    ) {
+        let r = registry()
+            .compile(
+                "lnn",
+                &Target::lnn(n).unwrap(),
+                &CompileOptions::default().with_opt_level(opt_level),
+            )
+            .unwrap();
+        let input = StateVector::random(n, seed);
+        let fast_phys = apply_mapped_physically(&r.circuit, &input);
+        let naive_phys =
+            naive::apply_mapped_physically(&r.circuit, &NaiveStateVector::from_state(&input));
+        assert_same_state(&fast_phys, &naive_phys, "physical replay");
+        let logical = apply_mapped_logically(&r.circuit, &input);
+        prop_assert!((fast_phys.fidelity(&logical) - 1.0).abs() < FIDELITY_EPS);
+    }
+}
+
+#[test]
+fn rotation_angles_are_exact_at_large_k() {
+    // Regression for the silent `1u32 << k.min(30)` clamp: k > 30 must
+    // produce its own (tiny but nonzero and distinct) angle in both
+    // engines, and both engines must agree.
+    assert_ne!(phase_angle(31), phase_angle(30));
+    assert_ne!(phase_angle(40), phase_angle(41));
+    assert!(phase_angle(40) > 0.0);
+    let mut fast = StateVector::basis(2, 0b11);
+    let mut oracle = NaiveStateVector::basis(2, 0b11);
+    fast.apply_cphase(0, 1, 40);
+    oracle.apply_cphase(0, 1, 40);
+    assert_same_state(&fast, &oracle, "k=40 cphase");
+    assert!((fast.resolved_amplitudes()[3].im - phase_angle(40).sin()).abs() < 1e-24);
+}
+
+#[test]
+fn batch_worker_counts_are_bit_identical_on_compiled_kernels() {
+    // Above the parallelism threshold (n=12 × 8 states), the scoped
+    // worker fan-out must not change a single bit of the result.
+    let r = registry()
+        .compile("lnn", &Target::lnn(12).unwrap(), &CompileOptions::default())
+        .unwrap();
+    let inputs = equiv::probe_states(12, 6);
+    let run = |workers: usize| {
+        let mut b = StateBatch::from_states(&inputs);
+        b.set_workers(workers);
+        b.apply_gates(r.circuit.logical_interactions());
+        b.to_states()
+    };
+    let serial = run(1);
+    let threaded = run(4);
+    for (a, b) in serial.iter().zip(&threaded) {
+        for (x, y) in a
+            .resolved_amplitudes()
+            .iter()
+            .zip(b.resolved_amplitudes().iter())
+        {
+            assert_eq!(x.re.to_bits(), y.re.to_bits());
+            assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
+    }
+}
+
+#[test]
+fn reference_checker_amortizes_across_kernels() {
+    // One prepared checker verifies every compiler on the same target —
+    // logically and by physical replay — and still rejects a wrong kernel.
+    let target = Target::lnn(6).unwrap();
+    let mut checker = ReferenceChecker::for_qft(6, 3);
+    for compiler in ["lnn", "sabre", "lnn-path", "optimal"] {
+        let r = registry()
+            .compile(compiler, &target, &CompileOptions::default())
+            .unwrap();
+        assert!(checker.matches_logical(&r.circuit), "{compiler} logical");
+        assert!(
+            checker.matches_physically(&r.circuit),
+            "{compiler} physical"
+        );
+    }
+    // A truncated (degree-2) kernel is NOT the exact QFT.
+    let wrong = registry()
+        .compile(
+            "lnn",
+            &target,
+            &CompileOptions::default().with_approximation(2),
+        )
+        .unwrap();
+    assert!(!checker.matches_logical(&wrong.circuit));
+    assert!(!checker.matches_physically(&wrong.circuit));
+}
+
+#[test]
+fn naive_equivalence_checkers_agree_with_fast_checkers() {
+    let reference = qft_circuit(7);
+    let inputs = equiv::probe_states(7, 3);
+    let r = registry()
+        .compile("lnn", &Target::lnn(7).unwrap(), &CompileOptions::default())
+        .unwrap();
+    assert!(equiv::mapped_matches_reference_on(
+        &r.circuit, &reference, &inputs
+    ));
+    assert!(naive::mapped_matches_reference_on(
+        &r.circuit, &reference, &inputs
+    ));
+    assert!(equiv::mapped_physically_matches_reference_on(
+        &r.circuit, &reference, &inputs
+    ));
+    assert!(naive::mapped_physically_matches_reference_on(
+        &r.circuit, &reference, &inputs
+    ));
+}
