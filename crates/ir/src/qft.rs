@@ -52,6 +52,47 @@ pub fn aqft_circuit(n: usize, degree: u32) -> Circuit {
     c
 }
 
+/// The phase angle of the AQFT basis matrix element `⟨y|AQFT_d|x⟩` on `n`
+/// qubits (the amplitude itself is `2^{-n/2} · e^{iθ}` — every basis
+/// matrix element of the truncated transform has the same magnitude).
+///
+/// The closed form falls out of the circuit's Type II structure: each
+/// qubit `i` sees exactly one `H`, with only diagonal rotations after it.
+/// Summing over computational-basis paths, qubit `i` enters its `H` still
+/// carrying the input bit `x_i` (earlier `CPHASE`s are diagonal) and
+/// leaves it pinned to the output bit `y_i` (later `CPHASE`s are
+/// diagonal), so each `H` contributes `2^{-1/2} · (−1)^{x_i y_i}`, and the
+/// surviving `CPHASE(i, j)` of order `k = j−i+1 ≤ d` fires on the post-H
+/// bit `y_i` and the pre-H bit `x_j`:
+///
+/// `θ = π · |x ∧ y|  +  Σ_{i<j, j−i+1≤d}  y_i · x_j · 2π/2^{j−i+1}`
+///
+/// This gives the sparse equivalence tier engine-independent reference
+/// amplitudes in `O(n·d)` per `(x, y)` pair — no `2^n` reference state.
+/// `degree ≥ n` is the exact QFT. Requires `n ≤ 63` (u64 basis indices)
+/// and `degree ≥ 1` (matching [`aqft_circuit`]).
+pub fn aqft_basis_amplitude_angle(n: usize, degree: u32, x: u64, y: u64) -> f64 {
+    assert!(degree >= 1, "AQFT degree must be >= 1, got 0");
+    assert!(n <= 63, "basis indices are u64: n must be <= 63");
+    debug_assert!(n == 63 || (x < (1u64 << n) && y < (1u64 << n)));
+    let mut theta = std::f64::consts::PI * (x & y).count_ones() as f64;
+    for i in 0..n {
+        if y >> i & 1 == 0 {
+            continue;
+        }
+        for j in (i + 1)..n {
+            let k = (j - i + 1) as u32;
+            if k > degree {
+                break; // k grows with j: no further pair survives
+            }
+            if x >> j & 1 == 1 {
+                theta += 2.0 * std::f64::consts::PI * 0.5f64.powi(k as i32);
+            }
+        }
+    }
+    theta
+}
+
 /// Number of CPHASE gates the degree-`degree` AQFT on `n` qubits keeps:
 /// the pairs `(i, j)` with `|i - j| + 1 <= degree`.
 pub fn aqft_pair_count(n: usize, degree: u32) -> usize {

@@ -500,7 +500,16 @@ impl StateBatch {
     /// replay hot path.
     pub(crate) fn embed_into(&mut self, states: &[StateVector], n: usize, place: Option<&[usize]>) {
         assert!(!states.is_empty(), "empty state batch");
-        assert!(n <= 26, "state batch too large ({n} qubits)");
+        let cap = crate::error::dense_qubit_cap();
+        assert!(
+            n <= cap,
+            "{}",
+            crate::error::SimError::RegisterTooLarge {
+                engine: "state batch",
+                n,
+                cap,
+            }
+        );
         let count = states.len();
         let m = 1usize << n;
         self.n = n;

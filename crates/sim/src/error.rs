@@ -1,0 +1,172 @@
+//! Simulation errors and the configurable engine capacity limits.
+//!
+//! Before this module existed, every engine guarded its `2^n` allocation
+//! with a hard-coded `assert!(n <= 26)` — a panic with no routing story.
+//! The limits are now named, configurable through the environment, and
+//! reported as descriptive [`SimError`] values by the `try_*`
+//! constructors and the `qft_sim::equiv` engine-selection layer, so a
+//! caller that outgrows the dense planes is told *which* tier refused the
+//! job and why instead of OOMing on a `2^n` vector.
+
+use std::fmt;
+
+/// Hard ceiling of the sparse engine: basis indices are packed into a
+/// `u64` key (one bit per qubit, one bit of headroom for masks).
+pub const SPARSE_MAX_QUBITS: usize = 63;
+
+/// Default dense-engine qubit cap (`2^26` amplitudes ≈ 1 GiB per state).
+pub const DEFAULT_DENSE_QUBIT_CAP: usize = 26;
+
+/// Default sparse-engine density cap: the watchdog trips once the
+/// amplitude map holds more than this many nonzeros (`2^20` entries ≈
+/// 24 MiB of map payload).
+pub const DEFAULT_SPARSE_DENSITY_CAP: usize = 1 << 20;
+
+fn env_cap(var: &str, default: usize, ceiling: usize) -> usize {
+    match std::env::var(var) {
+        Ok(v) => v.parse::<usize>().map_or(default, |c| c.min(ceiling)),
+        Err(_) => default,
+    }
+}
+
+/// The dense-engine qubit cap: `QFT_SIM_DENSE_CAP` when set (clamped to
+/// [`SPARSE_MAX_QUBITS`]), [`DEFAULT_DENSE_QUBIT_CAP`] otherwise.
+/// [`crate::StateVector`], [`crate::StateBatch`], the `naive` oracle, and
+/// every physical-replay path refuse registers above this size with a
+/// descriptive [`SimError::RegisterTooLarge`] instead of attempting the
+/// `2^n` allocation.
+pub fn dense_qubit_cap() -> usize {
+    env_cap(
+        "QFT_SIM_DENSE_CAP",
+        DEFAULT_DENSE_QUBIT_CAP,
+        SPARSE_MAX_QUBITS,
+    )
+}
+
+/// The sparse-engine density cap: `QFT_SIM_SPARSE_DENSITY_CAP` when set,
+/// [`DEFAULT_SPARSE_DENSITY_CAP`] otherwise. The sparse evaluators stop
+/// with [`SimError::DensityExceeded`] when the amplitude map outgrows
+/// this bound (the `equiv` router then falls back to a dense plane when
+/// the register is small enough to afford one).
+pub fn sparse_density_cap() -> usize {
+    env_cap(
+        "QFT_SIM_SPARSE_DENSITY_CAP",
+        DEFAULT_SPARSE_DENSITY_CAP,
+        usize::MAX,
+    )
+}
+
+/// Why a simulation job was refused (or abandoned mid-run).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A dense engine was asked for more qubits than its configured cap:
+    /// the `2^n` amplitude allocation would be refused rather than
+    /// attempted.
+    RegisterTooLarge {
+        /// The engine that refused (`"state vector"`, `"state batch"`,
+        /// `"physical replay"`, …).
+        engine: &'static str,
+        /// Requested register width.
+        n: usize,
+        /// The configured cap ([`dense_qubit_cap`]).
+        cap: usize,
+    },
+    /// The register is too wide even for the sparse engine's `u64` keys.
+    SparseWidthExceeded {
+        /// Requested register width.
+        n: usize,
+    },
+    /// The sparse amplitude map crossed the density watchdog threshold
+    /// mid-run (the circuit/probe combination is not sparse enough).
+    DensityExceeded {
+        /// Register width of the failed run.
+        n: usize,
+        /// Map occupancy when the watchdog tripped.
+        nonzeros: usize,
+        /// The configured cap ([`sparse_density_cap`]).
+        cap: usize,
+    },
+    /// No engine tier can take the job: too many qubits for the dense
+    /// planes and an estimated peak density beyond the sparse cap.
+    NoEngine {
+        /// Logical register width.
+        n: usize,
+        /// The dense cap that ruled out the dense planes.
+        dense_cap: usize,
+        /// Estimated peak nonzeros of the sparse run (saturating).
+        estimated_nonzeros: u64,
+        /// The sparse density cap the estimate exceeds.
+        density_cap: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::RegisterTooLarge { engine, n, cap } => write!(
+                f,
+                "dense {engine} on {n} qubits exceeds the {cap}-qubit cap \
+                 (2^{n} amplitudes; raise QFT_SIM_DENSE_CAP or route to the \
+                 sparse tier)"
+            ),
+            SimError::SparseWidthExceeded { n } => write!(
+                f,
+                "sparse engine keys are u64 basis indices: {n} qubits \
+                 exceeds the {SPARSE_MAX_QUBITS}-qubit ceiling"
+            ),
+            SimError::DensityExceeded { n, nonzeros, cap } => write!(
+                f,
+                "sparse amplitude map on {n} qubits reached {nonzeros} \
+                 nonzeros (cap {cap}): the state is not sparse enough for \
+                 this tier (raise QFT_SIM_SPARSE_DENSITY_CAP or use a \
+                 dense engine)"
+            ),
+            SimError::NoEngine {
+                n,
+                dense_cap,
+                estimated_nonzeros,
+                density_cap,
+            } => write!(
+                f,
+                "no simulation tier can take this job: {n} qubits is over \
+                 the {dense_cap}-qubit dense cap and the estimated sparse \
+                 peak density ({estimated_nonzeros} nonzeros) is over the \
+                 {density_cap}-entry map cap"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        assert_eq!(dense_qubit_cap(), DEFAULT_DENSE_QUBIT_CAP);
+        assert_eq!(sparse_density_cap(), DEFAULT_SPARSE_DENSITY_CAP);
+        const { assert!(DEFAULT_DENSE_QUBIT_CAP < SPARSE_MAX_QUBITS) };
+    }
+
+    #[test]
+    fn errors_render_descriptively() {
+        let e = SimError::RegisterTooLarge {
+            engine: "state vector",
+            n: 30,
+            cap: 26,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("30 qubits"));
+        assert!(msg.contains("26-qubit cap"));
+        assert!(msg.contains("sparse tier"));
+        let e = SimError::NoEngine {
+            n: 40,
+            dense_cap: 26,
+            estimated_nonzeros: u64::MAX,
+            density_cap: 1 << 20,
+        };
+        assert!(e.to_string().contains("no simulation tier"));
+    }
+}

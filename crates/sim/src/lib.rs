@@ -16,8 +16,15 @@
 //!   against;
 //! * [`mod@reference`] — the exact DFT and the textbook-circuit ↔ DFT relation
 //!   (bit-reversed outputs), pinning down gate conventions;
+//! * [`sparse`] — the hash-map amplitude engine for n = 24–63: sparse
+//!   states keyed by basis index, plus the projected matrix-element
+//!   evaluator that keeps QFT equivalence probes at polynomial density;
 //! * [`equiv`] — small-N unitary equivalence checks for mapped circuits,
-//!   batched over the probe states, plus full physical-op-stream replay;
+//!   batched over the probe states, plus full physical-op-stream replay
+//!   and the engine-selection layer that routes each job to the dense,
+//!   batched, or sparse tier by qubit count and estimated peak density;
+//! * [`error`] — the configurable engine capacity caps and the
+//!   descriptive [`SimError`] the tiers refuse oversized jobs with;
 //! * [`symbolic`] — the scalable verifier (adjacency, SWAP-replay layout
 //!   consistency, QFT interaction semantics) that works at thousands of
 //!   qubits.
@@ -27,8 +34,10 @@
 pub mod batch;
 pub mod complex;
 pub mod equiv;
+pub mod error;
 pub mod naive;
 pub mod reference;
+pub mod sparse;
 pub mod state;
 pub mod symbolic;
 
@@ -38,7 +47,9 @@ pub use equiv::{
     apply_mapped_logically, apply_mapped_physically, mapped_equals_aqft, mapped_equals_qft,
     mapped_matches_reference, probe_states, ReferenceChecker,
 };
+pub use error::{dense_qubit_cap, sparse_density_cap, SimError};
 pub use naive::NaiveStateVector;
 pub use reference::{bit_reverse, dft, qft_circuit_reference};
+pub use sparse::{SparseProbe, SparseRun, SparseState};
 pub use state::{phase_angle, StateVector};
 pub use symbolic::{verify_qft_mapping, VerifyError, VerifyReport};

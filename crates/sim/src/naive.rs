@@ -25,7 +25,16 @@ pub struct NaiveStateVector {
 impl NaiveStateVector {
     /// `|0…0⟩` on `n` qubits.
     pub fn zero(n: usize) -> Self {
-        assert!(n <= 26, "state vector too large ({n} qubits)");
+        let cap = crate::error::dense_qubit_cap();
+        assert!(
+            n <= cap,
+            "{}",
+            crate::error::SimError::RegisterTooLarge {
+                engine: "naive state vector",
+                n,
+                cap,
+            }
+        );
         let mut amps = vec![Complex64::ZERO; 1 << n];
         amps[0] = Complex64::ONE;
         NaiveStateVector { n, amps }
@@ -246,7 +255,16 @@ pub fn apply_mapped_logically(mc: &MappedCircuit, input: &NaiveStateVector) -> N
 pub fn apply_mapped_physically(mc: &MappedCircuit, input: &NaiveStateVector) -> NaiveStateVector {
     let (n_l, n_p) = (mc.n_logical(), mc.n_physical());
     assert_eq!(input.n_qubits(), n_l);
-    assert!(n_p <= 26, "physical register too large ({n_p} qubits)");
+    let cap = crate::error::dense_qubit_cap();
+    assert!(
+        n_p <= cap,
+        "{}",
+        crate::error::SimError::RegisterTooLarge {
+            engine: "physical replay",
+            n: n_p,
+            cap,
+        }
+    );
     let place = crate::equiv::logical_places(mc.initial_layout(), n_l);
     let mut s = NaiveStateVector {
         n: n_p,

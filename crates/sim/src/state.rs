@@ -369,15 +369,34 @@ pub struct StateVector {
 
 impl StateVector {
     /// `|0…0⟩` on `n` qubits.
+    ///
+    /// # Panics
+    /// Panics (with the [`crate::error::SimError::RegisterTooLarge`]
+    /// message) above the configurable [`crate::error::dense_qubit_cap`];
+    /// use [`Self::try_zero`] to handle the refusal, or the sparse tier
+    /// for wider registers.
     pub fn zero(n: usize) -> Self {
-        assert!(n <= 26, "state vector too large ({n} qubits)");
+        Self::try_zero(n).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// `|0…0⟩` on `n` qubits, refusing the `2^n` allocation with a
+    /// descriptive error above [`crate::error::dense_qubit_cap`].
+    pub fn try_zero(n: usize) -> Result<Self, crate::error::SimError> {
+        let cap = crate::error::dense_qubit_cap();
+        if n > cap {
+            return Err(crate::error::SimError::RegisterTooLarge {
+                engine: "state vector",
+                n,
+                cap,
+            });
+        }
         let mut amps = vec![Complex64::ZERO; 1 << n];
         amps[0] = Complex64::ONE;
-        StateVector {
+        Ok(StateVector {
             n,
             amps,
             layout: QubitLayout::identity(n),
-        }
+        })
     }
 
     /// The computational basis state `|b⟩`.

@@ -15,12 +15,22 @@
 #![allow(dead_code)]
 
 use qft_kernels::baselines::pipeline::logical_qft;
-use qft_kernels::sim::equiv::{self, ReferenceChecker, FIDELITY_EPS};
+use qft_kernels::sim::equiv::{self, ReferenceChecker, SparseChecker, FIDELITY_EPS};
 use qft_kernels::sim::state::StateVector;
 use qft_kernels::{registry, CompileOptions, CompileRequest, CompileResult, IeMode, Target};
 
 /// Random probe states per equivalence check (plus `|0…0⟩` and `|1…1⟩`).
 pub const N_RANDOM_STATES: u64 = 3;
+
+/// Random probe *pairs* per sparse matrix-element check (on top of the
+/// three canonical pairs); odd-indexed ones carry 6-term superposition
+/// kets, so the sparse peak-occupancy bound for a checker run is
+/// `2 × 6 = 12` nonzeros.
+pub const N_RANDOM_PAIRS: usize = 4;
+
+/// The documented sparsity bound for checker probes: one branching H per
+/// qubit live at a time × the largest probe ket (6 terms).
+pub const SPARSE_PEAK_BOUND: usize = 12;
 
 /// Every compiler the serve suites replay, in registration order.
 pub const SERVE_COMPILERS: [&str; 7] = [
@@ -106,6 +116,50 @@ pub fn check_cell(
     // Structural sanity alongside the semantic check: the surviving
     // rotation multiset is exactly the degree-d pair set, and every
     // Hadamard survives truncation.
+    assert_eq!(
+        r.metrics.cphases,
+        qft_kernels::ir::qft::aqft_pair_count(r.n, degree),
+        "{label}: wrong surviving-rotation count"
+    );
+    assert_eq!(r.metrics.hadamards, r.n, "{label}: Hadamards must survive");
+    r
+}
+
+/// The sparse-tier analogue of [`check_cell`], for registers far beyond
+/// any `2^n` plane: compiles the cell, then proves the kernel equivalent
+/// to the degree-`degree` AQFT by closed-form matrix elements — both the
+/// logical interaction stream and the full physical op-stream replay —
+/// and asserts the sparse engine stayed within [`SPARSE_PEAK_BOUND`].
+pub fn check_sparse_cell(
+    compiler: &str,
+    target: &Target,
+    degree: u32,
+    opts: CompileOptions,
+) -> CompileResult {
+    let label = format!("{compiler} on {} at degree {degree}", target.name());
+    let r = registry()
+        .compile(compiler, target, &opts.with_approximation(degree))
+        .unwrap_or_else(|e| panic!("{label}: {e}"));
+    let mut checker = SparseChecker::for_aqft(r.n, degree, N_RANDOM_PAIRS)
+        .unwrap_or_else(|e| panic!("{label}: {e}"));
+    assert!(
+        checker
+            .matches_logical(&r.circuit)
+            .unwrap_or_else(|e| panic!("{label}: {e}")),
+        "{label}: logical stream diverges from the closed-form AQFT"
+    );
+    assert!(
+        checker
+            .matches_physically(&r.circuit)
+            .unwrap_or_else(|e| panic!("{label}: {e}")),
+        "{label}: physical replay diverges from the closed-form AQFT"
+    );
+    assert!(
+        checker.peak_nonzeros() <= SPARSE_PEAK_BOUND,
+        "{label}: sparse peak {} exceeds the documented bound {}",
+        checker.peak_nonzeros(),
+        SPARSE_PEAK_BOUND
+    );
     assert_eq!(
         r.metrics.cphases,
         qft_kernels::ir::qft::aqft_pair_count(r.n, degree),
