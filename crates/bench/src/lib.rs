@@ -136,6 +136,58 @@ pub fn has_flag(flag: &str) -> bool {
     std::env::args().any(|a| a == flag)
 }
 
+/// The serving benches' mixed workload, shared by the `serve` (cold vs
+/// cached latency) and `serve_scale` (multi-producer scaling) legs:
+/// every compiler on its representative targets, crossed with
+/// `opt_level` ∈ {1, 2} and degree ∈ {exact, 3, 2}; the lattice mapper
+/// additionally sweeps both IE modes. All requests are distinct, so a
+/// cold pass is all misses. `fast` shrinks the target sizes (CI).
+pub fn serve_workload(fast: bool) -> Vec<qft_serve::CompileRequest> {
+    use qft_core::{CompileOptions, IeMode};
+    use qft_serve::CompileRequest;
+
+    let cases: Vec<(&str, Vec<String>)> = if fast {
+        vec![
+            ("lnn", vec!["lnn:12".into(), "lnn:16".into()]),
+            ("sycamore", vec!["sycamore:2".into(), "sycamore:4".into()]),
+            ("heavyhex", vec!["heavyhex:2".into(), "heavyhex:3".into()]),
+            ("lattice", vec!["lattice:3".into(), "lattice:4".into()]),
+            ("sabre", vec!["lnn:10".into(), "lattice:3".into()]),
+            ("optimal", vec!["lnn:5".into()]),
+            ("lnn-path", vec!["lattice:3".into()]),
+        ]
+    } else {
+        vec![
+            ("lnn", vec!["lnn:48".into(), "lnn:96".into()]),
+            ("sycamore", vec!["sycamore:6".into(), "sycamore:8".into()]),
+            ("heavyhex", vec!["heavyhex:6".into(), "heavyhex:10".into()]),
+            ("lattice", vec!["lattice:6".into(), "lattice:8".into()]),
+            ("sabre", vec!["lnn:24".into(), "lattice:5".into()]),
+            ("optimal", vec!["lnn:5".into()]),
+            ("lnn-path", vec!["lattice:6".into(), "lattice:8".into()]),
+        ]
+    };
+    let mut reqs = Vec::new();
+    for (compiler, targets) in cases {
+        for target in targets {
+            for opt_level in [1u8, 2] {
+                for degree in [None, Some(3u32), Some(2)] {
+                    let mut options = CompileOptions::default().with_opt_level(opt_level);
+                    options.approximation = degree;
+                    if compiler == "lattice" {
+                        let strict = options.clone().with_ie_mode(IeMode::Strict);
+                        reqs.push(
+                            CompileRequest::new(compiler, target.clone()).with_options(strict),
+                        );
+                    }
+                    reqs.push(CompileRequest::new(compiler, target.clone()).with_options(options));
+                }
+            }
+        }
+    }
+    reqs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

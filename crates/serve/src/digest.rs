@@ -1,0 +1,55 @@
+//! 128-bit cache-key digests.
+//!
+//! The cache used to store and compare full canonical-request JSON
+//! strings per lookup; shards and map entries are now keyed by a 128-bit
+//! FNV-1a digest of that JSON instead, so a probe hashes and compares 16
+//! bytes regardless of how large the option set grows. The JSON pre-image
+//! is retained in the cache entry only for a debug-build collision audit
+//! ([`crate::cache`]) — at 128 bits an accidental collision over any
+//! realistic key population is beyond astronomically unlikely, but a
+//! digest is still not an injection, so debug builds verify every hit.
+
+/// FNV-1a offset basis for the 128-bit variant.
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+
+/// FNV-1a prime for the 128-bit variant (2^88 + 2^8 + 0x3b).
+const FNV128_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// The 128-bit FNV-1a digest of `bytes`.
+///
+/// Deterministic across platforms and processes (no per-process seed —
+/// cache keys must be stable so a fresh service reproduces the same
+/// shard placement), and cheap: one multiply + xor per byte.
+pub fn fnv1a_128(bytes: &[u8]) -> u128 {
+    let mut hash = FNV128_OFFSET;
+    for &b in bytes {
+        hash ^= b as u128;
+        hash = hash.wrapping_mul(FNV128_PRIME);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_stable_and_separates_neighbors() {
+        // Pinned value: the digest is part of the cache's stable identity
+        // (shard placement must not drift across builds).
+        assert_eq!(fnv1a_128(b""), FNV128_OFFSET);
+        let a = fnv1a_128(b"{\"compiler\":\"lnn\",\"target\":\"lnn:8\"}");
+        let b = fnv1a_128(b"{\"compiler\":\"lnn\",\"target\":\"lnn:9\"}");
+        assert_ne!(a, b);
+        // Repeated hashing is deterministic.
+        assert_eq!(a, fnv1a_128(b"{\"compiler\":\"lnn\",\"target\":\"lnn:8\"}"));
+    }
+
+    #[test]
+    fn single_byte_inputs_are_all_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for b in 0u8..=255 {
+            assert!(seen.insert(fnv1a_128(&[b])), "byte {b} collided");
+        }
+    }
+}

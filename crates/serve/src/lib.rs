@@ -1,26 +1,36 @@
-//! # qft-serve — the batched/concurrent compile service
+//! # qft-serve — the compile service at production concurrency
 //!
 //! The ROADMAP's serving layer over the pipeline API: one process-wide
-//! [`Registry`] shared by every request, a bounded worker pool (std
-//! threads + channels, the same std-only convention as the bench
-//! harness's sweep bins), and a keyed LRU result cache, wrapped in serde
-//! request/response types so the whole surface speaks JSON.
+//! [`Registry`] shared by every request, wrapped in serde
+//! request/response types so the whole surface speaks JSON, and built to
+//! stay fast when many threads pile on at once:
 //!
-//! * [`CompileRequest`] — compiler name + compact target spec
-//!   (`"lnn:16"`, parsed and *validated* by [`qft_core::Target::parse`])
-//!   + a full [`CompileOptions`] set (missing fields default);
-//! * [`CompileService`] — [`CompileService::compile`] for one request,
-//!   [`CompileService::compile_batch`] to fan a batch across the worker
-//!   pool; malformed input comes back as descriptive [`ServeError`] JSON,
-//!   never a panic;
-//! * [`CompileResponse`] — the [`CompileResult`] artifact plus cache and
-//!   timing metadata. Cached results are **byte-deterministic**: wall
-//!   times are stripped from the artifact (they live in the response
-//!   metadata instead), so a cache hit returns bytes identical to the
-//!   cold miss and N threads compiling the same request all serialize
-//!   the same artifact;
-//! * [`ServeStats`] — hit/miss/eviction/error counters, serde-able for
-//!   dashboards.
+//! * **Sharded result cache** ([`crate::cache`]) — N independently-locked
+//!   LRU shards with O(1) recency, keyed by a 128-bit digest of the
+//!   canonical request JSON ([`crate::digest`]), so cached hits scale
+//!   with threads instead of convoying on one global mutex;
+//! * **Singleflight miss dedup** ([`crate::flight`]) — a duplicate storm
+//!   of N identical concurrent requests performs exactly **one** compile;
+//!   the other N−1 block on the in-flight entry and share the same
+//!   `Arc<CompileResult>`;
+//! * **Persistent worker pool** — `workers` threads spawned once at
+//!   service construction drain a bounded admission queue; a full queue
+//!   blocks the submitter or sheds with a descriptive `overloaded`
+//!   error per the [`Backpressure`] policy;
+//! * **Streaming + batch traffic** — [`CompileService::compile`] for
+//!   synchronous single requests, [`CompileService::submit`] /
+//!   [`CompileService::stream`] for pipelined submit/recv streams, and
+//!   [`CompileService::compile_batch`] for order-preserving batches;
+//! * [`ServeStats`] — lock-free admission metrics: hits, misses,
+//!   dedup joins, evictions, sheds, queue depth, in-flight compiles, and
+//!   a p50/p99 latency window, serde-able for dashboards, plus a
+//!   [`ServeStats::hit_rate`] helper.
+//!
+//! Cached results are **byte-deterministic**: wall times are stripped
+//! from the artifact (they live in the response metadata instead), so a
+//! cache hit — or a singleflight join — returns bytes identical to the
+//! cold miss, and N threads compiling the same request all serialize the
+//! same artifact.
 //!
 //! ```
 //! use qft_serve::{CompileRequest, CompileService};
@@ -34,15 +44,23 @@
 //!     serde_json::to_string(&cold.result).unwrap(),
 //!     serde_json::to_string(&warm.result).unwrap(),
 //! );
+//! assert!(service.stats().hit_rate() > 0.0);
 //! ```
 
 #![warn(missing_docs)]
 
 mod cache;
+pub mod digest;
+mod flight;
+mod metrics;
+mod queue;
 pub mod service;
 pub mod types;
 
-pub use service::{CompileService, DEFAULT_CACHE_CAPACITY};
+pub use service::{
+    Backpressure, CompileService, ServiceBuilder, StreamSession, Ticket, DEFAULT_CACHE_CAPACITY,
+    DEFAULT_QUEUE_CAPACITY,
+};
 pub use types::{CompileRequest, CompileResponse, ServeError, ServeStats};
 
 use qft_core::Registry;

@@ -1,0 +1,144 @@
+//! Lock-free admission metrics.
+//!
+//! Every counter the service maintains lives here as an `AtomicU64`, so
+//! recording a hit, miss, dedup join, eviction, shed, or error never
+//! takes a lock — and reading [`crate::ServeStats`] never contends with
+//! the hit path. (The old service already kept its counters atomic, but
+//! eviction counts were derived under the cache lock and stats reads
+//! locked the cache for occupancy; both are lock-free now — occupancy is
+//! summed from per-shard lengths with each shard locked only for its
+//! `len()`.)
+//!
+//! Latency percentiles come from a fixed-size **reservoir**: a ring of
+//! `AtomicU64` slots (f64 seconds as bits) written at a
+//! `fetch_add`-claimed position, wrapping. Writers never block; a stats
+//! read snapshots the ring and sorts a copy. With 4096 slots the
+//! snapshot always reflects the most recent ~4096 requests — exactly the
+//! window a p50/p99 gauge should describe on a service whose load shifts.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Slots in the latency ring (a power of two keeps the wrap cheap).
+const RESERVOIR_SLOTS: usize = 4096;
+
+/// A lock-free sliding-window latency sample.
+#[derive(Debug)]
+pub(crate) struct LatencyReservoir {
+    slots: Box<[AtomicU64]>,
+    next: AtomicUsize,
+}
+
+impl LatencyReservoir {
+    pub fn new() -> Self {
+        LatencyReservoir {
+            slots: (0..RESERVOIR_SLOTS).map(|_| AtomicU64::new(0)).collect(),
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Records one request's service-side wall time.
+    pub fn record(&self, secs: f64) {
+        let i = self.next.fetch_add(1, Ordering::Relaxed) & (RESERVOIR_SLOTS - 1);
+        self.slots[i].store(secs.to_bits(), Ordering::Relaxed);
+    }
+
+    /// (p50, p99) over the window, in seconds; zeros before any traffic.
+    pub fn percentiles(&self) -> (f64, f64) {
+        let filled = self.next.load(Ordering::Relaxed).min(RESERVOIR_SLOTS);
+        if filled == 0 {
+            return (0.0, 0.0);
+        }
+        let mut sample: Vec<f64> = self.slots[..filled]
+            .iter()
+            .map(|s| f64::from_bits(s.load(Ordering::Relaxed)))
+            .collect();
+        sample.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let at = |p: f64| sample[((p * (filled - 1) as f64).round()) as usize];
+        (at(0.50), at(0.99))
+    }
+}
+
+/// The service's counter set. Field meanings match [`crate::ServeStats`];
+/// `requests = hits + misses + dedup_joins` always holds (errors are the
+/// subset of misses whose compile failed, plus the followers that
+/// received that failure — followers count as dedup joins either way).
+#[derive(Debug)]
+pub(crate) struct Metrics {
+    pub requests: AtomicU64,
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub dedup_joins: AtomicU64,
+    pub evictions: AtomicU64,
+    pub shed: AtomicU64,
+    pub errors: AtomicU64,
+    pub latency: LatencyReservoir,
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Metrics {
+            requests: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            dedup_joins: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latency: LatencyReservoir::new(),
+        }
+    }
+
+    /// Relaxed increment — every counter is monotonic and independent.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservoir_percentiles_track_the_sample() {
+        let r = LatencyReservoir::new();
+        assert_eq!(r.percentiles(), (0.0, 0.0));
+        for i in 1..=100 {
+            r.record(i as f64 * 1e-3);
+        }
+        let (p50, p99) = r.percentiles();
+        assert!((p50 - 0.050).abs() < 2e-3, "p50 {p50}");
+        assert!((p99 - 0.099).abs() < 2e-3, "p99 {p99}");
+    }
+
+    #[test]
+    fn reservoir_wraps_to_the_most_recent_window() {
+        let r = LatencyReservoir::new();
+        // Overfill: a first generation of slow samples, then a full ring
+        // of fast ones. The slow generation must age out entirely.
+        for _ in 0..RESERVOIR_SLOTS {
+            r.record(1.0);
+        }
+        for _ in 0..RESERVOIR_SLOTS {
+            r.record(1e-6);
+        }
+        let (p50, p99) = r.percentiles();
+        assert_eq!((p50, p99), (1e-6, 1e-6));
+    }
+
+    #[test]
+    fn concurrent_records_never_lose_the_window_shape() {
+        let r = std::sync::Arc::new(LatencyReservoir::new());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let r = std::sync::Arc::clone(&r);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        r.record(5e-4);
+                    }
+                });
+            }
+        });
+        let (p50, p99) = r.percentiles();
+        assert_eq!((p50, p99), (5e-4, 5e-4));
+    }
+}

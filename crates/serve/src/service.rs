@@ -1,17 +1,25 @@
-//! The compile service: shared registry + worker pool + result cache.
+//! The compile service: shared registry + persistent worker pool +
+//! sharded result cache + singleflight miss deduplication.
 
-use crate::cache::{CacheEntry, LruCache};
+use crate::cache::{self, CacheEntry, ShardedCache};
+use crate::flight::{FlightRole, Singleflight};
+use crate::metrics::Metrics;
+use crate::queue::{BoundedQueue, PushError};
 use crate::types::{CompileRequest, CompileResponse, ServeError, ServeStats};
 use qft_core::Registry;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
 use std::time::Instant;
 
-/// Default result-cache capacity (entries).
+/// Default result-cache capacity (entries, summed across shards).
 pub const DEFAULT_CACHE_CAPACITY: usize = 256;
 
-/// Worker threads a fresh service fans batches across: the machine's
-/// parallelism, capped so a service never monopolizes a large host.
+/// Default admission-queue capacity (jobs waiting for a worker).
+pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
+
+/// Worker threads a fresh service owns: the machine's parallelism,
+/// capped so a service never monopolizes a large host.
 fn default_workers() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
@@ -19,133 +27,420 @@ fn default_workers() -> usize {
         .clamp(1, 8)
 }
 
+/// What the service does when a submission finds the admission queue
+/// full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backpressure {
+    /// The submitter's thread blocks until a worker frees queue space —
+    /// backpressure propagates upstream. The default, and always the
+    /// policy for [`CompileService::compile_batch`] (a batch is one
+    /// explicit unit of work; shedding half of it helps nobody).
+    #[default]
+    Block,
+    /// The submission is rejected immediately with a descriptive
+    /// [`ServeError::overloaded`] (`kind = "overloaded"`) and counted in
+    /// [`ServeStats::shed`]. For latency-sensitive front ends that would
+    /// rather fail fast and retry elsewhere than queue behind a spike.
+    Shed,
+}
+
+/// One queued compile job: the request, the submitter's sequence number,
+/// and the channel its response goes back on.
+#[derive(Debug)]
+struct Job {
+    req: CompileRequest,
+    seq: u64,
+    reply: mpsc::Sender<(u64, Result<CompileResponse, ServeError>)>,
+}
+
+/// Everything the worker threads share with the service handle.
+#[derive(Debug)]
+struct ServiceInner {
+    registry: &'static Registry,
+    cache: ShardedCache,
+    flights: Singleflight,
+    metrics: Metrics,
+}
+
+impl ServiceInner {
+    /// The full serve path: sharded-cache probe → singleflight join →
+    /// (leader only) validate + compile + publish. Runs on whichever
+    /// thread calls it — a pool worker for queued traffic, the caller
+    /// for [`CompileService::compile`].
+    fn serve(&self, req: &CompileRequest) -> Result<CompileResponse, ServeError> {
+        let t0 = Instant::now();
+        Metrics::bump(&self.metrics.requests);
+        let key_json = req.cache_key();
+        let key = cache::key_digest(&key_json);
+
+        // Hot path: one shard lock, O(1) recency bump, Arc clone out.
+        if let Some(entry) = self.cache.get(key, &key_json) {
+            Metrics::bump(&self.metrics.hits);
+            return Ok(self.respond(
+                t0,
+                key_json,
+                entry.cold_compile_s,
+                entry.result,
+                true,
+                false,
+            ));
+        }
+
+        match self.flights.join(key) {
+            FlightRole::Follower(slot) => {
+                // Someone is already compiling this key: wait for their
+                // broadcast instead of recompiling.
+                Metrics::bump(&self.metrics.dedup_joins);
+                match slot.wait() {
+                    Ok((result, cold_s)) => {
+                        Ok(self.respond(t0, key_json, cold_s, result, true, true))
+                    }
+                    Err(e) => {
+                        Metrics::bump(&self.metrics.errors);
+                        self.metrics.latency.record(t0.elapsed().as_secs_f64());
+                        Err(e)
+                    }
+                }
+            }
+            FlightRole::Leader(slot) => {
+                // Double-check: the previous leader retires its flight
+                // only *after* inserting into the cache, so a key that
+                // landed between our miss and our join is found here —
+                // this is what makes "exactly one compile per distinct
+                // key" exact rather than probabilistic.
+                if let Some(entry) = self.cache.get(key, &key_json) {
+                    self.flights.publish(
+                        key,
+                        &slot,
+                        Ok((Arc::clone(&entry.result), entry.cold_compile_s)),
+                    );
+                    Metrics::bump(&self.metrics.hits);
+                    return Ok(self.respond(
+                        t0,
+                        key_json,
+                        entry.cold_compile_s,
+                        entry.result,
+                        true,
+                        false,
+                    ));
+                }
+                let outcome = req
+                    .validate(self.registry)
+                    .and_then(|(compiler, target)| compiler.compile(&target, &req.options));
+                Metrics::bump(&self.metrics.misses);
+                match outcome {
+                    Err(e) => {
+                        // Broadcast the failure so followers fail the
+                        // same way; errors are never cached, so the next
+                        // request for this key starts a fresh flight.
+                        let e = ServeError::from(e);
+                        self.flights.publish(key, &slot, Err(e.clone()));
+                        Metrics::bump(&self.metrics.errors);
+                        self.metrics.latency.record(t0.elapsed().as_secs_f64());
+                        Err(e)
+                    }
+                    Ok(mut result) => {
+                        let cold_s = result.compile_s;
+                        result.strip_wall_times();
+                        let result = Arc::new(result);
+                        let evicted = self.cache.insert(
+                            key,
+                            CacheEntry {
+                                result: Arc::clone(&result),
+                                cold_compile_s: cold_s,
+                                key_json: Arc::from(key_json.as_str()),
+                            },
+                        );
+                        self.metrics.evictions.fetch_add(evicted, Ordering::Relaxed);
+                        // Cache first, then retire the flight (see the
+                        // double-check above for why this order matters).
+                        self.flights
+                            .publish(key, &slot, Ok((Arc::clone(&result), cold_s)));
+                        Ok(self.respond(t0, key_json, cold_s, result, false, false))
+                    }
+                }
+            }
+        }
+    }
+
+    fn respond(
+        &self,
+        t0: Instant,
+        cache_key: String,
+        cold_compile_s: f64,
+        result: Arc<qft_core::CompileResult>,
+        cached: bool,
+        deduped: bool,
+    ) -> CompileResponse {
+        let wall_s = t0.elapsed().as_secs_f64();
+        self.metrics.latency.record(wall_s);
+        CompileResponse {
+            cached,
+            deduped,
+            cache_key,
+            wall_s,
+            compile_s: cold_compile_s,
+            result,
+        }
+    }
+}
+
 /// A thread-safe compile service over one shared [`Registry`].
 ///
-/// Requests funnel through [`CompileService::compile`]; batches fan out
-/// across a bounded pool of std worker threads fed by an mpsc job channel
-/// ([`CompileService::compile_batch`]). Results are cached under the
-/// request's canonical serialization ([`CompileRequest::cache_key`]) in a
-/// keyed LRU, with hit/miss/eviction/error counters surfaced as
-/// [`ServeStats`].
+/// Three tiers of admission, from hottest to coldest:
+///
+/// 1. **Sharded cache** — results live in N independently-locked LRU
+///    shards keyed by the 128-bit digest of the canonical request JSON,
+///    so cached hits from M threads convoy only on same-shard keys
+///    instead of one global mutex.
+/// 2. **Singleflight** — concurrent misses on the same key perform
+///    exactly one compile: the first thread leads, duplicates block on
+///    the in-flight slot and receive the same `Arc<CompileResult>`.
+/// 3. **Persistent worker pool** — `workers` threads spawned once at
+///    construction (not per batch) drain a bounded admission queue fed
+///    by [`CompileService::submit`]/[`CompileService::stream`] and
+///    [`CompileService::compile_batch`]; a full queue either blocks the
+///    submitter or sheds with `kind = "overloaded"` per the service's
+///    [`Backpressure`] policy.
 ///
 /// Artifacts are byte-deterministic: wall times are stripped before an
-/// entry is cached, so concurrent compiles of the same request — and hits
-/// against it later — all serialize identically. Concurrent misses on the
-/// same key may both compile; whichever finishes last refreshes the entry
-/// with identical bytes, so the race is benign.
+/// entry is cached, so every response for a given request — cold miss,
+/// cache hit, or singleflight join, on any thread, from any service —
+/// serializes identically. [`ServeStats`] surfaces the admission
+/// metrics (hits/misses/dedup-joins/evictions/shed, queue depth, p50/p99
+/// latency) from lock-free counters.
 #[derive(Debug)]
 pub struct CompileService {
-    registry: &'static Registry,
+    inner: Arc<ServiceInner>,
+    queue: Arc<BoundedQueue<Job>>,
+    backpressure: Backpressure,
     workers: usize,
-    cache: Mutex<LruCache>,
-    requests: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    errors: AtomicU64,
+    handles: Vec<JoinHandle<()>>,
+}
+
+/// Configures and builds a [`CompileService`].
+///
+/// ```
+/// use qft_serve::{Backpressure, CompileService};
+///
+/// let service = CompileService::builder()
+///     .cache_capacity(512)
+///     .workers(4)
+///     .queue_capacity(128)
+///     .backpressure(Backpressure::Shed)
+///     .build();
+/// assert_eq!(service.workers(), 4);
+/// ```
+#[derive(Debug)]
+pub struct ServiceBuilder {
+    registry: &'static Registry,
+    cache_capacity: usize,
+    cache_shards: usize,
+    workers: usize,
+    queue_capacity: usize,
+    backpressure: Backpressure,
+}
+
+impl ServiceBuilder {
+    /// Resolve compiler names through a caller-supplied registry (e.g.
+    /// one extended with custom compilers). Must be `'static` because
+    /// worker threads and cached artifacts outlive any one call.
+    pub fn registry(mut self, registry: &'static Registry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Total result-cache entries across all shards (clamped to ≥ 1).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Upper bound on cache shards (clamped to a power of two ≤ 16 and
+    /// to one shard per 4 entries of capacity, so small caches keep one
+    /// shard and exact global LRU order).
+    pub fn cache_shards(mut self, shards: usize) -> Self {
+        self.cache_shards = shards.max(1);
+        self
+    }
+
+    /// Persistent worker threads (clamped to ≥ 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Admission-queue capacity (clamped to ≥ 1).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// What a submission does when the admission queue is full.
+    pub fn backpressure(mut self, policy: Backpressure) -> Self {
+        self.backpressure = policy;
+        self
+    }
+
+    /// Builds the service and spawns its worker pool.
+    pub fn build(self) -> CompileService {
+        let inner = Arc::new(ServiceInner {
+            registry: self.registry,
+            cache: ShardedCache::new(self.cache_capacity, self.cache_shards),
+            flights: Singleflight::new(),
+            metrics: Metrics::new(),
+        });
+        let queue = Arc::new(BoundedQueue::<Job>::new(self.queue_capacity));
+        let handles = (0..self.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                let queue = Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name(format!("qft-serve-{i}"))
+                    .spawn(move || {
+                        while let Some(job) = queue.pop() {
+                            let response = inner.serve(&job.req);
+                            // A dropped session stops caring about its
+                            // replies; that is not a worker error.
+                            let _ = job.reply.send((job.seq, response));
+                        }
+                    })
+                    .expect("spawn qft-serve worker")
+            })
+            .collect();
+        CompileService {
+            inner,
+            queue,
+            backpressure: self.backpressure,
+            workers: self.workers,
+            handles,
+        }
+    }
 }
 
 impl CompileService {
-    /// A service over the process-wide [`crate::shared_registry`] with the
-    /// default cache capacity and worker count.
+    /// A builder with the defaults: shared registry, capacity
+    /// [`DEFAULT_CACHE_CAPACITY`], machine-sized workers, queue capacity
+    /// [`DEFAULT_QUEUE_CAPACITY`], [`Backpressure::Block`].
+    pub fn builder() -> ServiceBuilder {
+        ServiceBuilder {
+            registry: crate::shared_registry(),
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            cache_shards: ShardedCache::DEFAULT_SHARDS,
+            workers: default_workers(),
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            backpressure: Backpressure::Block,
+        }
+    }
+
+    /// A service over the process-wide [`crate::shared_registry`] with
+    /// every default.
     pub fn new() -> Self {
-        Self::with_config(DEFAULT_CACHE_CAPACITY, default_workers())
+        Self::builder().build()
     }
 
     /// A service over the process-wide registry with an explicit cache
     /// capacity (clamped to ≥ 1) and worker count (clamped to ≥ 1).
     pub fn with_config(cache_capacity: usize, workers: usize) -> Self {
-        Self::with_registry(crate::shared_registry(), cache_capacity, workers)
+        Self::builder()
+            .cache_capacity(cache_capacity)
+            .workers(workers)
+            .build()
     }
 
     /// A service over a caller-supplied registry (e.g. one extended with
-    /// custom compilers). The registry must be `'static` because worker
-    /// threads and cached artifacts outlive any one call.
+    /// custom compilers).
     pub fn with_registry(
         registry: &'static Registry,
         cache_capacity: usize,
         workers: usize,
     ) -> Self {
-        CompileService {
-            registry,
-            workers: workers.max(1),
-            cache: Mutex::new(LruCache::new(cache_capacity)),
-            requests: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
-        }
+        Self::builder()
+            .registry(registry)
+            .cache_capacity(cache_capacity)
+            .workers(workers)
+            .build()
     }
 
     /// The registry this service resolves compiler names through.
     pub fn registry(&self) -> &'static Registry {
-        self.registry
+        self.inner.registry
     }
 
-    /// Worker threads a batch fans out across.
+    /// Persistent worker threads draining the admission queue.
     pub fn workers(&self) -> usize {
         self.workers
     }
 
-    /// Serves one request: cache lookup, then (on a miss) validate →
-    /// compile → strip wall times → cache. Malformed requests (unknown
-    /// compiler, invalid target spec, degree-0 AQFT, …) come back as
-    /// descriptive [`ServeError`]s.
-    pub fn compile(&self, req: &CompileRequest) -> Result<CompileResponse, ServeError> {
-        let t0 = Instant::now();
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        let key = req.cache_key();
-        if let Some((result, cold_compile_s)) = {
-            let mut cache = self.cache.lock().expect("cache mutex");
-            cache
-                .get(&key)
-                .map(|e| (e.result.clone(), e.cold_compile_s))
-        } {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(CompileResponse {
-                cached: true,
-                cache_key: key,
-                wall_s: t0.elapsed().as_secs_f64(),
-                compile_s: cold_compile_s,
-                result,
-            });
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let outcome = req
-            .validate(self.registry)
-            .and_then(|(compiler, target)| compiler.compile(&target, &req.options));
-        let mut result = match outcome {
-            Ok(r) => r,
-            Err(e) => {
-                self.errors.fetch_add(1, Ordering::Relaxed);
-                return Err(ServeError::from(e));
-            }
-        };
-        let cold_compile_s = result.compile_s;
-        result.strip_wall_times();
-        let result = Arc::new(result);
-        let evicted = self.cache.lock().expect("cache mutex").insert(
-            key.clone(),
-            CacheEntry {
-                result: Arc::clone(&result),
-                cold_compile_s,
-            },
-        );
-        self.evictions.fetch_add(evicted, Ordering::Relaxed);
-        Ok(CompileResponse {
-            cached: false,
-            cache_key: key,
-            wall_s: t0.elapsed().as_secs_f64(),
-            compile_s: cold_compile_s,
-            result,
-        })
+    /// The service's backpressure policy for queued submissions.
+    pub fn backpressure(&self) -> Backpressure {
+        self.backpressure
     }
 
-    /// Serves a batch: requests are fed through an mpsc job channel to at
-    /// most [`CompileService::workers`] scoped worker threads, and the
-    /// responses come back in request order (per-request errors stay
-    /// per-request — one bad request never poisons the batch).
+    /// Serves one request synchronously **on the caller's thread** —
+    /// the lowest-latency path, bypassing the admission queue (the
+    /// caller's thread *is* the capacity being spent). Still goes
+    /// through the sharded cache and singleflight, so concurrent callers
+    /// deduplicate exactly like queued traffic.
+    pub fn compile(&self, req: &CompileRequest) -> Result<CompileResponse, ServeError> {
+        self.inner.serve(req)
+    }
+
+    /// Opens a streaming session: submit requests as they arrive, receive
+    /// responses as they complete (completion order, tagged with the
+    /// submission sequence number). Backpressure applies per the
+    /// service's policy at each [`StreamSession::submit`].
+    pub fn stream(&self) -> StreamSession<'_> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        StreamSession {
+            service: self,
+            reply_tx,
+            reply_rx,
+            submitted: 0,
+            received: 0,
+        }
+    }
+
+    /// One-shot streaming submission: enqueues the request and returns a
+    /// [`Ticket`] to claim the response later. Equivalent to a
+    /// single-request [`CompileService::stream`] session.
+    pub fn submit(&self, req: CompileRequest) -> Result<Ticket, ServeError> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.enqueue(Job {
+            req,
+            seq: 0,
+            reply: reply_tx,
+        })?;
+        Ok(Ticket { reply_rx })
+    }
+
+    /// Applies the backpressure policy to one enqueue.
+    fn enqueue(&self, job: Job) -> Result<(), ServeError> {
+        match self.backpressure {
+            Backpressure::Block => self
+                .queue
+                .push(job)
+                .map_err(|_| ServeError::bad_request("service is shutting down")),
+            Backpressure::Shed => match self.queue.try_push(job) {
+                Ok(()) => Ok(()),
+                Err(PushError::Full(_)) => {
+                    Metrics::bump(&self.inner.metrics.shed);
+                    Err(ServeError::overloaded(
+                        self.queue.len(),
+                        self.queue.capacity(),
+                    ))
+                }
+                Err(PushError::Closed(_)) => {
+                    Err(ServeError::bad_request("service is shutting down"))
+                }
+            },
+        }
+    }
+
+    /// Serves a batch through the persistent pool: every request is
+    /// enqueued (blocking for space regardless of the shed policy — a
+    /// batch is one explicit unit of work) and the responses come back
+    /// in request order; per-request errors stay per-request.
     pub fn compile_batch(
         &self,
         reqs: &[CompileRequest],
@@ -153,65 +448,62 @@ impl CompileService {
         if reqs.is_empty() {
             return Vec::new();
         }
-        let workers = self.workers.min(reqs.len());
-        let (job_tx, job_rx) = mpsc::channel::<(usize, &CompileRequest)>();
-        for job in reqs.iter().enumerate() {
-            job_tx.send(job).expect("queue batch jobs");
-        }
-        drop(job_tx);
-        let job_rx = Mutex::new(job_rx);
-        let (res_tx, res_rx) = mpsc::channel();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                let job_rx = &job_rx;
-                let res_tx = res_tx.clone();
-                scope.spawn(move || loop {
-                    // Hold the receiver lock only for the dequeue, not the
-                    // compile, so workers drain the queue concurrently.
-                    let job = job_rx.lock().expect("job queue mutex").recv();
-                    match job {
-                        Ok((idx, req)) => {
-                            let response = self.compile(req);
-                            res_tx.send((idx, response)).expect("deliver batch result");
-                        }
-                        Err(_) => break, // queue drained
-                    }
-                });
+        let (reply_tx, reply_rx) = mpsc::channel();
+        for (seq, req) in reqs.iter().enumerate() {
+            let job = Job {
+                req: req.clone(),
+                seq: seq as u64,
+                reply: reply_tx.clone(),
+            };
+            if let Err(job) = self.queue.push(job) {
+                // Shutdown mid-batch: answer what we must, not panic.
+                let _ = job.reply.send((
+                    job.seq,
+                    Err(ServeError::bad_request("service is shutting down")),
+                ));
             }
-        });
-        drop(res_tx);
+        }
+        drop(reply_tx);
         let mut out: Vec<Option<Result<CompileResponse, ServeError>>> =
             (0..reqs.len()).map(|_| None).collect();
-        for (idx, response) in res_rx.iter() {
-            out[idx] = Some(response);
+        for (seq, response) in reply_rx.iter().take(reqs.len()) {
+            out[seq as usize] = Some(response);
         }
         out.into_iter()
             .map(|slot| slot.expect("every batch job is answered exactly once"))
             .collect()
     }
 
-    /// A snapshot of the service counters.
+    /// A snapshot of the admission metrics. Lock-free: counters are
+    /// atomics and the latency window is a reservoir — only the cache
+    /// occupancy sum briefly takes each shard lock in turn.
     pub fn stats(&self) -> ServeStats {
-        let cache = self.cache.lock().expect("cache mutex");
+        let m = &self.inner.metrics;
+        let (p50_s, p99_s) = m.latency.percentiles();
         ServeStats {
             workers: self.workers,
-            cache_capacity: cache.capacity(),
-            cache_entries: cache.len(),
-            requests: self.requests.load(Ordering::Relaxed),
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
+            cache_capacity: self.inner.cache.capacity(),
+            cache_entries: self.inner.cache.len(),
+            cache_shards: self.inner.cache.shard_count(),
+            queue_capacity: self.queue.capacity(),
+            queue_depth: self.queue.len() as u64,
+            in_flight: self.inner.flights.len() as u64,
+            requests: m.requests.load(Ordering::Relaxed),
+            hits: m.hits.load(Ordering::Relaxed),
+            misses: m.misses.load(Ordering::Relaxed),
+            dedup_joins: m.dedup_joins.load(Ordering::Relaxed),
+            evictions: m.evictions.load(Ordering::Relaxed),
+            shed: m.shed.load(Ordering::Relaxed),
+            errors: m.errors.load(Ordering::Relaxed),
+            p50_ms: p50_s * 1e3,
+            p99_ms: p99_s * 1e3,
         }
     }
 
     /// Whether a request is currently resident in the cache (no recency
     /// bump — a pure inspection for tests and dashboards).
     pub fn is_cached(&self, req: &CompileRequest) -> bool {
-        self.cache
-            .lock()
-            .expect("cache mutex")
-            .contains(&req.cache_key())
+        self.inner.cache.contains(req.key_digest())
     }
 }
 
@@ -221,17 +513,111 @@ impl Default for CompileService {
     }
 }
 
+impl Drop for CompileService {
+    /// Closes the admission queue (pending jobs still drain) and joins
+    /// the worker pool.
+    fn drop(&mut self) {
+        self.queue.close();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A claim on one [`CompileService::submit`] response.
+#[derive(Debug)]
+pub struct Ticket {
+    reply_rx: mpsc::Receiver<(u64, Result<CompileResponse, ServeError>)>,
+}
+
+impl Ticket {
+    /// Blocks until the response is ready.
+    pub fn recv(self) -> Result<CompileResponse, ServeError> {
+        match self.reply_rx.recv() {
+            Ok((_, response)) => response,
+            Err(_) => Err(ServeError::bad_request("service is shutting down")),
+        }
+    }
+}
+
+/// A streaming submit/recv session over one service.
+///
+/// Submissions are tagged with a session-local sequence number (returned
+/// by [`StreamSession::submit`]); responses arrive in **completion
+/// order** via [`StreamSession::recv`], each carrying its tag, so a
+/// client can pump requests and match responses without blocking on
+/// head-of-line latency.
+///
+/// ```
+/// use qft_serve::{CompileRequest, CompileService};
+///
+/// let service = CompileService::new();
+/// let mut session = service.stream();
+/// for n in [4usize, 5, 6] {
+///     session.submit(CompileRequest::new("lnn", format!("lnn:{n}"))).unwrap();
+/// }
+/// let mut ns = Vec::new();
+/// while let Some((_seq, resp)) = session.recv() {
+///     ns.push(resp.unwrap().result.n);
+/// }
+/// ns.sort();
+/// assert_eq!(ns, vec![4, 5, 6]);
+/// ```
+#[derive(Debug)]
+pub struct StreamSession<'s> {
+    service: &'s CompileService,
+    reply_tx: mpsc::Sender<(u64, Result<CompileResponse, ServeError>)>,
+    reply_rx: mpsc::Receiver<(u64, Result<CompileResponse, ServeError>)>,
+    submitted: u64,
+    received: u64,
+}
+
+impl StreamSession<'_> {
+    /// Enqueues a request under the service's backpressure policy and
+    /// returns its session-local sequence number. Under
+    /// [`Backpressure::Shed`] a full queue rejects with
+    /// `kind = "overloaded"` instead of blocking.
+    pub fn submit(&mut self, req: CompileRequest) -> Result<u64, ServeError> {
+        let seq = self.submitted;
+        self.service.enqueue(Job {
+            req,
+            seq,
+            reply: self.reply_tx.clone(),
+        })?;
+        self.submitted += 1;
+        Ok(seq)
+    }
+
+    /// Responses submitted but not yet received.
+    pub fn pending(&self) -> u64 {
+        self.submitted - self.received
+    }
+
+    /// The next completed response (blocking), tagged with its
+    /// submission sequence number; `None` once every submission has been
+    /// received.
+    pub fn recv(&mut self) -> Option<(u64, Result<CompileResponse, ServeError>)> {
+        if self.received == self.submitted {
+            return None;
+        }
+        let tagged = self.reply_rx.recv().ok()?;
+        self.received += 1;
+        Some(tagged)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use qft_core::CompileOptions;
+    use std::sync::Barrier;
 
     #[test]
     fn cold_then_hot_roundtrip() {
         let service = CompileService::with_config(4, 2);
         let req = CompileRequest::new("lnn", "lnn:8");
         let cold = service.compile(&req).unwrap();
-        assert!(!cold.cached);
+        assert!(!cold.cached && !cold.deduped);
         assert!(cold.compile_s > 0.0, "cold compile cost is preserved");
         assert_eq!(cold.result.compile_s, 0.0, "artifact wall times stripped");
         let hot = service.compile(&req).unwrap();
@@ -240,6 +626,8 @@ mod tests {
         let stats = service.stats();
         assert_eq!((stats.requests, stats.hits, stats.misses), (2, 1, 1));
         assert_eq!(stats.cache_entries, 1);
+        assert!(stats.p50_ms > 0.0, "latency reservoir saw both requests");
+        assert_eq!(stats.hit_rate(), 0.5);
     }
 
     #[test]
@@ -286,6 +674,7 @@ mod tests {
                 .unwrap();
         }
         let stats = service.stats();
+        assert_eq!(stats.cache_shards, 1, "tiny caches stay single-shard");
         assert_eq!(stats.cache_entries, 3);
         assert_eq!(stats.evictions, 2);
         // The two oldest entries are gone; the three newest are resident.
@@ -294,5 +683,67 @@ mod tests {
         for n in 6..9 {
             assert!(service.is_cached(&CompileRequest::new("lnn", format!("lnn:{n}"))));
         }
+    }
+
+    #[test]
+    fn duplicate_storm_performs_exactly_one_compile() {
+        let service = CompileService::new();
+        let req = CompileRequest::new("heavyhex", "heavyhex:3");
+        let n_threads = 16;
+        let barrier = Barrier::new(n_threads);
+        let results: Vec<Arc<qft_core::CompileResult>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n_threads)
+                .map(|_| {
+                    let (service, req, barrier) = (&service, &req, &barrier);
+                    scope.spawn(move || {
+                        barrier.wait();
+                        service.compile(req).expect("storm compile").result
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let stats = service.stats();
+        assert_eq!(stats.misses, 1, "exactly one compile under the storm");
+        assert_eq!(stats.hits + stats.dedup_joins, n_threads as u64 - 1);
+        assert_eq!(stats.requests, n_threads as u64);
+        // Every response shares the one cached artifact — pointer-equal,
+        // not merely byte-equal.
+        for r in &results[1..] {
+            assert!(Arc::ptr_eq(r, &results[0]), "storm responses must share");
+        }
+    }
+
+    #[test]
+    fn stream_session_tags_and_drains() {
+        let service = CompileService::with_config(16, 2);
+        let mut session = service.stream();
+        let seqs: Vec<u64> = (4..10)
+            .map(|n| {
+                session
+                    .submit(CompileRequest::new("lnn", format!("lnn:{n}")))
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(session.pending(), 6);
+        let mut ns = Vec::new();
+        while let Some((seq, resp)) = session.recv() {
+            // seq k carried lnn:(4+k).
+            assert_eq!(resp.unwrap().result.n, 4 + seq as usize);
+            ns.push(seq);
+        }
+        ns.sort_unstable();
+        assert_eq!(ns, seqs);
+        assert_eq!(session.pending(), 0);
+    }
+
+    #[test]
+    fn submit_ticket_roundtrip() {
+        let service = CompileService::new();
+        let ticket = service.submit(CompileRequest::new("lnn", "lnn:9")).unwrap();
+        let resp = ticket.recv().unwrap();
+        assert_eq!(resp.result.n, 9);
+        assert!(!resp.cached);
     }
 }

@@ -50,6 +50,16 @@ impl CompileRequest {
         serde_json::to_string(self).expect("a CompileRequest always serializes")
     }
 
+    /// The 128-bit FNV-1a digest of [`CompileRequest::cache_key`] — what
+    /// the cache actually shards and indexes by. The JSON string is the
+    /// canonical pre-image; the digest is its fixed-width stand-in, so
+    /// lookups hash and compare 16 bytes however large the option set
+    /// grows (debug builds audit every hit against the retained
+    /// pre-image; see [`crate::digest`]).
+    pub fn key_digest(&self) -> u128 {
+        crate::digest::fnv1a_128(self.cache_key().as_bytes())
+    }
+
     /// Validates the request against `registry` without compiling:
     /// resolves the compiler name (descriptive
     /// [`CompileError::UnknownCompiler`] listing what *is* registered),
@@ -77,8 +87,14 @@ impl CompileRequest {
 /// that populated the entry. The timings live here instead.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CompileResponse {
-    /// Whether this response was served from the result cache.
+    /// Whether this response was served without compiling: a cache hit,
+    /// or a singleflight join on another thread's in-flight compile.
     pub cached: bool,
+    /// Whether this response specifically *joined an in-flight compile*
+    /// (singleflight dedup): the request missed the cache while another
+    /// thread was already compiling the same key, so it waited and
+    /// received that thread's artifact instead of recompiling.
+    pub deduped: bool,
     /// The request's cache key (see [`CompileRequest::cache_key`]).
     pub cache_key: String,
     /// Service-side wall-clock seconds for *this* request: the cache
@@ -100,8 +116,9 @@ pub struct CompileResponse {
 pub struct ServeError {
     /// Stable error class: the [`CompileError`] variant in kebab-case
     /// (`unknown-compiler`, `invalid-target`, `unsupported-option`,
-    /// `unsupported-target`, `timeout`, `pass`, `verification`), or
-    /// `bad-request` for input that never parsed into a request.
+    /// `unsupported-target`, `timeout`, `pass`, `verification`),
+    /// `bad-request` for input that never parsed into a request, or
+    /// `overloaded` for a submission shed by a full admission queue.
     pub kind: String,
     /// Human-readable diagnosis (the [`CompileError`] display text).
     pub error: String,
@@ -113,6 +130,22 @@ impl ServeError {
         ServeError {
             kind: "bad-request".to_string(),
             error: reason.to_string(),
+        }
+    }
+
+    /// The backpressure shed: the admission queue is full and the
+    /// service's policy is [`crate::Backpressure::Shed`]. The request was
+    /// not compiled and not queued; the client should retry after a
+    /// backoff (queue depth and shed counts are visible in
+    /// [`ServeStats`]).
+    pub fn overloaded(queue_depth: usize, queue_capacity: usize) -> Self {
+        ServeError {
+            kind: "overloaded".to_string(),
+            error: format!(
+                "admission queue is full ({queue_depth}/{queue_capacity} jobs queued) and the \
+                 backpressure policy is Shed: the request was rejected without compiling — retry \
+                 after a backoff, or configure Backpressure::Block to wait for queue space"
+            ),
         }
     }
 }
@@ -143,24 +176,62 @@ impl fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
-/// A serde-able snapshot of the service's counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// A serde-able snapshot of the service's admission metrics.
+///
+/// Every counter is maintained lock-free (`AtomicU64`), so taking this
+/// snapshot never contends with the hit path. The accounting identity:
+/// `requests == hits + misses + dedup_joins` — a request is answered from
+/// the cache, answered by joining another thread's in-flight compile, or
+/// compiles itself (`misses`, which includes failed compiles).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ServeStats {
-    /// Worker threads a batch fans out across.
+    /// Persistent worker threads draining the admission queue.
     pub workers: usize,
-    /// Result-cache capacity (entries).
+    /// Result-cache capacity (total entries across all shards).
     pub cache_capacity: usize,
-    /// Result-cache occupancy right now.
+    /// Result-cache occupancy right now (summed across shards).
     pub cache_entries: usize,
-    /// Requests accepted (hits + misses; errors count as misses that
-    /// never produced an artifact).
+    /// Independently-locked cache shards.
+    pub cache_shards: usize,
+    /// Admission-queue capacity (jobs).
+    pub queue_capacity: usize,
+    /// Jobs waiting in the admission queue right now.
+    pub queue_depth: u64,
+    /// Distinct keys being compiled right now (singleflight leaders).
+    pub in_flight: u64,
+    /// Requests accepted (`hits + misses + dedup_joins`; sheds are *not*
+    /// requests — they were rejected at admission).
     pub requests: u64,
     /// Requests answered from the cache.
     pub hits: u64,
-    /// Requests that had to compile (or failed trying).
+    /// Requests that performed the compile themselves (or failed trying).
     pub misses: u64,
+    /// Requests that joined another thread's in-flight compile instead of
+    /// recompiling (singleflight dedup).
+    pub dedup_joins: u64,
     /// Entries dropped by LRU eviction.
     pub evictions: u64,
+    /// Submissions rejected by a full admission queue under
+    /// [`crate::Backpressure::Shed`].
+    pub shed: u64,
     /// Requests that ended in a [`ServeError`].
     pub errors: u64,
+    /// Median service-side wall time over the most recent ~4096 requests
+    /// (milliseconds; 0 before any traffic).
+    pub p50_ms: f64,
+    /// 99th-percentile service-side wall time over the same window
+    /// (milliseconds).
+    pub p99_ms: f64,
+}
+
+impl ServeStats {
+    /// Fraction of accepted requests answered without compiling —
+    /// cache hits plus singleflight joins over all requests. 0 before
+    /// any traffic.
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        (self.hits + self.dedup_joins) as f64 / self.requests as f64
+    }
 }

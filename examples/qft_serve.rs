@@ -8,6 +8,14 @@
 //! anything malformed — bad JSON, unknown compilers, invalid targets. The
 //! final [`ServeStats`] snapshot goes to stderr.
 //!
+//! By default each request is compiled inline, in order. Under `--stream`
+//! the example instead submits every request to the service's persistent
+//! worker pool through a [`StreamSession`] and prints rows as they
+//! complete — completion order, each row tagged with the submission
+//! sequence number (`seq`) so callers can re-correlate. Duplicate
+//! requests in a streamed batch are deduplicated in flight: one compile,
+//! every duplicate served the same shared artifact.
+//!
 //! ```text
 //! $ cargo run --release --example qft_serve <<'EOF'
 //! {"compiler": "heavyhex", "target": "heavyhex:4"}
@@ -54,26 +62,77 @@ impl Summary {
     }
 }
 
-fn main() {
-    let full = std::env::args().any(|a| a == "--full");
-    let service = CompileService::new();
-    let stdin = std::io::stdin();
+/// A streamed row: the summary plus the submission sequence number, so
+/// completion-order output can be re-correlated with input order.
+#[derive(Debug, Serialize)]
+struct StreamedRow {
+    seq: u64,
+    row: Summary,
+}
+
+fn render(outcome: &Result<CompileResponse, ServeError>, full: bool) -> String {
+    match outcome {
+        Ok(resp) if full => serde_json::to_string(resp),
+        Ok(resp) => serde_json::to_string(&Summary::of(resp)),
+        Err(e) => serde_json::to_string(e),
+    }
+    .expect("responses always serialize")
+}
+
+/// Inline mode: compile each request on this thread, in input order.
+fn serve_inline(service: &CompileService, lines: &[String], full: bool) {
     let mut out = std::io::stdout().lock();
-    for line in stdin.lock().lines() {
-        let line = line.expect("read stdin");
-        if line.trim().is_empty() {
-            continue;
-        }
-        let outcome = serde_json::from_str::<CompileRequest>(&line)
+    for line in lines {
+        let outcome = serde_json::from_str::<CompileRequest>(line)
             .map_err(ServeError::bad_request)
             .and_then(|req| service.compile(&req));
-        let json = match &outcome {
-            Ok(resp) if full => serde_json::to_string(resp),
-            Ok(resp) => serde_json::to_string(&Summary::of(resp)),
-            Err(e) => serde_json::to_string(e),
+        writeln!(out, "{}", render(&outcome, full)).expect("write stdout");
+    }
+}
+
+/// Streaming mode: submit everything up front to the worker pool, then
+/// drain completions as they land (completion order, `seq`-tagged).
+fn serve_stream(service: &CompileService, lines: &[String], full: bool) {
+    let mut out = std::io::stdout().lock();
+    let mut session = service.stream();
+    for line in lines {
+        match serde_json::from_str::<CompileRequest>(line).map_err(ServeError::bad_request) {
+            Ok(req) => {
+                session.submit(req).expect("submit to worker pool");
+            }
+            // Malformed lines never reach the pool; report them inline.
+            Err(e) => writeln!(out, "{}", render(&Err(e), full)).expect("write stdout"),
         }
-        .expect("responses always serialize");
+    }
+    while let Some((seq, outcome)) = session.recv() {
+        let json = match &outcome {
+            Ok(resp) if full => serde_json::to_string(resp).expect("responses always serialize"),
+            Ok(resp) => serde_json::to_string(&StreamedRow {
+                seq,
+                row: Summary::of(resp),
+            })
+            .expect("responses always serialize"),
+            Err(e) => serde_json::to_string(e).expect("responses always serialize"),
+        };
         writeln!(out, "{json}").expect("write stdout");
+    }
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let stream = std::env::args().any(|a| a == "--stream");
+    let service = CompileService::new();
+    let stdin = std::io::stdin();
+    let lines: Vec<String> = stdin
+        .lock()
+        .lines()
+        .map(|l| l.expect("read stdin"))
+        .filter(|l| !l.trim().is_empty())
+        .collect();
+    if stream {
+        serve_stream(&service, &lines, full);
+    } else {
+        serve_inline(&service, &lines, full);
     }
     eprintln!(
         "{}",

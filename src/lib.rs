@@ -67,7 +67,10 @@ pub use qft_core::{
     QftCompiler, Registry, Target, TargetSpec, VerifyLevel,
 };
 pub use qft_ir::passes::{Pass, PassCtx, PassError, PassManager, PassReport};
-pub use qft_serve::{CompileRequest, CompileResponse, CompileService, ServeError, ServeStats};
+pub use qft_serve::{
+    Backpressure, CompileRequest, CompileResponse, CompileService, ServeError, ServeStats,
+    StreamSession, Ticket,
+};
 
 /// The process-wide compiler registry: the paper's four analytical mappers
 /// (`lnn`, `sycamore`, `heavyhex`, `lattice`) plus the three baselines

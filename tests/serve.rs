@@ -1,20 +1,34 @@
-//! The serving suite: concurrency determinism, cache semantics, and the
-//! negative paths of the batched compile service (ISSUE 4).
+//! The serving suite: concurrency determinism, sharded-cache semantics,
+//! singleflight dedup, backpressure, and the negative paths of the
+//! compile service (ISSUE 4, rebuilt for production concurrency in
+//! ISSUE 7).
 //!
 //! The determinism contract under test: because the service caches
 //! results and hands them across threads, compiling the same
 //! [`CompileRequest`] must yield **byte-identical** serialized
 //! [`qft_kernels::CompileResult`]s — whichever thread compiled it,
-//! whether it was a cold miss or a cache hit, and whichever service
-//! instance served it (wall times are stripped from the artifact and live
-//! in the [`CompileResponse`] metadata instead).
+//! whether it was a cold miss, a cache hit, or a singleflight join, and
+//! whichever service instance served it (wall times are stripped from
+//! the artifact and live in the [`qft_kernels::CompileResponse`]
+//! metadata instead).
+//!
+//! The concurrency contract: a duplicate storm of N identical concurrent
+//! requests performs **exactly one** compile (`stats.misses == 1`), with
+//! every response sharing one `Arc`; and a full bounded admission queue
+//! under [`Backpressure::Shed`] surfaces a descriptive `overloaded`
+//! error instead of hanging.
 
 mod common;
 
 use common::{serve_request, serve_request_from_fields, SERVE_COMPILERS};
 use proptest::prelude::*;
 use qft_kernels::serve::shared_registry;
-use qft_kernels::{registry, CompileOptions, CompileRequest, CompileService, IeMode, ServeError};
+use qft_kernels::{
+    registry, Backpressure, CompileOptions, CompileRequest, CompileService, IeMode, QftCompiler,
+    Registry, ServeError, ServeStats, Target,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Condvar, Mutex, OnceLock};
 
 /// The request the concurrency tests hammer: a stochastic search compiler
 /// (so determinism is a property of the pipeline, not just of analytical
@@ -70,13 +84,16 @@ fn n_threads_compile_byte_identical_results() {
     for b in &bytes[1..] {
         assert_eq!(b, &bytes[0], "threads must serialize identical artifacts");
     }
-    // Every request was served, and hits + misses account for all of them
-    // (racing cold misses may both compile — that only shifts the
-    // hit/miss split, never the bytes).
+    // Every request was served, and the admission identity holds: each
+    // request either hit the cache, joined the in-flight compile, or
+    // compiled — and singleflight guarantees exactly one compile.
     let stats = service.stats();
     assert_eq!(stats.requests, n_threads as u64);
-    assert_eq!(stats.hits + stats.misses, n_threads as u64);
-    assert!(stats.misses >= 1);
+    assert_eq!(
+        stats.hits + stats.misses + stats.dedup_joins,
+        n_threads as u64
+    );
+    assert_eq!(stats.misses, 1, "singleflight: exactly one compile");
 
     // Determinism is a pipeline property, not a cache artifact: a fresh
     // service (cold cache) reproduces the same bytes.
@@ -88,6 +105,49 @@ fn n_threads_compile_byte_identical_results() {
         bytes[0],
         "a cold compile in a fresh service must reproduce the cached bytes"
     );
+}
+
+/// The acceptance-criterion storm: 64 identical concurrent requests,
+/// exactly 1 compile, all 64 responses sharing one `Arc` (byte-identical
+/// by construction, pointer-identical by assertion).
+#[test]
+fn duplicate_storm_of_64_performs_exactly_one_compile() {
+    let service = CompileService::new();
+    let req = contended_request();
+    let n_threads = 64;
+    let barrier = Barrier::new(n_threads);
+    let results: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_threads)
+            .map(|_| {
+                let (service, req, barrier) = (&service, &req, &barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    let resp = service.compile(req).expect("storm compile");
+                    (resp.cached, resp.deduped, resp.result)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let stats = service.stats();
+    // The compile-count probe: misses counts requests that performed the
+    // compile themselves, and singleflight admits exactly one leader.
+    assert_eq!(stats.misses, 1, "64-duplicate storm must compile once");
+    assert_eq!(stats.requests, n_threads as u64);
+    assert_eq!(
+        stats.hits + stats.dedup_joins,
+        n_threads as u64 - 1,
+        "the other 63 are hits or in-flight joins"
+    );
+    let leader = results.iter().filter(|(cached, _, _)| !cached).count();
+    assert_eq!(leader, 1, "exactly one response reports the cold compile");
+    let reference = &results[0].2;
+    for (cached, deduped, result) in &results {
+        assert!(
+            Arc::ptr_eq(result, reference),
+            "all 64 responses must share one Arc (cached={cached}, deduped={deduped})"
+        );
+    }
 }
 
 #[test]
@@ -122,7 +182,7 @@ fn cache_hit_returns_bytes_identical_to_the_cold_miss() {
 }
 
 #[test]
-fn batched_duplicates_are_deterministic_across_the_pool() {
+fn batched_duplicates_are_deduplicated_across_the_pool() {
     let service = CompileService::new();
     let req = contended_request();
     let batch: Vec<CompileRequest> = (0..12).map(|_| req.clone()).collect();
@@ -138,8 +198,133 @@ fn batched_duplicates_are_deterministic_across_the_pool() {
     }
     assert!(
         responses.iter().any(|r| r.as_ref().unwrap().cached),
-        "a 12-duplicate batch must hit the cache at least once"
+        "a 12-duplicate batch must be served from cache or in-flight joins"
     );
+    // Singleflight reaches through the pool too: one compile, period.
+    assert_eq!(service.stats().misses, 1);
+}
+
+#[test]
+fn streaming_submit_recv_serves_mixed_traffic() {
+    let service = CompileService::builder().workers(2).build();
+    let mut session = service.stream();
+    // Interleave distinct and duplicate requests, streamed not batched.
+    let mut seqs = Vec::new();
+    for n in [6usize, 7, 6, 8, 7, 6] {
+        let seq = session
+            .submit(serve_request(
+                "lnn",
+                &format!("lnn:{n}"),
+                CompileOptions::default(),
+            ))
+            .expect("stream submit");
+        seqs.push((seq, n));
+    }
+    let mut received = Vec::new();
+    while let Some((seq, resp)) = session.recv() {
+        let resp = resp.expect("streamed compile");
+        received.push((seq, resp.result.n));
+    }
+    assert_eq!(received.len(), seqs.len());
+    // Responses arrive in completion order, but every tag must map back
+    // to the n it was submitted with.
+    received.sort_unstable();
+    assert_eq!(received, seqs);
+    // 3 distinct kernels behind 6 requests.
+    let stats = service.stats();
+    assert_eq!(stats.requests, 6);
+    assert_eq!(stats.misses, 3);
+    assert_eq!(stats.hits + stats.dedup_joins, 3);
+}
+
+/// A test-only compiler that parks inside `compile` until the gate opens:
+/// the deterministic way to hold a worker busy and fill the admission
+/// queue. Delegates to the real LNN mapper once released.
+struct GateCompiler;
+
+static GATE_OPEN: Mutex<bool> = Mutex::new(false);
+static GATE_CV: Condvar = Condvar::new();
+static GATE_ENTERED: AtomicUsize = AtomicUsize::new(0);
+
+impl QftCompiler for GateCompiler {
+    fn name(&self) -> &'static str {
+        "gate"
+    }
+    fn description(&self) -> &'static str {
+        "test compiler that blocks until the gate opens"
+    }
+    fn compile(
+        &self,
+        target: &Target,
+        opts: &CompileOptions,
+    ) -> Result<qft_kernels::CompileResult, qft_kernels::CompileError> {
+        GATE_ENTERED.fetch_add(1, Ordering::SeqCst);
+        let mut open = GATE_OPEN.lock().expect("gate mutex");
+        while !*open {
+            open = GATE_CV.wait(open).expect("gate condvar");
+        }
+        drop(open);
+        shared_registry().resolve("lnn")?.compile(target, opts)
+    }
+}
+
+fn gate_registry() -> &'static Registry {
+    static GATED: OnceLock<&'static Registry> = OnceLock::new();
+    GATED.get_or_init(|| {
+        let mut r = Registry::with_core();
+        r.register(Box::new(GateCompiler));
+        Box::leak(Box::new(r))
+    })
+}
+
+/// The backpressure negative path: with one worker parked on the gate and
+/// a capacity-1 queue already holding a job, a shed-policy submission
+/// must come back as a descriptive `overloaded` error — immediately, not
+/// after a hang — and be counted in `stats.shed`.
+#[test]
+fn full_bounded_queue_sheds_with_a_descriptive_error_not_a_hang() {
+    let service = CompileService::builder()
+        .registry(gate_registry())
+        .workers(1)
+        .queue_capacity(1)
+        .backpressure(Backpressure::Shed)
+        .build();
+    assert_eq!(service.backpressure(), Backpressure::Shed);
+
+    // Park the single worker inside the gated compile…
+    let ticket_a = service
+        .submit(CompileRequest::new("gate", "lnn:4"))
+        .expect("first submission is admitted");
+    while GATE_ENTERED.load(Ordering::SeqCst) == 0 {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    // …fill the queue behind it…
+    let ticket_b = service
+        .submit(CompileRequest::new("gate", "lnn:5"))
+        .expect("second submission fills the queue");
+    assert_eq!(service.stats().queue_depth, 1);
+
+    // …and the next submission must shed, descriptively.
+    let err = service
+        .submit(CompileRequest::new("gate", "lnn:6"))
+        .expect_err("a full queue under Shed must reject");
+    assert_eq!(err.kind, "overloaded");
+    for fragment in ["admission queue is full", "1/1", "Shed", "retry"] {
+        assert!(err.error.contains(fragment), "missing {fragment:?}: {err}");
+    }
+    let stats = service.stats();
+    assert_eq!(stats.shed, 1);
+    assert_eq!(
+        stats.requests, 1,
+        "a shed submission never became a request"
+    );
+
+    // Release the gate: the admitted jobs drain normally.
+    *GATE_OPEN.lock().unwrap() = true;
+    GATE_CV.notify_all();
+    assert_eq!(ticket_a.recv().expect("gated compile A").result.n, 4);
+    assert_eq!(ticket_b.recv().expect("gated compile B").result.n, 5);
+    assert_eq!(service.stats().shed, 1, "draining never sheds");
 }
 
 #[test]
@@ -231,14 +416,19 @@ fn request_roundtrips_and_key_is_canonical() {
     let json = serde_json::to_string(&req).unwrap();
     let back: CompileRequest = serde_json::from_str(&json).unwrap();
     assert_eq!(back, req);
-    // The key IS the canonical serialization: stable across round-trips.
+    // The key IS the canonical serialization: stable across round-trips,
+    // and the digest is a pure function of it.
     assert_eq!(back.cache_key(), req.cache_key());
     assert_eq!(req.cache_key(), json);
+    assert_eq!(back.key_digest(), req.key_digest());
 }
 
 #[test]
 fn lru_eviction_respects_capacity_and_recency() {
+    // Tiny capacities degenerate to a single shard, so global LRU order
+    // is exact — this pins the O(1) recency structure's behavior.
     let service = CompileService::with_config(4, 1);
+    assert_eq!(service.stats().cache_shards, 1);
     let req_for = |n: usize| serve_request("lnn", &format!("lnn:{n}"), CompileOptions::default());
     for n in 4..12 {
         service.compile(&req_for(n)).expect("fill the cache");
@@ -261,12 +451,67 @@ fn lru_eviction_respects_capacity_and_recency() {
     assert!(!service.is_cached(&req_for(9)));
 }
 
+#[test]
+fn sharded_cache_spreads_and_bounds_occupancy() {
+    let service = CompileService::builder()
+        .cache_capacity(64)
+        .workers(2)
+        .build();
+    let stats = service.stats();
+    assert!(stats.cache_shards > 1, "serving capacities shard");
+    assert_eq!(stats.cache_capacity, 64);
+    for n in 4..40 {
+        service
+            .compile(&serve_request(
+                "lnn",
+                &format!("lnn:{n}"),
+                CompileOptions::default(),
+            ))
+            .unwrap();
+    }
+    let stats = service.stats();
+    assert_eq!(stats.misses, 36);
+    assert!(
+        stats.cache_entries <= 64,
+        "sharded occupancy stays bounded: {}",
+        stats.cache_entries
+    );
+    // Everything resident still round-trips through the digest path.
+    let hot = service
+        .compile(&serve_request("lnn", "lnn:39", CompileOptions::default()))
+        .unwrap();
+    assert!(hot.cached);
+}
+
+#[test]
+fn serve_stats_roundtrip_and_hit_rate() {
+    let service = CompileService::with_config(8, 2);
+    let req = serve_request("lnn", "lnn:6", CompileOptions::default());
+    service.compile(&req).unwrap();
+    service.compile(&req).unwrap();
+    service.compile(&req).unwrap();
+    let stats = service.stats();
+    assert_eq!((stats.requests, stats.hits, stats.misses), (3, 2, 1));
+    assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    assert!(stats.p50_ms >= 0.0 && stats.p99_ms >= stats.p50_ms);
+    // The snapshot is a serde artifact: it round-trips bit-exactly, and
+    // the derived hit rate survives the trip.
+    let json = serde_json::to_string(&stats).expect("stats serialize");
+    let back: ServeStats = serde_json::from_str(&json).expect("stats round-trip");
+    assert_eq!(back, stats);
+    assert_eq!(back.hit_rate(), stats.hit_rate());
+    // An idle service divides zero by zero gracefully.
+    assert_eq!(CompileService::with_config(2, 1).stats().hit_rate(), 0.0);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
     /// Cache-key injectivity: two requests get the same key exactly when
     /// they are the same request — any difference in any field (compiler,
     /// target size, opt_level, degree, ie_mode, seed) separates the keys.
+    /// The digest path must agree: distinct canonical keys get distinct
+    /// 128-bit digests over this entire request population.
     #[test]
     fn distinct_requests_get_distinct_cache_keys(
         a in (0usize..7, 0usize..6, 0u8..3, 0u32..5, 0usize..2, 0u64..3),
@@ -284,5 +529,94 @@ proptest! {
         };
         let (ra, rb) = (build(a), build(b));
         prop_assert_eq!(ra == rb, ra.cache_key() == rb.cache_key());
+        prop_assert_eq!(ra == rb, ra.key_digest() == rb.key_digest());
+    }
+}
+
+proptest! {
+    // Threaded cases are comparatively expensive; 16 cases × ~10 keys ×
+    // 8 threads still hammers every interleaving class that matters.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Concurrent cache discipline on one shard: 8 threads interleave
+    /// get/insert traffic over a small key space through a single-shard
+    /// service. Afterwards the shard must respect capacity, serve
+    /// byte-identical artifacts per key, reuse the resident `Arc` on
+    /// consecutive hits, and preserve exact LRU recency under a
+    /// deterministic sequential tail.
+    #[test]
+    fn one_shard_survives_an_8_thread_hammer(
+        per_thread in proptest::collection::vec(
+            proptest::collection::vec(0usize..10, 4..12),
+            8..9,
+        ),
+    ) {
+        let capacity = 6;
+        let service = CompileService::builder()
+            .cache_capacity(capacity)
+            .cache_shards(1)
+            .workers(1)
+            .build();
+        let req_for =
+            |k: usize| serve_request("lnn", &format!("lnn:{}", 4 + k), CompileOptions::default());
+        let total_ops: usize = per_thread.iter().map(Vec::len).sum();
+        // Phase 1: the hammer. Every thread records (key, serialized
+        // artifact) for every op.
+        let mut by_key: Vec<Vec<String>> = vec![Vec::new(); 10];
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = per_thread
+                .iter()
+                .map(|keys| {
+                    let service = &service;
+                    scope.spawn(move || {
+                        keys.iter()
+                            .map(|&k| {
+                                let resp = service.compile(&req_for(k)).expect("hammer compile");
+                                (k, serde_json::to_string(&resp.result).unwrap())
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (k, bytes) in h.join().expect("hammer thread") {
+                    by_key[k].push(bytes);
+                }
+            }
+        });
+        // Byte-identical artifacts per key, across threads, hits, misses,
+        // and re-compiles after eviction.
+        for versions in &by_key {
+            for v in versions.iter().skip(1) {
+                prop_assert_eq!(v, &versions[0]);
+            }
+        }
+        let stats = service.stats();
+        prop_assert!(stats.cache_entries <= capacity);
+        prop_assert_eq!(stats.requests, total_ops as u64);
+        prop_assert_eq!(
+            stats.hits + stats.misses + stats.dedup_joins,
+            total_ops as u64
+        );
+        // Consecutive hits on a resident key reuse one Arc — the cache
+        // shares, never clones, the artifact.
+        let resident = service.compile(&req_for(0)).expect("warm key 0");
+        let again = service.compile(&req_for(0)).expect("hit key 0");
+        prop_assert!(again.cached);
+        prop_assert!(Arc::ptr_eq(&resident.result, &again.result));
+        // Phase 2: deterministic recency tail. Fill with exactly
+        // `capacity` distinct keys; they must all be resident in LRU
+        // order, so one more distinct insert evicts precisely the oldest.
+        for k in 10..10 + capacity {
+            service.compile(&req_for(k)).expect("tail fill");
+        }
+        for k in 10..10 + capacity {
+            prop_assert!(service.is_cached(&req_for(k)));
+        }
+        service.compile(&req_for(10 + capacity)).expect("overflow");
+        prop_assert!(!service.is_cached(&req_for(10)), "oldest tail key evicted");
+        for k in 11..=10 + capacity {
+            prop_assert!(service.is_cached(&req_for(k)));
+        }
     }
 }
