@@ -1,0 +1,349 @@
+//! The blocking TCP client for a [`NetServer`][crate::NetServer].
+//!
+//! [`NetClient`] is deliberately small: one socket, one frame at a time,
+//! no background threads. Requests are pipelined by seq tag —
+//! [`NetClient::submit`] writes a request frame and returns its seq;
+//! [`NetClient::next_event`] reads whatever the server sends next
+//! (responses arrive in *completion* order, so the seq is how a caller
+//! re-correlates). [`NetClient::request`] wraps the two into the common
+//! call-and-wait shape, including the retry contract for an overloaded
+//! server: an `overloaded` frame is not an error to give up on — the
+//! client sleeps the server's `retry_after_ms` hint (capped by
+//! [`RetryPolicy::backoff_cap`]) and resubmits, up to
+//! [`RetryPolicy::max_attempts`] attempts.
+
+use crate::proto::{
+    self, Frame, FrameKind, ProtoError, WireFault, WireGoodbye, WireOverloaded, WireResponse,
+};
+use crate::types::{CompileRequest, CompileResponse, ServeError, ServeStats};
+use std::collections::VecDeque;
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// How [`NetClient::request`] reacts to an `overloaded` frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total submission attempts before giving up with
+    /// [`ClientError::Overloaded`] (1 = never retry).
+    pub max_attempts: u32,
+    /// Upper bound on one backoff sleep. The server's `retry_after_ms`
+    /// hint is honored up to this cap, so a pathological hint cannot
+    /// stall the client for half a minute.
+    pub backoff_cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_cap: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Tuning for one [`NetClient`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// How long one [`NetClient::next_event`] read may wait for the next
+    /// frame. Compiles run server-side, so this bounds *server silence*,
+    /// not compile time only — keep it comfortably above the slowest
+    /// expected compile.
+    pub read_timeout: Duration,
+    /// Socket write timeout for outgoing frames.
+    pub write_timeout: Duration,
+    /// The overload retry contract for [`NetClient::request`].
+    pub retry: RetryPolicy,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(5),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// What a [`NetClient`] can fail with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// Connecting or configuring the socket failed.
+    Io {
+        /// What was being done when the I/O failed.
+        context: String,
+        /// The `io::Error` display text.
+        detail: String,
+    },
+    /// The wire layer rejected a frame (truncation, corruption, timeout —
+    /// see [`ProtoError`]).
+    Proto(ProtoError),
+    /// The server answered the request with a [`ServeError`]
+    /// (unknown compiler, invalid target, `draining`, …).
+    Server(ServeError),
+    /// Every attempt was shed by an overloaded server; carries the
+    /// server's final shed notice.
+    Overloaded {
+        /// Submission attempts made (== the policy's `max_attempts`).
+        attempts: u32,
+        /// The last `overloaded` frame received.
+        last: WireOverloaded,
+    },
+    /// The server closed the conversation with a goodbye frame while a
+    /// response was still awaited.
+    Closed {
+        /// The server's stated reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io { context, detail } => {
+                write!(f, "i/o failure during {context}: {detail}")
+            }
+            ClientError::Proto(e) => write!(f, "protocol failure: {e}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+            ClientError::Overloaded { attempts, last } => write!(
+                f,
+                "server overloaded after {attempts} attempts (queue {}/{}, last retry-after hint \
+                 {} ms)",
+                last.queue_depth, last.queue_capacity, last.retry_after_ms
+            ),
+            ClientError::Closed { reason } => {
+                write!(f, "server closed the connection: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+/// One frame from the server, decoded. What [`NetClient::next_event`]
+/// yields.
+#[derive(Debug, Clone)]
+pub enum NetEvent {
+    /// A completed compile for the submission tagged `seq`.
+    Response {
+        /// The seq [`NetClient::submit`] returned for this request.
+        seq: u64,
+        /// The response, exactly the in-process serde type.
+        response: CompileResponse,
+    },
+    /// A failure: request-level when `seq` is present, connection-level
+    /// otherwise.
+    Fail {
+        /// The failed submission's seq, if the failure is scoped to one.
+        seq: Option<u64>,
+        /// The error.
+        error: ServeError,
+    },
+    /// The submission was shed by a full admission queue; the connection
+    /// is still open and the notice carries a retry-after hint.
+    Overloaded(WireOverloaded),
+    /// A [`ServeStats`] snapshot (answering [`NetClient::submit_stats`]).
+    Stats(ServeStats),
+    /// The server's half of a graceful close — its final frame.
+    Goodbye(WireGoodbye),
+}
+
+/// A blocking client over one TCP connection to a
+/// [`NetServer`][crate::NetServer]. See the module docs for the
+/// submit/next-event model; [`NetClient::request`], [`NetClient::stats`],
+/// and [`NetClient::goodbye`] are the common shapes pre-assembled.
+#[derive(Debug)]
+pub struct NetClient {
+    stream: TcpStream,
+    config: ClientConfig,
+    next_seq: u64,
+    /// Events read past while waiting for something specific (e.g.
+    /// responses that completed while [`NetClient::stats`] waited for its
+    /// snapshot). Drained by [`NetClient::next_event`] before the socket
+    /// is touched again.
+    backlog: VecDeque<NetEvent>,
+}
+
+impl NetClient {
+    /// Connects with the default [`ClientConfig`].
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<NetClient, ClientError> {
+        NetClient::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with explicit timeouts and retry policy.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+    ) -> Result<NetClient, ClientError> {
+        let io_err = |context: &'static str| {
+            move |e: io::Error| ClientError::Io {
+                context: context.to_string(),
+                detail: e.to_string(),
+            }
+        };
+        let stream = TcpStream::connect(addr).map_err(io_err("connecting"))?;
+        stream.set_nodelay(true).ok();
+        stream
+            .set_read_timeout(Some(config.read_timeout))
+            .map_err(io_err("configuring the read timeout"))?;
+        stream
+            .set_write_timeout(Some(config.write_timeout))
+            .map_err(io_err("configuring the write timeout"))?;
+        Ok(NetClient {
+            stream,
+            config,
+            next_seq: 0,
+            backlog: VecDeque::new(),
+        })
+    }
+
+    /// Writes one request frame and returns the seq its response will
+    /// carry. Does not wait for anything.
+    pub fn submit(&mut self, req: &CompileRequest) -> Result<u64, ClientError> {
+        let seq = self.next_seq;
+        proto::write_frame(&mut &self.stream, &Frame::request(seq, req))?;
+        self.next_seq += 1;
+        Ok(seq)
+    }
+
+    /// Writes one stats-request frame; the snapshot arrives as
+    /// [`NetEvent::Stats`].
+    pub fn submit_stats(&mut self) -> Result<(), ClientError> {
+        proto::write_frame(&mut &self.stream, &Frame::stats_request())?;
+        Ok(())
+    }
+
+    /// The next server event: the backlog first, then one blocking frame
+    /// read (bounded by [`ClientConfig::read_timeout`]).
+    pub fn next_event(&mut self) -> Result<NetEvent, ClientError> {
+        if let Some(event) = self.backlog.pop_front() {
+            return Ok(event);
+        }
+        self.read_event()
+    }
+
+    /// One frame off the socket, decoded into a [`NetEvent`].
+    fn read_event(&mut self) -> Result<NetEvent, ClientError> {
+        let frame = proto::read_frame(&mut &self.stream)?;
+        match frame.kind {
+            FrameKind::Response => {
+                let wire: WireResponse = frame.decode()?;
+                Ok(NetEvent::Response {
+                    seq: wire.seq,
+                    response: wire.response,
+                })
+            }
+            FrameKind::Error => {
+                let wire: WireFault = frame.decode()?;
+                Ok(NetEvent::Fail {
+                    seq: wire.seq,
+                    error: wire.error,
+                })
+            }
+            FrameKind::Overloaded => Ok(NetEvent::Overloaded(frame.decode()?)),
+            FrameKind::Stats => Ok(NetEvent::Stats(frame.decode()?)),
+            FrameKind::Goodbye => Ok(NetEvent::Goodbye(frame.decode()?)),
+            kind => Err(ClientError::Proto(ProtoError::Unexpected {
+                kind,
+                context: "a client receives response, error, overloaded, stats, and goodbye \
+                          frames"
+                    .to_string(),
+            })),
+        }
+    }
+
+    /// Submit-and-wait with the overload retry contract: an `overloaded`
+    /// answer sleeps the server's retry-after hint (capped by the
+    /// policy's `backoff_cap`) and resubmits, up to `max_attempts`
+    /// attempts. Responses for *other* pipelined seqs observed while
+    /// waiting are preserved for later [`NetClient::next_event`] calls.
+    pub fn request(&mut self, req: &CompileRequest) -> Result<CompileResponse, ClientError> {
+        let policy = self.config.retry;
+        let mut deferred: Vec<NetEvent> = Vec::new();
+        let mut attempts = 0u32;
+        let outcome = 'attempts: loop {
+            attempts += 1;
+            let seq = match self.submit(req) {
+                Ok(seq) => seq,
+                Err(e) => break 'attempts Err(e),
+            };
+            loop {
+                let event = match self.next_event() {
+                    Ok(event) => event,
+                    Err(e) => break 'attempts Err(e),
+                };
+                match event {
+                    NetEvent::Response { seq: s, response } if s == seq => {
+                        break 'attempts Ok(response)
+                    }
+                    NetEvent::Fail { seq: s, error } if s == Some(seq) || s.is_none() => {
+                        break 'attempts Err(ClientError::Server(error))
+                    }
+                    NetEvent::Overloaded(o) if o.seq == seq => {
+                        if attempts >= policy.max_attempts.max(1) {
+                            break 'attempts Err(ClientError::Overloaded { attempts, last: o });
+                        }
+                        let wait = Duration::from_millis(o.retry_after_ms).min(policy.backoff_cap);
+                        std::thread::sleep(wait);
+                        break; // resubmit under a fresh seq
+                    }
+                    NetEvent::Goodbye(g) => {
+                        break 'attempts Err(ClientError::Closed { reason: g.reason })
+                    }
+                    other => deferred.push(other),
+                }
+            }
+        };
+        self.backlog.extend(deferred);
+        outcome
+    }
+
+    /// A [`ServeStats`] snapshot over the wire. Responses completing
+    /// while the snapshot is awaited are preserved for later
+    /// [`NetClient::next_event`] calls.
+    pub fn stats(&mut self) -> Result<ServeStats, ClientError> {
+        self.submit_stats()?;
+        let mut deferred: Vec<NetEvent> = Vec::new();
+        let outcome = loop {
+            match self.read_event() {
+                Ok(NetEvent::Stats(stats)) => break Ok(stats),
+                Ok(NetEvent::Goodbye(g)) => break Err(ClientError::Closed { reason: g.reason }),
+                Ok(other) => deferred.push(other),
+                Err(e) => break Err(e),
+            }
+        };
+        self.backlog.extend(deferred);
+        outcome
+    }
+
+    /// Graceful close: announce no further requests, then drain events
+    /// until the server's answering goodbye (every already-submitted
+    /// response arrives first, per the drain contract). Consumes the
+    /// client; the returned goodbye carries the server's reason and the
+    /// connection's served count.
+    pub fn goodbye(mut self) -> Result<WireGoodbye, ClientError> {
+        proto::write_frame(&mut &self.stream, &Frame::goodbye("client done", 0))?;
+        loop {
+            match self.next_event()? {
+                NetEvent::Goodbye(g) => return Ok(g),
+                _other => {} // late responses; the caller said they are done
+            }
+        }
+    }
+
+    /// The local socket address (useful in tests).
+    pub fn local_addr(&self) -> Result<std::net::SocketAddr, ClientError> {
+        self.stream.local_addr().map_err(|e| ClientError::Io {
+            context: "reading the local address".to_string(),
+            detail: e.to_string(),
+        })
+    }
+}

@@ -24,7 +24,15 @@
 //! * [`ServeStats`] — lock-free admission metrics: hits, misses,
 //!   dedup joins, evictions, sheds, queue depth, in-flight compiles, and
 //!   a p50/p99 latency window, serde-able for dashboards, plus a
-//!   [`ServeStats::hit_rate`] helper.
+//!   [`ServeStats::hit_rate`] helper;
+//! * **Network front end** ([`crate::proto`]/[`crate::server`]/
+//!   [`crate::client`]) — a std-only TCP layer speaking length-prefixed
+//!   JSON frames (spec in `crates/serve/PROTOCOL.md`): [`NetServer`]
+//!   runs a thread-per-connection accept loop over one shared service
+//!   with graceful drain, a wire-level `stats` kind, and shed
+//!   backpressure surfaced as a structured `overloaded` frame with a
+//!   retry-after hint; [`NetClient`] is the blocking client with a
+//!   retry-after-honoring [`RetryPolicy`].
 //!
 //! Cached results are **byte-deterministic**: wall times are stripped
 //! from the artifact (they live in the response metadata instead), so a
@@ -50,13 +58,18 @@
 #![warn(missing_docs)]
 
 mod cache;
+pub mod client;
 pub mod digest;
 mod flight;
 mod metrics;
+pub mod proto;
 mod queue;
+pub mod server;
 pub mod service;
 pub mod types;
 
+pub use client::{ClientConfig, ClientError, NetClient, NetEvent, RetryPolicy};
+pub use server::{DrainSummary, NetServer, NetStats, ServerConfig};
 pub use service::{
     Backpressure, CompileService, ServiceBuilder, StreamSession, Ticket, DEFAULT_CACHE_CAPACITY,
     DEFAULT_QUEUE_CAPACITY,

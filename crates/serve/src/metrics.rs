@@ -94,6 +94,32 @@ impl Metrics {
     }
 }
 
+/// Connection-level counters for the network front end, one
+/// `AtomicU64` per event class — same lock-free discipline as
+/// [`Metrics`]. The serve-path counters above count *requests*; these
+/// count *connections and frames*, so a fault-injection storm (garbage
+/// bytes, slowloris stalls, mid-stream disconnects) is visible even
+/// though none of it ever becomes a request.
+#[derive(Debug, Default)]
+pub(crate) struct NetCounters {
+    /// Connections the accept loop admitted.
+    pub accepted: AtomicU64,
+    /// Connections turned away at accept time because the server was
+    /// draining (each got a goodbye frame, not a bare reset).
+    pub denied: AtomicU64,
+    /// Connections closed by a protocol violation (bad magic/version/
+    /// kind, oversize length, malformed frame stream).
+    pub proto_errors: AtomicU64,
+    /// Connections closed because a frame sat incomplete past the
+    /// per-frame read deadline (slow or stalled clients).
+    pub slow_timeouts: AtomicU64,
+    /// Connections whose peer vanished (clean or mid-frame EOF) without
+    /// a goodbye handshake.
+    pub disconnects: AtomicU64,
+    /// Connections closed gracefully with a server goodbye frame.
+    pub goodbyes: AtomicU64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

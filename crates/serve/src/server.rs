@@ -1,0 +1,475 @@
+//! The TCP front end: a thread-per-connection accept loop in front of a
+//! shared [`CompileService`].
+//!
+//! Each accepted connection gets its own thread and its own
+//! [`StreamSession`][crate::StreamSession] on the service, so the wire
+//! surface inherits the in-process contracts verbatim: byte-deterministic
+//! cached artifacts, singleflight dedup across connections (two sockets
+//! asking for the same key still perform one compile), and the
+//! [`Backpressure`][crate::Backpressure] policy — a shed submission comes
+//! back as a structured `overloaded` frame carrying queue depth and a
+//! retry-after hint, never a closed socket.
+//!
+//! The connection loop is a single thread interleaving three duties on a
+//! short read-timeout tick:
+//!
+//! 1. flush completed compile responses (completion order, seq-tagged);
+//! 2. honor the drain/goodbye state machine;
+//! 3. poll the socket for the next frame, enforcing the per-frame read
+//!    deadline (a half-written header that stalls past
+//!    [`ServerConfig::read_timeout`] is closed with a diagnosis, so a
+//!    slowloris client costs one connection thread for one deadline, not
+//!    a worker).
+//!
+//! **Graceful drain** ([`NetServer::shutdown`]): stop accepting (late
+//! connections get a goodbye frame, then the listener closes so further
+//! connects are refused outright), refuse new requests on live
+//! connections with a `draining` error, deliver every response already
+//! accepted, close each connection with a goodbye frame carrying its
+//! served count, and join every thread — accept loop and all connection
+//! threads — before returning. Nothing is detached.
+
+use crate::metrics::{Metrics, NetCounters};
+use crate::proto::{self, Frame, FrameKind, FramePoll, FrameReader, ProtoError, WireRequest};
+use crate::service::{CompileService, StreamSession};
+use crate::types::ServeError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning for one [`NetServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Per-frame completion deadline: a frame whose first byte has
+    /// arrived must complete within this window or the connection is
+    /// closed with a `protocol` diagnosis (the slow-client defense). An
+    /// *idle* connection — no partial frame pending — is never timed out.
+    pub read_timeout: Duration,
+    /// Socket write timeout: a client that stops reading while the
+    /// server flushes responses is disconnected instead of wedging the
+    /// connection thread.
+    pub write_timeout: Duration,
+    /// Poll granularity of the connection loop — the socket read-timeout
+    /// tick. Bounds how stale the drain flag or a completed response can
+    /// get while the connection is idle.
+    pub tick: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(5),
+            tick: Duration::from_millis(20),
+        }
+    }
+}
+
+/// A serde-able snapshot of the connection-level counters — the network
+/// analogue of [`crate::ServeStats`] (which keeps counting *requests*
+/// underneath this layer, unchanged).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Connections the accept loop admitted.
+    pub accepted: u64,
+    /// Connections turned away at accept time during a drain.
+    pub denied: u64,
+    /// Connections closed by a protocol violation.
+    pub proto_errors: u64,
+    /// Connections closed by the per-frame read deadline.
+    pub slow_timeouts: u64,
+    /// Connections whose peer vanished without a goodbye.
+    pub disconnects: u64,
+    /// Connections closed gracefully with a server goodbye frame.
+    pub goodbyes: u64,
+}
+
+/// What a completed [`NetServer::shutdown`] drained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DrainSummary {
+    /// Connection threads joined by the drain (every one that was ever
+    /// accepted and had not already been reaped).
+    pub connections_joined: usize,
+    /// Final connection-level counters at the moment the drain finished.
+    pub net: NetStats,
+}
+
+#[derive(Debug)]
+struct Shared {
+    service: Arc<CompileService>,
+    config: ServerConfig,
+    draining: AtomicBool,
+    net: NetCounters,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn net_stats(&self) -> NetStats {
+        NetStats {
+            accepted: self.net.accepted.load(Ordering::Relaxed),
+            denied: self.net.denied.load(Ordering::Relaxed),
+            proto_errors: self.net.proto_errors.load(Ordering::Relaxed),
+            slow_timeouts: self.net.slow_timeouts.load(Ordering::Relaxed),
+            disconnects: self.net.disconnects.load(Ordering::Relaxed),
+            goodbyes: self.net.goodbyes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A TCP compile server over one shared [`CompileService`].
+///
+/// ```no_run
+/// use qft_serve::{CompileRequest, CompileService, NetClient, NetServer};
+/// use std::sync::Arc;
+///
+/// let service = Arc::new(CompileService::new());
+/// let server = NetServer::bind("127.0.0.1:0", Arc::clone(&service)).unwrap();
+/// let mut client = NetClient::connect(server.local_addr()).unwrap();
+/// let resp = client.request(&CompileRequest::new("lnn", "lnn:8")).unwrap();
+/// assert_eq!(resp.result.n, 8);
+/// let summary = server.shutdown();
+/// assert_eq!(summary.net.goodbyes, 1);
+/// ```
+#[derive(Debug)]
+pub struct NetServer {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop over `service` with the default [`ServerConfig`].
+    pub fn bind(addr: impl ToSocketAddrs, service: Arc<CompileService>) -> io::Result<NetServer> {
+        NetServer::bind_with(addr, service, ServerConfig::default())
+    }
+
+    /// [`NetServer::bind`] with explicit timeouts.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        service: Arc<CompileService>,
+        config: ServerConfig,
+    ) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            service,
+            config,
+            draining: AtomicBool::new(false),
+            net: NetCounters::default(),
+            conns: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("qft-net-accept".to_string())
+            .spawn(move || accept_loop(listener, &accept_shared))
+            .expect("spawn qft-net accept loop");
+        Ok(NetServer {
+            local_addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The address the server is actually listening on (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The service behind this front end — the same instance every
+    /// connection compiles through, so in-process
+    /// [`CompileService::stats`] and the wire-level `stats` frame read
+    /// the same counters.
+    pub fn service(&self) -> &Arc<CompileService> {
+        &self.shared.service
+    }
+
+    /// A snapshot of the connection-level counters.
+    pub fn net_stats(&self) -> NetStats {
+        self.shared.net_stats()
+    }
+
+    /// Whether a graceful drain has begun.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Graceful drain: stop accepting, let every live connection deliver
+    /// its in-flight responses and close with a goodbye frame, join the
+    /// accept loop and every connection thread, then return. Blocks
+    /// until the drain completes.
+    pub fn shutdown(mut self) -> DrainSummary {
+        self.drain()
+    }
+
+    fn drain(&mut self) -> DrainSummary {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            // Wake the (blocking) acceptor; the connection it sees is
+            // denied with a goodbye and the loop exits, dropping the
+            // listener so later connects are refused at the OS level.
+            let _ = TcpStream::connect(self.local_addr);
+            let _ = accept.join();
+        }
+        let conns: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.shared.conns.lock().expect("conns mutex"));
+        let connections_joined = conns.len();
+        for handle in conns {
+            let _ = handle.join();
+        }
+        DrainSummary {
+            connections_joined,
+            net: self.shared.net_stats(),
+        }
+    }
+}
+
+impl Drop for NetServer {
+    /// A dropped server drains exactly like [`NetServer::shutdown`] —
+    /// no detached accept loop or connection threads survive it.
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.drain();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    let mut conn_id = 0u64;
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(_) if shared.draining.load(Ordering::SeqCst) => break,
+            Err(_) => continue,
+        };
+        if shared.draining.load(Ordering::SeqCst) {
+            // A connection that raced the drain (including the drain's
+            // own wake-up connect) is told why, not reset.
+            Metrics::bump(&shared.net.denied);
+            let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+            let _ = proto::write_frame(
+                &mut &stream,
+                &Frame::goodbye(
+                    "server is draining: connection refused before any request",
+                    0,
+                ),
+            );
+            break;
+        }
+        Metrics::bump(&shared.net.accepted);
+        let mut conns = shared.conns.lock().expect("conns mutex");
+        conns.retain(|h| !h.is_finished());
+        let conn_shared = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("qft-net-conn-{conn_id}"))
+            .spawn(move || {
+                // Errors were already reported to the peer as frames where
+                // the stream allowed; the counters are the server-side
+                // record, so the accept loop has nothing left to do.
+                let _ = serve_connection(&conn_shared, &stream);
+            })
+            .expect("spawn qft-net connection thread");
+        conns.push(handle);
+        drop(conns);
+        conn_id += 1;
+    }
+    // Listener drops here: post-drain connects are refused by the OS.
+}
+
+/// One connection's whole life. Returns `Err` only for connection-fatal
+/// protocol violations (already reported to the peer as an error frame
+/// where possible); clean closes — goodbye handshakes, client
+/// disconnects — return `Ok`.
+fn serve_connection(shared: &Shared, stream: &TcpStream) -> Result<(), ProtoError> {
+    let io_err = |context: &'static str| {
+        move |e: io::Error| ProtoError::Io {
+            context: context.to_string(),
+            detail: e.to_string(),
+        }
+    };
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(shared.config.tick))
+        .map_err(io_err("configuring the read-timeout tick"))?;
+    stream
+        .set_write_timeout(Some(shared.config.write_timeout))
+        .map_err(io_err("configuring the write timeout"))?;
+
+    let mut reader = FrameReader::new(stream);
+    let mut session = shared.service.stream();
+    // The session numbers submissions itself; this maps its sequence
+    // numbers back to the seq the client chose.
+    let mut wire_seq: HashMap<u64, u64> = HashMap::new();
+    let mut served = 0u64;
+    let mut client_done = false;
+
+    loop {
+        // Duty 1: flush completed responses, completion order, seq-tagged.
+        while let Some((session_seq, outcome)) = session.try_recv() {
+            let seq = wire_seq.remove(&session_seq).unwrap_or(session_seq);
+            let frame = match &outcome {
+                Ok(resp) => Frame::response(seq, resp),
+                Err(e) => Frame::error(Some(seq), e),
+            };
+            if proto::write_frame(&mut &*stream, &frame).is_err() {
+                // The peer stopped reading while we flushed: a disconnect,
+                // not a protocol violation.
+                Metrics::bump(&shared.net.disconnects);
+                return Ok(());
+            }
+            served += 1;
+        }
+
+        // Duty 2: the drain/goodbye state machine. Either side ending the
+        // conversation still waits for every accepted response first.
+        let draining = shared.draining.load(Ordering::SeqCst);
+        if (draining || client_done) && session.pending() == 0 {
+            let reason = if draining {
+                "server draining: all accepted responses delivered"
+            } else {
+                "goodbye acknowledged: session complete"
+            };
+            if proto::write_frame(&mut &*stream, &Frame::goodbye(reason, served)).is_ok() {
+                Metrics::bump(&shared.net.goodbyes);
+            } else {
+                Metrics::bump(&shared.net.disconnects);
+            }
+            return Ok(());
+        }
+
+        // Duty 3: the socket. One tick's worth of bytes at most.
+        match reader.poll() {
+            Ok(FramePoll::Frame(frame)) => handle_frame(
+                shared,
+                stream,
+                &mut session,
+                &mut wire_seq,
+                &mut client_done,
+                &frame,
+            )?,
+            Ok(FramePoll::Pending) => {
+                if let Some(since) = reader.stalled_since() {
+                    if since.elapsed() >= shared.config.read_timeout {
+                        // A partial frame outlived the deadline: the
+                        // slow-client defense. Closing costs this
+                        // connection thread, never a pool worker.
+                        Metrics::bump(&shared.net.slow_timeouts);
+                        let e = ProtoError::Timeout {
+                            context: format!(
+                                "the rest of a frame (first byte arrived {:?} ago; the \
+                                 per-frame deadline is {:?})",
+                                since.elapsed(),
+                                shared.config.read_timeout
+                            ),
+                        };
+                        let _ = proto::write_frame(
+                            &mut &*stream,
+                            &Frame::error(None, &ServeError::protocol(&e)),
+                        );
+                        return Err(e);
+                    }
+                }
+            }
+            Ok(FramePoll::Closed) => {
+                // The peer vanished between frames; responses still in
+                // flight are abandoned (their workers' sends land in a
+                // dropped channel, harmlessly).
+                Metrics::bump(&shared.net.disconnects);
+                return Ok(());
+            }
+            Err(e) => {
+                Metrics::bump(&shared.net.proto_errors);
+                if matches!(e, ProtoError::Truncated { .. }) {
+                    // A mid-frame EOF: the peer is gone, nothing to tell.
+                    Metrics::bump(&shared.net.disconnects);
+                } else {
+                    let _ = proto::write_frame(
+                        &mut &*stream,
+                        &Frame::error(None, &ServeError::protocol(&e)),
+                    );
+                }
+                return Err(e);
+            }
+        }
+    }
+}
+
+fn handle_frame(
+    shared: &Shared,
+    stream: &TcpStream,
+    session: &mut StreamSession<'_>,
+    wire_seq: &mut HashMap<u64, u64>,
+    client_done: &mut bool,
+    frame: &Frame,
+) -> Result<(), ProtoError> {
+    match frame.kind {
+        FrameKind::Request => {
+            let wire: WireRequest = match frame.decode() {
+                Ok(wire) => wire,
+                Err(e) => {
+                    // The stream is still framed (the header parsed), so
+                    // a malformed payload is a request-shaped mistake,
+                    // not a connection-fatal one.
+                    Metrics::bump(&shared.net.proto_errors);
+                    proto::write_frame(
+                        &mut &*stream,
+                        &Frame::error(None, &ServeError::protocol(&e)),
+                    )?;
+                    return Ok(());
+                }
+            };
+            // The flag is loaded *here*, at admission time — not at the
+            // top of the connection loop — so a frame that raced one
+            // poll tick against the drain cannot be admitted stale: any
+            // request arriving after the listener closed observes the
+            // flag (the drain stores it before touching the listener).
+            if shared.draining.load(Ordering::SeqCst) {
+                return proto::write_frame(
+                    &mut &*stream,
+                    &Frame::error(Some(wire.seq), &ServeError::draining()),
+                );
+            }
+            match session.submit(wire.request) {
+                Ok(session_seq) => {
+                    wire_seq.insert(session_seq, wire.seq);
+                    Ok(())
+                }
+                Err(e) if e.kind == "overloaded" => {
+                    // The shed contract over the wire: a structured frame
+                    // with depth and a retry-after hint; the connection
+                    // stays open for the retry.
+                    let stats = shared.service.stats();
+                    proto::write_frame(&mut &*stream, &Frame::overloaded(wire.seq, &stats, &e))
+                }
+                Err(e) => proto::write_frame(&mut &*stream, &Frame::error(Some(wire.seq), &e)),
+            }
+        }
+        FrameKind::StatsRequest => {
+            proto::write_frame(&mut &*stream, &Frame::stats(&shared.service.stats()))
+        }
+        FrameKind::Goodbye => {
+            // The client is done submitting; pending responses still
+            // drain before the server's answering goodbye.
+            *client_done = true;
+            Ok(())
+        }
+        kind => {
+            Metrics::bump(&shared.net.proto_errors);
+            let e = ProtoError::Unexpected {
+                kind,
+                context: "the server accepts request, stats-request, and goodbye frames"
+                    .to_string(),
+            };
+            let _ = proto::write_frame(
+                &mut &*stream,
+                &Frame::error(None, &ServeError::protocol(&e)),
+            );
+            Err(e)
+        }
+    }
+}

@@ -604,6 +604,21 @@ impl StreamSession<'_> {
         self.received += 1;
         Some(tagged)
     }
+
+    /// The next completed response if one is already waiting
+    /// (non-blocking); `None` when nothing has completed yet *or* every
+    /// submission has been received — check [`StreamSession::pending`]
+    /// to tell the two apart. This is what lets a network connection
+    /// thread interleave socket reads with response flushing without
+    /// parking on either.
+    pub fn try_recv(&mut self) -> Option<(u64, Result<CompileResponse, ServeError>)> {
+        if self.received == self.submitted {
+            return None;
+        }
+        let tagged = self.reply_rx.try_recv().ok()?;
+        self.received += 1;
+        Some(tagged)
+    }
 }
 
 #[cfg(test)]

@@ -117,8 +117,11 @@ pub struct ServeError {
     /// Stable error class: the [`CompileError`] variant in kebab-case
     /// (`unknown-compiler`, `invalid-target`, `unsupported-option`,
     /// `unsupported-target`, `timeout`, `pass`, `verification`),
-    /// `bad-request` for input that never parsed into a request, or
-    /// `overloaded` for a submission shed by a full admission queue.
+    /// `bad-request` for input that never parsed into a request,
+    /// `overloaded` for a submission shed by a full admission queue,
+    /// `draining` for a request that arrived after the server began a
+    /// graceful shutdown, or `protocol` for a connection whose byte
+    /// stream violated the wire framing (see [`crate::proto`]).
     pub kind: String,
     /// Human-readable diagnosis (the [`CompileError`] display text).
     pub error: String,
@@ -146,6 +149,30 @@ impl ServeError {
                  backpressure policy is Shed: the request was rejected without compiling — retry \
                  after a backoff, or configure Backpressure::Block to wait for queue space"
             ),
+        }
+    }
+
+    /// A request refused because the server is draining: it stopped
+    /// accepting new work, finishes what it already accepted, and closes
+    /// each connection with a goodbye frame once its in-flight responses
+    /// are delivered.
+    pub fn draining() -> Self {
+        ServeError {
+            kind: "draining".to_string(),
+            error: "server is draining: new requests are refused while accepted work finishes; \
+                    reconnect to another instance or retry after the restart"
+                .to_string(),
+        }
+    }
+
+    /// A connection-level protocol violation (bad framing, malformed
+    /// payload, a slow or stalled client). The diagnosis comes from the
+    /// wire layer; the server sends it as a final error frame where the
+    /// stream is still framed, then closes.
+    pub fn protocol(diagnosis: impl fmt::Display) -> Self {
+        ServeError {
+            kind: "protocol".to_string(),
+            error: diagnosis.to_string(),
         }
     }
 }
@@ -233,5 +260,18 @@ impl ServeStats {
             return 0.0;
         }
         (self.hits + self.dedup_joins) as f64 / self.requests as f64
+    }
+
+    /// How long a shed client should wait before resubmitting, in
+    /// milliseconds: the snapshot's queue depth (plus the shed request
+    /// itself) drained at roughly one p50 service latency per job per
+    /// worker. Clamped to `[1, 30_000]` so the hint is always actionable
+    /// — never zero, never an hour. This is the value the network layer
+    /// puts in its `overloaded` frame.
+    pub fn retry_after_hint_ms(&self) -> u64 {
+        let per_job_ms = if self.p50_ms > 0.0 { self.p50_ms } else { 1.0 };
+        let jobs_ahead = self.queue_depth.saturating_add(1) as f64;
+        let workers = self.workers.max(1) as f64;
+        ((jobs_ahead * per_job_ms / workers).ceil() as u64).clamp(1, 30_000)
     }
 }

@@ -16,6 +16,17 @@
 //! requests in a streamed batch are deduplicated in flight: one compile,
 //! every duplicate served the same shared artifact.
 //!
+//! Two network modes front the same service over TCP (the framing is
+//! specified in `crates/serve/PROTOCOL.md`):
+//!
+//! * `--listen <addr>` — serve the compile service on a socket (e.g.
+//!   `--listen 127.0.0.1:7878`) until the process is killed; stats go to
+//!   stderr on an interval.
+//! * `--connect <addr>` — instead of compiling in-process, forward each
+//!   stdin request to a running `--listen` instance over one connection
+//!   and print the rows it answers; the final stderr stats snapshot is
+//!   fetched over the wire.
+//!
 //! ```text
 //! $ cargo run --release --example qft_serve <<'EOF'
 //! {"compiler": "heavyhex", "target": "heavyhex:4"}
@@ -27,9 +38,12 @@
 //! {"compiler":"heavyhex","target":"heavyhex-20",...,"cached":true,...}
 //! ```
 
-use qft_kernels::serve::{CompileRequest, CompileResponse, CompileService, ServeError};
+use qft_kernels::serve::{
+    CompileRequest, CompileResponse, CompileService, NetClient, NetServer, ServeError,
+};
 use serde::Serialize;
 use std::io::{BufRead, Write};
+use std::sync::Arc;
 
 /// The default per-request output row: headline metrics plus the cache
 /// and timing metadata.
@@ -118,10 +132,62 @@ fn serve_stream(service: &CompileService, lines: &[String], full: bool) {
     }
 }
 
+/// `--listen` mode: front the service with a [`NetServer`] and run until
+/// killed, reporting stats to stderr every few seconds.
+fn serve_listen(addr: &str) -> ! {
+    let service = Arc::new(CompileService::new());
+    let server = NetServer::bind(addr, Arc::clone(&service))
+        .unwrap_or_else(|e| panic!("cannot listen on {addr}: {e}"));
+    eprintln!("listening on {}", server.local_addr());
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(5));
+        eprintln!(
+            "{}",
+            serde_json::to_string(&service.stats()).expect("stats always serialize")
+        );
+    }
+}
+
+/// `--connect` mode: forward each stdin request over one connection to a
+/// `--listen` instance; rows come back in submission order.
+fn serve_connect(addr: &str, lines: &[String], full: bool) {
+    let mut client =
+        NetClient::connect(addr).unwrap_or_else(|e| panic!("cannot connect to {addr}: {e}"));
+    let mut out = std::io::stdout().lock();
+    for line in lines {
+        let outcome = match serde_json::from_str::<CompileRequest>(line) {
+            Ok(req) => client
+                .request(&req)
+                .map_err(|e| ServeError::bad_request(format!("wire request failed: {e}"))),
+            // Malformed lines never reach the wire; report them inline.
+            Err(e) => Err(ServeError::bad_request(e)),
+        };
+        writeln!(out, "{}", render(&outcome, full)).expect("write stdout");
+    }
+    let stats = client
+        .stats()
+        .unwrap_or_else(|e| panic!("wire stats failed: {e}"));
+    let _ = client.goodbye();
+    eprintln!(
+        "{}",
+        serde_json::to_string_pretty(&stats).expect("stats always serialize")
+    );
+}
+
+/// The value following `flag` on the command line, if present.
+fn flag_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let stream = std::env::args().any(|a| a == "--stream");
-    let service = CompileService::new();
+    if let Some(addr) = flag_value("--listen") {
+        serve_listen(&addr);
+    }
     let stdin = std::io::stdin();
     let lines: Vec<String> = stdin
         .lock()
@@ -129,6 +195,11 @@ fn main() {
         .map(|l| l.expect("read stdin"))
         .filter(|l| !l.trim().is_empty())
         .collect();
+    if let Some(addr) = flag_value("--connect") {
+        serve_connect(&addr, &lines, full);
+        return;
+    }
+    let service = CompileService::new();
     if stream {
         serve_stream(&service, &lines, full);
     } else {

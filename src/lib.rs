@@ -68,8 +68,8 @@ pub use qft_core::{
 };
 pub use qft_ir::passes::{Pass, PassCtx, PassError, PassManager, PassReport};
 pub use qft_serve::{
-    Backpressure, CompileRequest, CompileResponse, CompileService, ServeError, ServeStats,
-    StreamSession, Ticket,
+    Backpressure, ClientConfig, CompileRequest, CompileResponse, CompileService, NetClient,
+    NetServer, RetryPolicy, ServeError, ServeStats, ServerConfig, StreamSession, Ticket,
 };
 
 /// The process-wide compiler registry: the paper's four analytical mappers

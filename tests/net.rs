@@ -1,0 +1,615 @@
+//! The network-serving suite (ISSUE 8): the TCP front end exercised over
+//! real localhost sockets — ephemeral ports, real threads, real bytes.
+//!
+//! Contracts under test:
+//!
+//! * **Byte identity over the wire** — the serialized artifact for one
+//!   request is identical across connections, across cache states, and
+//!   across a full server restart (fresh service, cold cache).
+//! * **Exactly one compile under a multi-client storm** — N clients on N
+//!   connections hammering the same request perform one compile, proven
+//!   by *wire-level* stats (`misses == 1`), not in-process inspection.
+//! * **Graceful drain** — `shutdown()` finishes in-flight streams
+//!   (responses delivered, goodbye frames sent) while refusing new
+//!   requests (`draining` errors) and new connections, and joins every
+//!   thread before returning.
+//! * **Fault injection never takes the server down** — mid-stream
+//!   disconnects, garbage bytes, a slowloris half-written header, and a
+//!   hostile length prefix each cost one connection, answered with a
+//!   descriptive error frame where the stream is still framed; healthy
+//!   clients keep compiling throughout.
+//! * **Shed is a structured frame** — `Backpressure::Shed` surfaces as an
+//!   `overloaded` frame carrying queue depth and a retry-after hint, the
+//!   connection stays open, and `NetClient`'s retry policy honors the
+//!   hint.
+
+mod common;
+
+use common::serve_request;
+use qft_kernels::serve::proto::{self, Frame, WireFault, MAGIC, VERSION};
+use qft_kernels::serve::{shared_registry, ClientError, NetEvent, NetServer, ServerConfig};
+use qft_kernels::{
+    Backpressure, ClientConfig, CompileOptions, CompileRequest, CompileService, NetClient,
+    QftCompiler, Registry, RetryPolicy, Target,
+};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// The request the byte-identity tests hammer: a stochastic search
+/// compiler with truncation and the aggressive pass tail on, so wire
+/// determinism is a pipeline property, not an analytical-construction
+/// artifact.
+fn contended_request() -> CompileRequest {
+    serve_request(
+        "sabre",
+        "lattice:4",
+        CompileOptions::default()
+            .with_seed(7)
+            .with_opt_level(2)
+            .with_approximation(3),
+    )
+}
+
+fn artifact_bytes(resp: &qft_kernels::CompileResponse) -> String {
+    serde_json::to_string(&resp.result).expect("serialize artifact")
+}
+
+/// Spins until `check` passes or the deadline expires — for counters that
+/// are bumped by server threads asynchronously to what a client observed.
+fn wait_until(what: &str, mut check: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !check() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Byte identity: across connections, cache states, and a server restart.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn artifacts_are_byte_identical_across_connections_and_restart() {
+    let req = contended_request();
+
+    let server = NetServer::bind("127.0.0.1:0", Arc::new(CompileService::new())).unwrap();
+    let addr = server.local_addr();
+
+    // Connection A compiles cold; connection B hits the cache. Same bytes.
+    let mut a = NetClient::connect(addr).unwrap();
+    let resp_a = a.request(&req).unwrap();
+    assert!(!resp_a.cached, "first request must be the cold miss");
+    let mut b = NetClient::connect(addr).unwrap();
+    let resp_b = b.request(&req).unwrap();
+    assert!(resp_b.cached, "second connection must hit the shared cache");
+    assert_eq!(artifact_bytes(&resp_a), artifact_bytes(&resp_b));
+
+    // Both close gracefully; the server drains cleanly.
+    assert_eq!(a.goodbye().unwrap().served, 1);
+    assert_eq!(b.goodbye().unwrap().served, 1);
+    let summary = server.shutdown();
+    assert_eq!(summary.net.accepted, 2);
+    assert_eq!(summary.net.goodbyes, 2);
+
+    // A *restarted* server — fresh service, cold cache, new port — must
+    // reproduce the identical bytes: determinism is a pipeline property,
+    // not a cache artifact.
+    let server = NetServer::bind("127.0.0.1:0", Arc::new(CompileService::new())).unwrap();
+    let mut c = NetClient::connect(server.local_addr()).unwrap();
+    let resp_c = c.request(&req).unwrap();
+    assert!(!resp_c.cached, "restarted server starts cold");
+    assert_eq!(
+        artifact_bytes(&resp_a),
+        artifact_bytes(&resp_c),
+        "a server restart must not change a single artifact byte"
+    );
+    drop(c);
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Multi-client duplicate storm: exactly one compile, proven over the wire.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn multi_client_storm_performs_exactly_one_compile_by_wire_stats() {
+    let server = NetServer::bind("127.0.0.1:0", Arc::new(CompileService::new())).unwrap();
+    let addr = server.local_addr();
+    let req = contended_request();
+    let n_clients = 8;
+    let barrier = Barrier::new(n_clients);
+
+    let bytes: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_clients)
+            .map(|_| {
+                let (req, barrier) = (&req, &barrier);
+                scope.spawn(move || {
+                    let mut client = NetClient::connect(addr).expect("storm connect");
+                    barrier.wait();
+                    let resp = client.request(req).expect("storm request");
+                    client.goodbye().expect("storm goodbye");
+                    artifact_bytes(&resp)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    assert_eq!(bytes.len(), n_clients);
+    for b in &bytes[1..] {
+        assert_eq!(b, &bytes[0], "every client must receive identical bytes");
+    }
+
+    // The proof is wire-level: a fresh connection asks the server itself.
+    let mut observer = NetClient::connect(addr).unwrap();
+    let stats = observer.stats().unwrap();
+    assert_eq!(stats.requests, n_clients as u64);
+    assert_eq!(stats.misses, 1, "singleflight must hold across sockets");
+    assert_eq!(stats.hits + stats.dedup_joins, n_clients as u64 - 1);
+    drop(observer);
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Wire-level stats: the accounting identity, and equality with in-process.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn wire_stats_keep_the_invariant_and_match_in_process_stats() {
+    let server = NetServer::bind("127.0.0.1:0", Arc::new(CompileService::new())).unwrap();
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+
+    // One miss, one hit, one more miss.
+    let warm = serve_request("lnn", "lnn:6", CompileOptions::default());
+    client.request(&warm).unwrap();
+    client.request(&warm).unwrap();
+    client
+        .request(&serve_request("lnn", "lnn:7", CompileOptions::default()))
+        .unwrap();
+
+    let wire = client.stats().unwrap();
+    assert_eq!(
+        wire.requests,
+        wire.hits + wire.misses + wire.dedup_joins,
+        "the accounting identity must hold over the wire"
+    );
+    assert_eq!((wire.requests, wire.hits, wire.misses), (3, 1, 2));
+
+    // Quiescent, the wire snapshot equals the in-process one: counters
+    // exactly, latency floats up to JSON round-trip.
+    let local = server.service().stats();
+    assert_eq!(
+        (wire.requests, wire.hits, wire.misses, wire.dedup_joins),
+        (local.requests, local.hits, local.misses, local.dedup_joins),
+    );
+    assert_eq!(
+        (wire.evictions, wire.shed, wire.errors, wire.queue_depth),
+        (local.evictions, local.shed, local.errors, local.queue_depth),
+    );
+    assert_eq!(
+        (wire.workers, wire.cache_capacity, wire.cache_entries),
+        (local.workers, local.cache_capacity, local.cache_entries),
+    );
+    assert_eq!(
+        (wire.cache_shards, wire.queue_capacity, wire.in_flight),
+        (local.cache_shards, local.queue_capacity, local.in_flight),
+    );
+    assert!((wire.p50_ms - local.p50_ms).abs() < 1e-6, "p50 drifted");
+    assert!((wire.p99_ms - local.p99_ms).abs() < 1e-6, "p99 drifted");
+
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_submissions_correlate_by_seq() {
+    let server = NetServer::bind("127.0.0.1:0", Arc::new(CompileService::new())).unwrap();
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+
+    // Three submissions in flight at once; responses arrive in completion
+    // order, each tagged with its seq — seq k carried lnn:(4+k).
+    let seqs: Vec<u64> = (4..7)
+        .map(|n| {
+            client
+                .submit(&serve_request(
+                    "lnn",
+                    &format!("lnn:{n}"),
+                    CompileOptions::default(),
+                ))
+                .unwrap()
+        })
+        .collect();
+    assert_eq!(seqs, vec![0, 1, 2]);
+    let mut seen = Vec::new();
+    for _ in 0..3 {
+        match client.next_event().unwrap() {
+            NetEvent::Response { seq, response } => {
+                assert_eq!(response.result.n, 4 + seq as usize, "seq mismatch");
+                seen.push(seq);
+            }
+            other => panic!("expected a response, got {other:?}"),
+        }
+    }
+    seen.sort_unstable();
+    assert_eq!(seen, seqs);
+
+    let bye = client.goodbye().unwrap();
+    assert_eq!(bye.served, 3, "the goodbye reports the served count");
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Graceful drain: in-flight work finishes, new work is refused, threads join.
+// ---------------------------------------------------------------------------
+
+/// A test-only compiler that parks inside `compile` until its gate opens —
+/// the deterministic way to hold a worker busy. Each test that needs one
+/// gets its own gate statics so parallel test threads never cross-release.
+struct GateCompiler {
+    name: &'static str,
+    open: &'static Mutex<bool>,
+    cv: &'static Condvar,
+    entered: &'static AtomicUsize,
+}
+
+impl QftCompiler for GateCompiler {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn description(&self) -> &'static str {
+        "test compiler that blocks until its gate opens"
+    }
+    fn compile(
+        &self,
+        target: &Target,
+        opts: &CompileOptions,
+    ) -> Result<qft_kernels::CompileResult, qft_kernels::CompileError> {
+        self.entered.fetch_add(1, Ordering::SeqCst);
+        let mut open = self.open.lock().expect("gate mutex");
+        while !*open {
+            open = self.cv.wait(open).expect("gate condvar");
+        }
+        drop(open);
+        shared_registry().resolve("lnn")?.compile(target, opts)
+    }
+}
+
+static DRAIN_OPEN: Mutex<bool> = Mutex::new(false);
+static DRAIN_CV: Condvar = Condvar::new();
+static DRAIN_ENTERED: AtomicUsize = AtomicUsize::new(0);
+
+fn drain_registry() -> &'static Registry {
+    static GATED: OnceLock<&'static Registry> = OnceLock::new();
+    GATED.get_or_init(|| {
+        let mut r = Registry::with_core();
+        r.register(Box::new(GateCompiler {
+            name: "gate-drain",
+            open: &DRAIN_OPEN,
+            cv: &DRAIN_CV,
+            entered: &DRAIN_ENTERED,
+        }));
+        Box::leak(Box::new(r))
+    })
+}
+
+static SHED_OPEN: Mutex<bool> = Mutex::new(false);
+static SHED_CV: Condvar = Condvar::new();
+static SHED_ENTERED: AtomicUsize = AtomicUsize::new(0);
+
+fn shed_registry() -> &'static Registry {
+    static GATED: OnceLock<&'static Registry> = OnceLock::new();
+    GATED.get_or_init(|| {
+        let mut r = Registry::with_core();
+        r.register(Box::new(GateCompiler {
+            name: "gate-shed",
+            open: &SHED_OPEN,
+            cv: &SHED_CV,
+            entered: &SHED_ENTERED,
+        }));
+        Box::leak(Box::new(r))
+    })
+}
+
+#[test]
+fn graceful_drain_finishes_in_flight_and_refuses_new_work() {
+    let service = CompileService::builder()
+        .registry(drain_registry())
+        .workers(1)
+        .build();
+    let server = NetServer::bind("127.0.0.1:0", Arc::new(service)).unwrap();
+    let addr = server.local_addr();
+
+    // Park the single worker inside a gated compile submitted over the
+    // wire — the in-flight stream the drain must finish.
+    let mut client = NetClient::connect(addr).unwrap();
+    let gated_seq = client
+        .submit(&CompileRequest::new("gate-drain", "lnn:4"))
+        .unwrap();
+    wait_until("the gated compile to start", || {
+        DRAIN_ENTERED.load(Ordering::SeqCst) > 0
+    });
+
+    // Begin the drain on its own thread (shutdown blocks until complete:
+    // it cannot finish while the gate holds the compile in flight).
+    let drain = std::thread::spawn(move || server.shutdown());
+
+    // The drain closes the listener almost immediately — long before the
+    // in-flight compile finishes. Once connects are refused, the drain
+    // flag is definitely visible to every connection thread.
+    wait_until("the drained listener to refuse connections", || {
+        TcpStream::connect(addr).is_err()
+    });
+
+    // A request submitted *during* the drain is refused with a structured
+    // `draining` error on a connection that stays open — never a reset.
+    // (No response can precede the refusal: the single worker is parked.)
+    let refused_seq = client
+        .submit(&CompileRequest::new("gate-drain", "lnn:5"))
+        .unwrap();
+    match client.next_event().unwrap() {
+        NetEvent::Fail { seq, error } => {
+            assert_eq!(seq, Some(refused_seq));
+            assert_eq!(error.kind, "draining");
+            assert!(
+                error.error.contains("draining"),
+                "the refusal must explain itself: {error}"
+            );
+        }
+        other => panic!("expected a draining refusal, got {other:?}"),
+    }
+
+    // Release the gate: the in-flight compile must now complete and be
+    // delivered, then the server says goodbye.
+    *DRAIN_OPEN.lock().unwrap() = true;
+    DRAIN_CV.notify_all();
+
+    let mut delivered = Vec::new();
+    let goodbye = loop {
+        match client.next_event().unwrap() {
+            NetEvent::Response { seq, response } => {
+                assert_eq!(response.result.n, 4 + seq as usize);
+                delivered.push(seq);
+            }
+            NetEvent::Goodbye(g) => break g,
+            other => panic!("unexpected drain event: {other:?}"),
+        }
+    };
+    assert_eq!(
+        delivered,
+        vec![gated_seq],
+        "exactly the in-flight compile is delivered before the goodbye"
+    );
+    assert!(goodbye.reason.contains("draining"));
+    assert_eq!(goodbye.served, 1);
+
+    // shutdown() returns only after every thread is joined; afterwards
+    // the port is still genuinely closed.
+    let summary = drain.join().unwrap();
+    assert!(summary.connections_joined >= 1);
+    assert!(summary.net.goodbyes >= 1);
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "the drained server's port must refuse connections"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: the server survives everything.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fault_injection_matrix_never_takes_the_server_down() {
+    // A short per-frame deadline so the slowloris case settles quickly;
+    // idle (between-frames) connections are unaffected by it.
+    let config = ServerConfig {
+        read_timeout: Duration::from_millis(250),
+        ..ServerConfig::default()
+    };
+    let server =
+        NetServer::bind_with("127.0.0.1:0", Arc::new(CompileService::new()), config).unwrap();
+    let addr = server.local_addr();
+    let healthy_req = serve_request("lnn", "lnn:5", CompileOptions::default());
+    let healthy = |label: &str| {
+        let mut c = NetClient::connect(addr).unwrap_or_else(|e| panic!("{label}: {e}"));
+        let resp = c
+            .request(&healthy_req)
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        assert_eq!(resp.result.n, 5, "{label}: wrong artifact");
+    };
+    let raw_read_frame = |stream: &TcpStream| {
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        proto::read_frame(&mut &*stream)
+    };
+
+    // (a) Mid-stream disconnect: a valid request, then the client vanishes
+    // before its response. The worker's reply lands in a dropped channel
+    // or a dead socket; either way the server records a disconnect.
+    {
+        let stream = TcpStream::connect(addr).unwrap();
+        proto::write_frame(&mut &stream, &Frame::request(0, &healthy_req)).unwrap();
+        drop(stream);
+        wait_until("the disconnect to be recorded", || {
+            server.net_stats().disconnects >= 1
+        });
+    }
+    healthy("after mid-stream disconnect");
+
+    // (b) Garbage on connect: an HTTP request is answered with a
+    // descriptive protocol error naming the expected magic, then closed.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"GET /compile HTTP/1.1\r\n\r\n").unwrap();
+        stream.flush().unwrap();
+        let frame = raw_read_frame(&stream).expect("a protocol error frame");
+        let fault: WireFault = frame.decode().unwrap();
+        assert_eq!(fault.seq, None, "a framing fault is connection-level");
+        assert_eq!(fault.error.kind, "protocol");
+        assert!(
+            fault.error.error.contains("QFTW"),
+            "the diagnosis must name the expected magic: {}",
+            fault.error.error
+        );
+        // The connection is closed behind the diagnosis.
+        assert!(raw_read_frame(&stream).is_err());
+    }
+    healthy("after garbage bytes");
+
+    // (c) Slowloris: half a header, then silence. The per-frame deadline
+    // closes the connection with a timeout diagnosis — without costing a
+    // worker, so the healthy client below is served instantly.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(&MAGIC[..2]).unwrap();
+        stream.flush().unwrap();
+        let frame = raw_read_frame(&stream).expect("a timeout error frame");
+        let fault: WireFault = frame.decode().unwrap();
+        assert_eq!(fault.error.kind, "protocol");
+        assert!(
+            fault.error.error.contains("timed out") || fault.error.error.contains("deadline"),
+            "the diagnosis must name the deadline: {}",
+            fault.error.error
+        );
+        assert!(raw_read_frame(&stream).is_err());
+        assert!(server.net_stats().slow_timeouts >= 1);
+    }
+    healthy("after slowloris");
+
+    // (d) A hostile length prefix (4 GiB) is refused at header-parse time
+    // — before any allocation — with the cap named.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut header = Vec::new();
+        header.extend_from_slice(&MAGIC);
+        header.push(VERSION);
+        header.push(1); // request kind
+        header.extend_from_slice(&u32::MAX.to_be_bytes());
+        stream.write_all(&header).unwrap();
+        stream.flush().unwrap();
+        let frame = raw_read_frame(&stream).expect("an oversize error frame");
+        let fault: WireFault = frame.decode().unwrap();
+        assert_eq!(fault.error.kind, "protocol");
+        assert!(
+            fault.error.error.contains("cap"),
+            "the diagnosis must name the cap: {}",
+            fault.error.error
+        );
+        assert!(raw_read_frame(&stream).is_err());
+    }
+    healthy("after oversize length prefix");
+
+    // The server recorded every fault class and is still fully alive.
+    let net = server.net_stats();
+    assert!(net.disconnects >= 1, "net stats: {net:?}");
+    assert!(net.proto_errors >= 2, "net stats: {net:?}");
+    assert!(net.slow_timeouts >= 1, "net stats: {net:?}");
+    let summary = server.shutdown();
+    assert!(summary.net.accepted >= 8, "net stats: {:?}", summary.net);
+}
+
+// ---------------------------------------------------------------------------
+// Shed over the wire: a structured overloaded frame, never a closed socket.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn shed_surfaces_as_a_structured_overloaded_frame_with_retry_hint() {
+    let service = CompileService::builder()
+        .registry(shed_registry())
+        .workers(1)
+        .queue_capacity(1)
+        .backpressure(Backpressure::Shed)
+        .build();
+    let server = NetServer::bind("127.0.0.1:0", Arc::new(service)).unwrap();
+    let addr = server.local_addr();
+
+    // Park the worker, fill the one-slot queue.
+    let mut filler = NetClient::connect(addr).unwrap();
+    filler
+        .submit(&CompileRequest::new("gate-shed", "lnn:4"))
+        .unwrap();
+    wait_until("the gated compile to start", || {
+        SHED_ENTERED.load(Ordering::SeqCst) > 0
+    });
+    filler
+        .submit(&CompileRequest::new("gate-shed", "lnn:5"))
+        .unwrap();
+    wait_until("the queue to fill", || {
+        server.service().stats().queue_depth >= 1
+    });
+
+    // The next submission is shed — and arrives as a structured frame on
+    // a connection that stays open, never as a reset.
+    let mut shed_client = NetClient::connect(addr).unwrap();
+    let seq = shed_client
+        .submit(&CompileRequest::new("gate-shed", "lnn:6"))
+        .unwrap();
+    let overloaded = match shed_client.next_event().unwrap() {
+        NetEvent::Overloaded(o) => o,
+        other => panic!("expected an overloaded frame, got {other:?}"),
+    };
+    assert_eq!(overloaded.seq, seq);
+    assert_eq!(overloaded.queue_depth, 1);
+    assert_eq!(overloaded.queue_capacity, 1);
+    assert!(
+        (1..=30_000).contains(&overloaded.retry_after_ms),
+        "the retry-after hint must be actionable: {}",
+        overloaded.retry_after_ms
+    );
+    assert_eq!(overloaded.error.kind, "overloaded");
+    // The connection survived the shed: it can still talk to the server.
+    let stats = shed_client.stats().unwrap();
+    assert!(stats.shed >= 1, "the shed must be counted: {stats:?}");
+
+    // NetClient::request honors the hint: with the queue still full it
+    // retries `max_attempts` times, sleeping the hinted backoff between
+    // attempts, then reports the overload with the final notice attached.
+    let mut retrier = NetClient::connect_with(
+        addr,
+        ClientConfig {
+            retry: RetryPolicy {
+                max_attempts: 3,
+                backoff_cap: Duration::from_millis(20),
+            },
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+    match retrier.request(&CompileRequest::new("gate-shed", "lnn:7")) {
+        Err(ClientError::Overloaded { attempts, last }) => {
+            assert_eq!(attempts, 3, "every attempt must have been made");
+            assert_eq!(last.error.kind, "overloaded");
+        }
+        other => panic!("expected ClientError::Overloaded, got {other:?}"),
+    }
+
+    // Release the gate: the admitted jobs drain, the shed clients retry
+    // successfully, and the server closes clean.
+    *SHED_OPEN.lock().unwrap() = true;
+    SHED_CV.notify_all();
+    let resp = retrier
+        .request(&CompileRequest::new("gate-shed", "lnn:7"))
+        .expect("a retry after the gate opens must succeed");
+    assert_eq!(resp.result.n, 7);
+
+    // The filler's two parked compiles arrive tagged correctly.
+    let mut ns = Vec::new();
+    for _ in 0..2 {
+        match filler.next_event().unwrap() {
+            NetEvent::Response { seq, response } => {
+                assert_eq!(response.result.n, 4 + seq as usize);
+                ns.push(response.result.n);
+            }
+            other => panic!("expected a response, got {other:?}"),
+        }
+    }
+    ns.sort_unstable();
+    assert_eq!(ns, vec![4, 5]);
+    drop(filler);
+    drop(shed_client);
+    let summary = server.shutdown();
+    assert!(summary.net.accepted >= 3);
+}
