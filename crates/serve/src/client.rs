@@ -15,7 +15,7 @@
 use crate::proto::{
     self, Frame, FrameKind, ProtoError, WireFault, WireGoodbye, WireOverloaded, WireResponse,
 };
-use crate::types::{CompileRequest, CompileResponse, ServeError, ServeStats};
+use crate::types::{BackendStats, CompileRequest, CompileResponse, ServeError, ServeStats};
 use std::collections::VecDeque;
 use std::fmt;
 use std::io;
@@ -26,7 +26,9 @@ use std::time::Duration;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Total submission attempts before giving up with
-    /// [`ClientError::Overloaded`] (1 = never retry).
+    /// [`ClientError::Overloaded`] (1 = never retry). A request must be
+    /// submitted at least once to learn anything, so 0 is normalized to
+    /// 1 at client construction — see [`RetryPolicy::normalized`].
     pub max_attempts: u32,
     /// Upper bound on one backoff sleep. The server's `retry_after_ms`
     /// hint is honored up to this cap, so a pathological hint cannot
@@ -39,6 +41,23 @@ impl Default for RetryPolicy {
         RetryPolicy {
             max_attempts: 3,
             backoff_cap: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The policy with `max_attempts` clamped to at least 1. Zero
+    /// attempts is not a thing a submit-and-wait call can honor — it
+    /// must submit once to learn anything — so [`NetClient::connect_with`]
+    /// normalizes the policy up front. That keeps the
+    /// [`ClientError::Overloaded`] contract honest: its `attempts` field
+    /// always equals the *effective* policy's `max_attempts`, with no
+    /// scattered `.max(1)` fudging at the use sites.
+    #[must_use]
+    pub fn normalized(self) -> Self {
+        RetryPolicy {
+            max_attempts: self.max_attempts.max(1),
+            backoff_cap: self.backoff_cap,
         }
     }
 }
@@ -86,7 +105,8 @@ pub enum ClientError {
     /// Every attempt was shed by an overloaded server; carries the
     /// server's final shed notice.
     Overloaded {
-        /// Submission attempts made (== the policy's `max_attempts`).
+        /// Submission attempts made — equal to the effective (normalized)
+        /// policy's `max_attempts`, which the client guarantees is ≥ 1.
         attempts: u32,
         /// The last `overloaded` frame received.
         last: WireOverloaded,
@@ -150,8 +170,9 @@ pub enum NetEvent {
     /// The submission was shed by a full admission queue; the connection
     /// is still open and the notice carries a retry-after hint.
     Overloaded(WireOverloaded),
-    /// A [`ServeStats`] snapshot (answering [`NetClient::submit_stats`]).
-    Stats(ServeStats),
+    /// A stats snapshot (answering [`NetClient::submit_stats`]), tagged
+    /// with the answering server's identity.
+    Stats(BackendStats),
     /// The server's half of a graceful close — its final frame.
     Goodbye(WireGoodbye),
 }
@@ -170,6 +191,12 @@ pub struct NetClient {
     /// snapshot). Drained by [`NetClient::next_event`] before the socket
     /// is touched again.
     backlog: VecDeque<NetEvent>,
+    /// Stats answers still expected off the socket: incremented per
+    /// stats-request written, decremented per stats frame read. This is
+    /// how [`NetClient::stats`] correlates its round-trip — snapshots
+    /// answering *earlier* bare [`NetClient::submit_stats`] calls are
+    /// stale and must be skipped, not returned as if fresh.
+    stats_inflight: u64,
 }
 
 impl NetClient {
@@ -197,11 +224,16 @@ impl NetClient {
         stream
             .set_write_timeout(Some(config.write_timeout))
             .map_err(io_err("configuring the write timeout"))?;
+        let config = ClientConfig {
+            retry: config.retry.normalized(),
+            ..config
+        };
         Ok(NetClient {
             stream,
             config,
             next_seq: 0,
             backlog: VecDeque::new(),
+            stats_inflight: 0,
         })
     }
 
@@ -218,7 +250,15 @@ impl NetClient {
     /// [`NetEvent::Stats`].
     pub fn submit_stats(&mut self) -> Result<(), ClientError> {
         proto::write_frame(&mut &self.stream, &Frame::stats_request())?;
+        self.stats_inflight += 1;
         Ok(())
+    }
+
+    /// The effective [`ClientConfig`] — retry policy already normalized
+    /// (`max_attempts >= 1`), so this is exactly what
+    /// [`NetClient::request`] will do.
+    pub fn config(&self) -> &ClientConfig {
+        &self.config
     }
 
     /// The next server event: the backlog first, then one blocking frame
@@ -249,7 +289,10 @@ impl NetClient {
                 })
             }
             FrameKind::Overloaded => Ok(NetEvent::Overloaded(frame.decode()?)),
-            FrameKind::Stats => Ok(NetEvent::Stats(frame.decode()?)),
+            FrameKind::Stats => {
+                self.stats_inflight = self.stats_inflight.saturating_sub(1);
+                Ok(NetEvent::Stats(frame.decode()?))
+            }
             FrameKind::Goodbye => Ok(NetEvent::Goodbye(frame.decode()?)),
             kind => Err(ClientError::Proto(ProtoError::Unexpected {
                 kind,
@@ -288,7 +331,7 @@ impl NetClient {
                         break 'attempts Err(ClientError::Server(error))
                     }
                     NetEvent::Overloaded(o) if o.seq == seq => {
-                        if attempts >= policy.max_attempts.max(1) {
+                        if attempts >= policy.max_attempts {
                             break 'attempts Err(ClientError::Overloaded { attempts, last: o });
                         }
                         let wait = Duration::from_millis(o.retry_after_ms).min(policy.backoff_cap);
@@ -306,15 +349,39 @@ impl NetClient {
         outcome
     }
 
-    /// A [`ServeStats`] snapshot over the wire. Responses completing
-    /// while the snapshot is awaited are preserved for later
-    /// [`NetClient::next_event`] calls.
+    /// A [`ServeStats`] snapshot over the wire — fresh, not a leftover.
+    /// See [`NetClient::backend_stats`] for the correlation contract;
+    /// this is the identity-stripped convenience form.
     pub fn stats(&mut self) -> Result<ServeStats, ClientError> {
+        self.backend_stats().map(|tagged| tagged.stats)
+    }
+
+    /// An identity-tagged stats snapshot over the wire, correlated to
+    /// *this* call: any snapshot still owed to an earlier bare
+    /// [`NetClient::submit_stats`] — queued in the backlog or still in
+    /// flight on the socket — is discarded as stale, and exactly the
+    /// answer to the request written here is returned. (Stats carry no
+    /// seq on the wire, so the correlation is positional: the server
+    /// answers stats-requests in order on one connection.) Responses for
+    /// pipelined compiles observed while waiting are preserved for later
+    /// [`NetClient::next_event`] calls; no spurious stats event is ever
+    /// left queued behind this call.
+    pub fn backend_stats(&mut self) -> Result<BackendStats, ClientError> {
+        self.backlog
+            .retain(|event| !matches!(event, NetEvent::Stats(_)));
+        let stale = self.stats_inflight;
         self.submit_stats()?;
         let mut deferred: Vec<NetEvent> = Vec::new();
+        let mut skipped = 0u64;
         let outcome = loop {
             match self.read_event() {
-                Ok(NetEvent::Stats(stats)) => break Ok(stats),
+                Ok(NetEvent::Stats(tagged)) => {
+                    if skipped < stale {
+                        skipped += 1;
+                        continue;
+                    }
+                    break Ok(tagged);
+                }
                 Ok(NetEvent::Goodbye(g)) => break Err(ClientError::Closed { reason: g.reason }),
                 Ok(other) => deferred.push(other),
                 Err(e) => break Err(e),

@@ -32,7 +32,16 @@
 //!   with graceful drain, a wire-level `stats` kind, and shed
 //!   backpressure surfaced as a structured `overloaded` frame with a
 //!   retry-after hint; [`NetClient`] is the blocking client with a
-//!   retry-after-honoring [`RetryPolicy`].
+//!   retry-after-honoring [`RetryPolicy`];
+//! * **Front-tier router** ([`crate::router`]/[`crate::pool`]) —
+//!   horizontal scale-out: a [`Router`] consistent-hashes
+//!   [`CompileRequest::key_digest`] across N backend [`NetServer`]
+//!   addresses (digest affinity concentrates each key's cache entry and
+//!   singleflight in one process), multiplexing a bounded [`PoolClient`]
+//!   per backend, marking backends down on transport failure, probing
+//!   them back, and replaying failed requests to the next backend on
+//!   the ring — killing a backend mid-traffic loses zero accepted
+//!   requests.
 //!
 //! Cached results are **byte-deterministic**: wall times are stripped
 //! from the artifact (they live in the response metadata instead), so a
@@ -62,19 +71,23 @@ pub mod client;
 pub mod digest;
 mod flight;
 mod metrics;
+pub mod pool;
 pub mod proto;
 mod queue;
+pub mod router;
 pub mod server;
 pub mod service;
 pub mod types;
 
 pub use client::{ClientConfig, ClientError, NetClient, NetEvent, RetryPolicy};
+pub use pool::PoolClient;
+pub use router::{BackendState, Routed, Router, RouterConfig};
 pub use server::{DrainSummary, NetServer, NetStats, ServerConfig};
 pub use service::{
     Backpressure, CompileService, ServiceBuilder, StreamSession, Ticket, DEFAULT_CACHE_CAPACITY,
     DEFAULT_QUEUE_CAPACITY,
 };
-pub use types::{CompileRequest, CompileResponse, ServeError, ServeStats};
+pub use types::{BackendStats, CompileRequest, CompileResponse, ServeError, ServeStats};
 
 use qft_core::Registry;
 use std::sync::OnceLock;

@@ -15,11 +15,24 @@
 //! read snapshots the ring and sorts a copy. With 4096 slots the
 //! snapshot always reflects the most recent ~4096 requests — exactly the
 //! window a p50/p99 gauge should describe on a service whose load shifts.
+//!
+//! Claiming a slot and storing its value are two separate atomic steps,
+//! so a snapshot can race a writer that claimed but has not stored yet.
+//! Unwritten slots hold a NaN sentinel ([`EMPTY_SLOT`]) that no finite
+//! latency ever bit-matches, and `percentiles` skips them — an
+//! in-progress write is simply absent from the sample instead of
+//! appearing as a phantom `0.0` that drags p50 (and with it the
+//! `retry_after_hint_ms` overload hint) toward the floor.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Slots in the latency ring (a power of two keeps the wrap cheap).
 const RESERVOIR_SLOTS: usize = 4096;
+
+/// The bit pattern of a slot no writer has stored yet: a quiet NaN.
+/// `f64::to_bits` of a finite latency can never equal it, so "empty" and
+/// "recorded" are distinguishable without a second bookkeeping array.
+const EMPTY_SLOT: u64 = u64::MAX;
 
 /// A lock-free sliding-window latency sample.
 #[derive(Debug)]
@@ -31,29 +44,49 @@ pub(crate) struct LatencyReservoir {
 impl LatencyReservoir {
     pub fn new() -> Self {
         LatencyReservoir {
-            slots: (0..RESERVOIR_SLOTS).map(|_| AtomicU64::new(0)).collect(),
+            slots: (0..RESERVOIR_SLOTS)
+                .map(|_| AtomicU64::new(EMPTY_SLOT))
+                .collect(),
             next: AtomicUsize::new(0),
         }
     }
 
     /// Records one request's service-side wall time.
     pub fn record(&self, secs: f64) {
-        let i = self.next.fetch_add(1, Ordering::Relaxed) & (RESERVOIR_SLOTS - 1);
-        self.slots[i].store(secs.to_bits(), Ordering::Relaxed);
+        self.commit(self.claim(), secs);
+    }
+
+    /// Claims the next ring slot. Until [`LatencyReservoir::commit`]
+    /// stores into it, the slot keeps whatever it held before — the empty
+    /// sentinel on a fresh ring, the previous generation's value after a
+    /// wrap — and `percentiles` samples that, never a phantom zero.
+    fn claim(&self) -> usize {
+        self.next.fetch_add(1, Ordering::Relaxed) & (RESERVOIR_SLOTS - 1)
+    }
+
+    /// Stores a claimed slot's value, completing the record.
+    fn commit(&self, slot: usize, secs: f64) {
+        // A finite latency never bit-matches the NaN sentinel; guard the
+        // impossible anyway so a poisoned input cannot fake an empty slot.
+        let bits = secs.to_bits();
+        let bits = if bits == EMPTY_SLOT { 0 } else { bits };
+        self.slots[slot].store(bits, Ordering::Relaxed);
     }
 
     /// (p50, p99) over the window, in seconds; zeros before any traffic.
     pub fn percentiles(&self) -> (f64, f64) {
-        let filled = self.next.load(Ordering::Relaxed).min(RESERVOIR_SLOTS);
-        if filled == 0 {
+        let mut sample: Vec<f64> = self
+            .slots
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .filter(|&bits| bits != EMPTY_SLOT)
+            .map(f64::from_bits)
+            .collect();
+        if sample.is_empty() {
             return (0.0, 0.0);
         }
-        let mut sample: Vec<f64> = self.slots[..filled]
-            .iter()
-            .map(|s| f64::from_bits(s.load(Ordering::Relaxed)))
-            .collect();
         sample.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-        let at = |p: f64| sample[((p * (filled - 1) as f64).round()) as usize];
+        let at = |p: f64| sample[((p * (sample.len() - 1) as f64).round()) as usize];
         (at(0.50), at(0.99))
     }
 }
@@ -149,6 +182,28 @@ mod tests {
         }
         let (p50, p99) = r.percentiles();
         assert_eq!((p50, p99), (1e-6, 1e-6));
+    }
+
+    #[test]
+    fn percentiles_skip_claimed_but_unwritten_slots() {
+        // The race this pins: `record` is claim-then-store, so a stats
+        // snapshot can land between a writer's two steps. Simulate eleven
+        // in-progress writers (slots claimed, values not yet stored)
+        // around ten committed 1.0 s samples: the unwritten slots must be
+        // invisible, not sampled as 0.0 (which would drag p50 — and the
+        // retry-after hint derived from it — to the floor).
+        let r = LatencyReservoir::new();
+        for _ in 0..10 {
+            r.record(1.0);
+        }
+        for _ in 0..11 {
+            let _ = r.claim();
+        }
+        assert_eq!(r.percentiles(), (1.0, 1.0));
+        // A late commit into a claimed slot joins the sample normally.
+        r.commit(r.claim(), 3.0);
+        let (p50, p99) = r.percentiles();
+        assert_eq!((p50, p99), (1.0, 3.0));
     }
 
     #[test]

@@ -32,7 +32,7 @@
 //!   the current frame has been incomplete, which is what the server's
 //!   slow-client (slowloris) deadline is built on.
 
-use crate::types::{CompileRequest, CompileResponse, ServeError, ServeStats};
+use crate::types::{BackendStats, CompileRequest, CompileResponse, ServeError, ServeStats};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -69,7 +69,9 @@ pub enum FrameKind {
     Overloaded = 4,
     /// Client → server: ask for a [`ServeStats`] snapshot (payload `{}`).
     StatsRequest = 5,
-    /// Server → client: the [`ServeStats`] snapshot, verbatim JSON.
+    /// Server → client: the snapshot wrapped in a [`BackendStats`]
+    /// envelope — the answering server's identity plus the counters — so
+    /// a router aggregating several backends can tell the answers apart.
     Stats = 6,
     /// Either direction: the sender is done. From a client it announces
     /// no further requests; from the server it is the final frame of a
@@ -364,9 +366,16 @@ impl Frame {
         Frame::new(FrameKind::StatsRequest, b"{}".to_vec())
     }
 
-    /// A [`FrameKind::Stats`] frame.
-    pub fn stats(stats: &ServeStats) -> Frame {
-        Frame::json(FrameKind::Stats, stats)
+    /// A [`FrameKind::Stats`] frame: the snapshot stamped with the
+    /// answering server's identity.
+    pub fn stats(identity: &str, stats: &ServeStats) -> Frame {
+        Frame::json(
+            FrameKind::Stats,
+            &BackendStats {
+                identity: identity.to_string(),
+                stats: *stats,
+            },
+        )
     }
 
     /// A [`FrameKind::Goodbye`] frame.

@@ -1,0 +1,430 @@
+//! The front tier: consistent-hash routing across N backend servers.
+//!
+//! One [`NetServer`][crate::NetServer] serves one process; the scale-out
+//! story is many backend processes behind one [`Router`]. The router
+//! consistent-hashes [`CompileRequest::key_digest`] — the same 128-bit
+//! FNV-1a digest the result cache shards by, stable across processes —
+//! onto a ring of virtual points, so:
+//!
+//! * **digest affinity** — a given request key always lands on the same
+//!   live backend, which concentrates that key's cache entry (and its
+//!   singleflight dedup) in one process instead of recompiling it N
+//!   times across the fleet;
+//! * **minimal remap on failure** — when a backend dies, only the keys
+//!   it owned move (each to the next backend on the ring); every other
+//!   key keeps its warm cache.
+//!
+//! Each backend gets a [`PoolClient`] (bounded connection pool, so one
+//! blocked read never starves concurrent requests) and health state:
+//! a transport or framing failure — connect refused, mid-stream close,
+//! a `draining` refusal — marks the backend **down**, drops its pooled
+//! sockets, and *replays the request on the next distinct backend along
+//! the ring*. Replay is safe by construction: compiles are deterministic
+//! and cached, so re-asking another backend returns byte-identical
+//! artifacts. A downed backend is re-probed (fresh connection, full
+//! stats round-trip) at most once per [`RouterConfig::probe_interval`],
+//! and rejoins the ring the moment a probe answers.
+//!
+//! Request-level failures — unknown compiler, invalid target, an
+//! `overloaded` shed that survived the client's retry policy — are *not*
+//! failover events: every backend would answer the same, so they pass
+//! through verbatim.
+
+use crate::client::{ClientConfig, ClientError};
+use crate::digest::fnv1a_128;
+use crate::pool::PoolClient;
+use crate::types::{BackendStats, CompileRequest, CompileResponse, ServeError};
+use serde::{Deserialize, Serialize};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Tuning for one [`Router`].
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// The client configuration every pooled connection dials with
+    /// (timeouts and the per-backend overload retry policy).
+    pub client: ClientConfig,
+    /// Connections each backend's [`PoolClient`] may have checked out at
+    /// once.
+    pub connections_per_backend: usize,
+    /// Virtual points per backend on the hash ring. More points smooth
+    /// the key distribution; 64 keeps the largest/smallest backend share
+    /// within a few tens of percent even at small fleet sizes.
+    pub replicas: usize,
+    /// Minimum time between liveness probes of a downed backend. The
+    /// probe runs inline on the first request to consider that backend
+    /// after the interval elapses (connect-refused fails in
+    /// microseconds on a dead local backend, so the inline cost is
+    /// negligible next to a compile).
+    pub probe_interval: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            client: ClientConfig::default(),
+            connections_per_backend: 4,
+            replicas: 64,
+            probe_interval: Duration::from_secs(1),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Health {
+    up: bool,
+    /// When the backend was last probed (or marked down — mark-down
+    /// starts the probe clock so the very next request does not pay an
+    /// immediate, certainly-futile re-dial).
+    last_probe: Option<Instant>,
+}
+
+#[derive(Debug)]
+struct Backend {
+    addr: SocketAddr,
+    pool: PoolClient,
+    health: Mutex<Health>,
+    served: AtomicU64,
+    failovers: AtomicU64,
+    downs: AtomicU64,
+}
+
+/// A serde-able snapshot of one backend's routing state, from
+/// [`Router::backend_states`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BackendState {
+    /// The backend's address, as text.
+    pub addr: String,
+    /// Whether the router currently considers the backend live.
+    pub healthy: bool,
+    /// Requests this router had answered by this backend.
+    pub served: u64,
+    /// Requests this router replayed *away* from this backend after it
+    /// failed mid-request.
+    pub failovers: u64,
+    /// Times this backend transitioned live → down.
+    pub downs: u64,
+}
+
+/// A routed response: which backend answered, plus the response itself.
+#[derive(Debug, Clone)]
+pub struct Routed {
+    /// Index of the answering backend (position in the address list the
+    /// router was built with).
+    pub backend: usize,
+    /// The answering backend's address.
+    pub addr: SocketAddr,
+    /// Backends that failed over during *this* request before the
+    /// answer (0 on the happy path).
+    pub failovers: u32,
+    /// The response, exactly the in-process serde type.
+    pub response: CompileResponse,
+}
+
+/// The front-tier router. See the module docs for the routing and
+/// failover contracts.
+///
+/// All methods take `&self`; the router is `Sync` and meant to be
+/// shared across request threads.
+#[derive(Debug)]
+pub struct Router {
+    backends: Vec<Backend>,
+    /// The consistent-hash ring: (point, backend index), sorted by
+    /// point. Built once — backends are fixed for the router's life;
+    /// liveness is handled by health state, not ring membership, so a
+    /// recovered backend gets its original keys back.
+    ring: Vec<(u64, usize)>,
+    config: RouterConfig,
+}
+
+impl Router {
+    /// A router over `addrs` with the default [`RouterConfig`].
+    ///
+    /// # Panics
+    /// If `addrs` is empty — a router with no backends cannot route.
+    pub fn new(addrs: Vec<SocketAddr>) -> Router {
+        Router::with_config(addrs, RouterConfig::default())
+    }
+
+    /// [`Router::new`] with explicit tuning.
+    pub fn with_config(addrs: Vec<SocketAddr>, config: RouterConfig) -> Router {
+        assert!(
+            !addrs.is_empty(),
+            "a Router needs at least one backend address"
+        );
+        let backends: Vec<Backend> = addrs
+            .into_iter()
+            .map(|addr| Backend {
+                addr,
+                pool: PoolClient::new(addr, config.client.clone(), config.connections_per_backend),
+                health: Mutex::new(Health {
+                    up: true,
+                    last_probe: None,
+                }),
+                served: AtomicU64::new(0),
+                failovers: AtomicU64::new(0),
+                downs: AtomicU64::new(0),
+            })
+            .collect();
+        let mut ring: Vec<(u64, usize)> = Vec::with_capacity(backends.len() * config.replicas);
+        for (index, backend) in backends.iter().enumerate() {
+            for replica in 0..config.replicas {
+                let point = fold(fnv1a_128(format!("{}#{replica}", backend.addr).as_bytes()));
+                ring.push((point, index));
+            }
+        }
+        ring.sort_unstable();
+        Router {
+            backends,
+            ring,
+            config,
+        }
+    }
+
+    /// How many backends the router was built with (live or not).
+    pub fn backend_count(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// The backend addresses, in construction order (the indices
+    /// [`Routed::backend`] and [`Router::route`] refer to).
+    pub fn addrs(&self) -> Vec<SocketAddr> {
+        self.backends.iter().map(|b| b.addr).collect()
+    }
+
+    /// The backend [`Router::request`] would try first for `req` right
+    /// now: the first backend on the ring from the request's digest
+    /// point that is not currently marked down. `None` if every backend
+    /// is marked down. Side-effect-free (no probes, no dials) — this is
+    /// the observability/affinity view, not the request path.
+    pub fn route(&self, req: &CompileRequest) -> Option<usize> {
+        self.candidates(req.key_digest())
+            .into_iter()
+            .find(|&b| self.backends[b].health.lock().expect("health mutex").up)
+    }
+
+    /// Submit-and-wait through the ring: try the request's candidate
+    /// backends in ring order, failing over (and marking down) on
+    /// transport-shaped failures, passing request-shaped failures
+    /// through verbatim. Exhausting every backend returns a
+    /// [`ClientError::Server`] with kind `unavailable` naming what was
+    /// tried.
+    pub fn request(&self, req: &CompileRequest) -> Result<Routed, ClientError> {
+        let mut tried: Vec<String> = Vec::new();
+        let mut failovers = 0u32;
+        for index in self.candidates(req.key_digest()) {
+            let backend = &self.backends[index];
+            if !self.usable(index) {
+                tried.push(format!("{} is marked down", backend.addr));
+                continue;
+            }
+            match backend.pool.request(req) {
+                Ok(response) => {
+                    backend.served.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Routed {
+                        backend: index,
+                        addr: backend.addr,
+                        failovers,
+                        response,
+                    });
+                }
+                Err(e) if failover_worthy(&e) => {
+                    self.mark_down(index);
+                    backend.failovers.fetch_add(1, Ordering::Relaxed);
+                    failovers += 1;
+                    tried.push(format!("{} failed over ({e})", backend.addr));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(ClientError::Server(ServeError::unavailable(
+            tried.join("; "),
+        )))
+    }
+
+    /// A routing-state snapshot per backend, in construction order.
+    pub fn backend_states(&self) -> Vec<BackendState> {
+        self.backends
+            .iter()
+            .map(|b| BackendState {
+                addr: b.addr.to_string(),
+                healthy: b.health.lock().expect("health mutex").up,
+                served: b.served.load(Ordering::Relaxed),
+                failovers: b.failovers.load(Ordering::Relaxed),
+                downs: b.downs.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Wire-level stats from every backend (a fresh identity-tagged
+    /// snapshot each), in construction order. Per-backend errors are
+    /// returned in place, not short-circuited — a fleet with one dead
+    /// backend still reports the other N−1.
+    pub fn backend_stats(&self) -> Vec<Result<BackendStats, ClientError>> {
+        self.backends
+            .iter()
+            .map(|b| b.pool.backend_stats())
+            .collect()
+    }
+
+    /// The request's candidate backends: every backend exactly once, in
+    /// ring order starting from the digest's point.
+    fn candidates(&self, digest: u128) -> Vec<usize> {
+        let point = fold(digest);
+        let start = self.ring.partition_point(|&(p, _)| p < point);
+        let mut order: Vec<usize> = Vec::with_capacity(self.backends.len());
+        for i in 0..self.ring.len() {
+            let (_, index) = self.ring[(start + i) % self.ring.len()];
+            if !order.contains(&index) {
+                order.push(index);
+                if order.len() == self.backends.len() {
+                    break;
+                }
+            }
+        }
+        order
+    }
+
+    /// Whether `index` may be tried right now. Live backends: yes.
+    /// Downed backends: only by probing — at most one probe per
+    /// [`RouterConfig::probe_interval`] (the claim happens under the
+    /// health lock, so concurrent requests cannot stampede a dead
+    /// backend with dials), and the backend is usable again only once a
+    /// probe completes a full stats round-trip.
+    fn usable(&self, index: usize) -> bool {
+        let backend = &self.backends[index];
+        {
+            let mut health = backend.health.lock().expect("health mutex");
+            if health.up {
+                return true;
+            }
+            let due = health
+                .last_probe
+                .is_none_or(|at| at.elapsed() >= self.config.probe_interval);
+            if !due {
+                return false;
+            }
+            health.last_probe = Some(Instant::now());
+        }
+        match backend.pool.probe() {
+            Ok(_) => {
+                backend.health.lock().expect("health mutex").up = true;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Marks a backend down after a transport-shaped failure: flips
+    /// health (counting the transition once, however many threads saw
+    /// the failure), starts the probe clock, and drops the pool's idle
+    /// sockets — they predate the failure and prove nothing.
+    fn mark_down(&self, index: usize) {
+        let backend = &self.backends[index];
+        let mut health = backend.health.lock().expect("health mutex");
+        if health.up {
+            health.up = false;
+            backend.downs.fetch_add(1, Ordering::Relaxed);
+        }
+        health.last_probe = Some(Instant::now());
+        drop(health);
+        backend.pool.clear_idle();
+    }
+}
+
+/// Folds the 128-bit request digest onto the 64-bit ring with a
+/// splitmix64-style avalanche. FNV-1a diffuses weakly for short, similar
+/// inputs (ring point pre-images differ by a few characters), so a plain
+/// XOR/truncation fold clusters points and can starve a backend of ring
+/// share entirely; the avalanche makes every input bit load-bearing.
+fn fold(digest: u128) -> u64 {
+    let lo = digest as u64;
+    let hi = (digest >> 64) as u64;
+    let mut z = hi.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = z.wrapping_add(lo);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Whether an error says "this *backend* failed" (failover, replay on
+/// the next ring candidate) rather than "this *request* failed" (pass
+/// through — every backend would answer the same).
+///
+/// `draining` counts as backend-shaped: the server announced it is going
+/// away, and the request was refused unserved, so replaying it elsewhere
+/// is exactly the zero-loss drain story.
+fn failover_worthy(e: &ClientError) -> bool {
+    match e {
+        ClientError::Io { .. } | ClientError::Proto(_) | ClientError::Closed { .. } => true,
+        ClientError::Server(serve) => serve.kind == "draining",
+        ClientError::Overloaded { .. } => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: usize) -> Vec<SocketAddr> {
+        // Fixed fake addresses: ring construction never dials.
+        (0..n)
+            .map(|i| format!("127.0.0.1:{}", 4000 + i).parse().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn ring_is_deterministic_and_candidates_cover_every_backend_once() {
+        let a = Router::new(addrs(3));
+        let b = Router::new(addrs(3));
+        assert_eq!(a.ring, b.ring);
+        for digest in (0..200u128).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15)) {
+            let order = a.candidates(digest);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2], "order {order:?}");
+            assert_eq!(order, b.candidates(digest));
+        }
+    }
+
+    #[test]
+    fn virtual_points_spread_first_choice_across_backends() {
+        let router = Router::new(addrs(4));
+        let mut first = [0usize; 4];
+        for digest in (0..4000u128).map(|i| fnv1a_128(&i.to_le_bytes())) {
+            first[router.candidates(digest)[0]] += 1;
+        }
+        for (index, &count) in first.iter().enumerate() {
+            // With 64 replicas each of 4 backends owns roughly a quarter
+            // of the ring; a backend owning under 5% would mean the
+            // virtual points failed to spread.
+            assert!(count > 200, "backend {index} owns only {count}/4000 keys");
+        }
+    }
+
+    #[test]
+    fn killing_a_backend_remaps_only_its_own_keys() {
+        let router = Router::new(addrs(3));
+        let digests: Vec<u128> = (0..500u128).map(|i| fnv1a_128(&i.to_le_bytes())).collect();
+        let before: Vec<usize> = digests.iter().map(|&d| router.candidates(d)[0]).collect();
+        // Simulate backend 1 dying: its keys move to the next ring
+        // candidate; keys owned by 0 and 2 must not move at all.
+        for (&digest, &owner) in digests.iter().zip(&before) {
+            let order = router.candidates(digest);
+            let survivor = order.iter().copied().find(|&b| b != 1).unwrap();
+            if owner != 1 {
+                assert_eq!(survivor, owner, "a live backend's key moved");
+            }
+        }
+    }
+
+    #[test]
+    fn fold_distinguishes_the_digest_halves() {
+        // A plain XOR fold maps (lo, hi) and (hi, lo) to the same ring
+        // point; the avalanche must not.
+        assert_ne!(fold(1), fold(1 << 64));
+        assert_ne!(fold(0), fold(u128::MAX));
+    }
+}

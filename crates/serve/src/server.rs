@@ -58,6 +58,13 @@ pub struct ServerConfig {
     /// tick. Bounds how stale the drain flag or a completed response can
     /// get while the connection is idle.
     pub tick: Duration,
+    /// How this server identifies itself in wire-level stats answers
+    /// (the [`BackendStats`][crate::types::BackendStats] envelope). Empty
+    /// means "use the listen address" — resolved once at bind, so an
+    /// ephemeral port 0 stamps the *actual* port. Behind a
+    /// [`Router`][crate::router::Router] this is what tells N otherwise
+    /// identical backends apart.
+    pub identity: String,
 }
 
 impl Default for ServerConfig {
@@ -66,6 +73,7 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(2),
             write_timeout: Duration::from_secs(5),
             tick: Duration::from_millis(20),
+            identity: String::new(),
         }
     }
 }
@@ -99,11 +107,30 @@ pub struct DrainSummary {
     pub net: NetStats,
 }
 
+/// Where the drain's self-wake connect stands, from the accept loop's
+/// point of view. Written by [`NetServer::drain`], read by the accept
+/// loop to tell the wake apart from a real client racing the drain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WakeMark {
+    /// No drain wake has been attempted yet.
+    NotYet,
+    /// The wake connect succeeded from this local address; an accepted
+    /// connection whose peer matches it is the wake, not a client.
+    Addr(SocketAddr),
+    /// The wake was attempted but its address is unknowable (connect
+    /// failed, or the OS would not report the local address). Whatever
+    /// the acceptor sees next is treated as a real client — the pre-fix
+    /// behavior, kept only for this unreachable-in-practice corner.
+    Unknown,
+}
+
 #[derive(Debug)]
 struct Shared {
     service: Arc<CompileService>,
     config: ServerConfig,
+    identity: String,
     draining: AtomicBool,
+    wake: Mutex<WakeMark>,
     net: NetCounters,
     conns: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -157,10 +184,17 @@ impl NetServer {
     ) -> io::Result<NetServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let identity = if config.identity.is_empty() {
+            local_addr.to_string()
+        } else {
+            config.identity.clone()
+        };
         let shared = Arc::new(Shared {
             service,
             config,
+            identity,
             draining: AtomicBool::new(false),
+            wake: Mutex::new(WakeMark::NotYet),
             net: NetCounters::default(),
             conns: Mutex::new(Vec::new()),
         });
@@ -179,6 +213,13 @@ impl NetServer {
     /// The address the server is actually listening on (resolves port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The identity this server stamps on wire-level stats answers:
+    /// [`ServerConfig::identity`], or the listen address when that was
+    /// left empty.
+    pub fn identity(&self) -> &str {
+        &self.shared.identity
     }
 
     /// The service behind this front end — the same instance every
@@ -210,10 +251,21 @@ impl NetServer {
     fn drain(&mut self) -> DrainSummary {
         self.shared.draining.store(true, Ordering::SeqCst);
         if let Some(accept) = self.accept.take() {
-            // Wake the (blocking) acceptor; the connection it sees is
-            // denied with a goodbye and the loop exits, dropping the
-            // listener so later connects are refused at the OS level.
-            let _ = TcpStream::connect(self.local_addr);
+            // Wake the (blocking) acceptor and publish the wake's local
+            // address first, so the accept loop can tell this connect
+            // apart from a real client racing the drain: the wake is
+            // internal plumbing and must not count as `denied`. (The
+            // loop exits after one draining accept either way, dropping
+            // the listener so later connects are refused at the OS
+            // level.)
+            let wake = match TcpStream::connect(self.local_addr) {
+                Ok(stream) => stream
+                    .local_addr()
+                    .map(WakeMark::Addr)
+                    .unwrap_or(WakeMark::Unknown),
+                Err(_) => WakeMark::Unknown,
+            };
+            *self.shared.wake.lock().expect("wake mutex") = wake;
             let _ = accept.join();
         }
         let conns: Vec<JoinHandle<()>> =
@@ -248,17 +300,38 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
             Err(_) => continue,
         };
         if shared.draining.load(Ordering::SeqCst) {
-            // A connection that raced the drain (including the drain's
-            // own wake-up connect) is told why, not reset.
-            Metrics::bump(&shared.net.denied);
-            let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
-            let _ = proto::write_frame(
-                &mut &stream,
-                &Frame::goodbye(
-                    "server is draining: connection refused before any request",
-                    0,
-                ),
-            );
+            // Either the drain's own wake-up connect or a real client
+            // racing the drain. The drain publishes the wake's local
+            // address right after connecting, so wait for the mark
+            // (briefly — the publish races the accept by microseconds)
+            // and compare peers: only a *real* client counts as denied,
+            // and it is told why, not reset.
+            let wake = {
+                let deadline = std::time::Instant::now() + Duration::from_secs(2);
+                loop {
+                    match *shared.wake.lock().expect("wake mutex") {
+                        WakeMark::NotYet if std::time::Instant::now() < deadline => {
+                            std::thread::yield_now();
+                        }
+                        mark => break mark,
+                    }
+                }
+            };
+            let is_wake = match (wake, stream.peer_addr()) {
+                (WakeMark::Addr(wake_addr), Ok(peer)) => peer == wake_addr,
+                _ => false,
+            };
+            if !is_wake {
+                Metrics::bump(&shared.net.denied);
+                let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+                let _ = proto::write_frame(
+                    &mut &stream,
+                    &Frame::goodbye(
+                        "server is draining: connection refused before any request",
+                        0,
+                    ),
+                );
+            }
             break;
         }
         Metrics::bump(&shared.net.accepted);
@@ -434,6 +507,18 @@ fn handle_frame(
                     &Frame::error(Some(wire.seq), &ServeError::draining()),
                 );
             }
+            // A goodbye is a promise of "no further requests": a request
+            // pipelined behind one is refused, not admitted — otherwise
+            // a misbehaving client could keep the session (and its
+            // connection thread) alive indefinitely after announcing it
+            // was done, because the close in duty 2 waits for pending
+            // responses that admission here would keep replenishing.
+            if *client_done {
+                return proto::write_frame(
+                    &mut &*stream,
+                    &Frame::error(Some(wire.seq), &ServeError::after_goodbye()),
+                );
+            }
             match session.submit(wire.request) {
                 Ok(session_seq) => {
                     wire_seq.insert(session_seq, wire.seq);
@@ -449,9 +534,10 @@ fn handle_frame(
                 Err(e) => proto::write_frame(&mut &*stream, &Frame::error(Some(wire.seq), &e)),
             }
         }
-        FrameKind::StatsRequest => {
-            proto::write_frame(&mut &*stream, &Frame::stats(&shared.service.stats()))
-        }
+        FrameKind::StatsRequest => proto::write_frame(
+            &mut &*stream,
+            &Frame::stats(&shared.identity, &shared.service.stats()),
+        ),
         FrameKind::Goodbye => {
             // The client is done submitting; pending responses still
             // drain before the server's answering goodbye.

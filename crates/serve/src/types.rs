@@ -120,8 +120,11 @@ pub struct ServeError {
     /// `bad-request` for input that never parsed into a request,
     /// `overloaded` for a submission shed by a full admission queue,
     /// `draining` for a request that arrived after the server began a
-    /// graceful shutdown, or `protocol` for a connection whose byte
-    /// stream violated the wire framing (see [`crate::proto`]).
+    /// graceful shutdown, `after-goodbye` for a request pipelined behind
+    /// the client's own goodbye frame, `unavailable` for a routed request
+    /// that found no live backend (see [`crate::router`]), or `protocol`
+    /// for a connection whose byte stream violated the wire framing (see
+    /// [`crate::proto`]).
     pub kind: String,
     /// Human-readable diagnosis (the [`CompileError`] display text).
     pub error: String,
@@ -162,6 +165,32 @@ impl ServeError {
             error: "server is draining: new requests are refused while accepted work finishes; \
                     reconnect to another instance or retry after the restart"
                 .to_string(),
+        }
+    }
+
+    /// A request refused because it arrived *after* the same client's
+    /// goodbye frame. A goodbye announces "no further requests"; the
+    /// session stays open only to drain responses already accepted, so a
+    /// request pipelined behind it is a contract violation answered with
+    /// this error — the session still closes once pending responses
+    /// drain, instead of being held open indefinitely.
+    pub fn after_goodbye() -> Self {
+        ServeError {
+            kind: "after-goodbye".to_string(),
+            error: "request received after this connection's goodbye frame: a goodbye announces \
+                    no further requests, and the session closes once already-accepted responses \
+                    drain — open a new connection to submit more work"
+                .to_string(),
+        }
+    }
+
+    /// A routed request that exhausted every backend: each candidate on
+    /// the ring was either already marked down or failed over during this
+    /// request. `detail` names the backends tried and how each failed.
+    pub fn unavailable(detail: impl fmt::Display) -> Self {
+        ServeError {
+            kind: "unavailable".to_string(),
+            error: format!("no live backend could serve the request: {detail}"),
         }
     }
 
@@ -274,4 +303,21 @@ impl ServeStats {
         let workers = self.workers.max(1) as f64;
         ((jobs_ahead * per_job_ms / workers).ceil() as u64).clamp(1, 30_000)
     }
+}
+
+/// A [`ServeStats`] snapshot tagged with the backend's identity — the
+/// payload of a wire-level `stats` frame.
+///
+/// With one server per process the snapshot alone was enough; behind a
+/// [`Router`][crate::router::Router] a stats answer is meaningless
+/// without knowing *which* backend produced it, so the server stamps
+/// every snapshot with its identity ([`crate::ServerConfig::identity`];
+/// the listen address unless configured otherwise). `ServeStats` itself
+/// stays `Copy` — the identity lives in this envelope, not the counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackendStats {
+    /// The answering server's identity string.
+    pub identity: String,
+    /// The service counters, exactly the in-process snapshot.
+    pub stats: ServeStats,
 }

@@ -26,6 +26,12 @@
 //!   stdin request to a running `--listen` instance over one connection
 //!   and print the rows it answers; the final stderr stats snapshot is
 //!   fetched over the wire.
+//! * `--route <addr,addr,...>` — front a whole fleet of `--listen`
+//!   instances through the consistent-hash [`Router`]: each request is
+//!   hashed to its owning backend (cache affinity), transport failures
+//!   fail over to the next backend on the ring, and every row is tagged
+//!   with the answering backend. The final stderr snapshot reports
+//!   per-backend routing state and wire-level stats.
 //!
 //! ```text
 //! $ cargo run --release --example qft_serve <<'EOF'
@@ -39,10 +45,11 @@
 //! ```
 
 use qft_kernels::serve::{
-    CompileRequest, CompileResponse, CompileService, NetClient, NetServer, ServeError,
+    CompileRequest, CompileResponse, CompileService, NetClient, NetServer, Router, ServeError,
 };
 use serde::Serialize;
 use std::io::{BufRead, Write};
+use std::net::SocketAddr;
 use std::sync::Arc;
 
 /// The default per-request output row: headline metrics plus the cache
@@ -174,6 +181,66 @@ fn serve_connect(addr: &str, lines: &[String], full: bool) {
     );
 }
 
+/// A routed row: the summary plus which backend answered and how many
+/// backends failed over before the answer.
+#[derive(Debug, Serialize)]
+struct RoutedRow {
+    backend: String,
+    failovers: u32,
+    row: Summary,
+}
+
+/// `--route` mode: consistent-hash each stdin request across a fleet of
+/// `--listen` backends, tagging every row with the answering backend.
+fn serve_route(addrs: &str, lines: &[String], full: bool) {
+    let addrs: Vec<SocketAddr> = addrs
+        .split(',')
+        .map(|a| {
+            a.trim()
+                .parse()
+                .unwrap_or_else(|e| panic!("bad backend address {a:?}: {e}"))
+        })
+        .collect();
+    let router = Router::new(addrs);
+    let mut out = std::io::stdout().lock();
+    for line in lines {
+        let json = match serde_json::from_str::<CompileRequest>(line) {
+            Ok(req) => match router.request(&req) {
+                Ok(routed) if full => {
+                    serde_json::to_string(&routed.response).expect("responses always serialize")
+                }
+                Ok(routed) => serde_json::to_string(&RoutedRow {
+                    backend: routed.addr.to_string(),
+                    failovers: routed.failovers,
+                    row: Summary::of(&routed.response),
+                })
+                .expect("responses always serialize"),
+                Err(e) => serde_json::to_string(&ServeError::bad_request(format!(
+                    "routed request failed: {e}"
+                )))
+                .expect("responses always serialize"),
+            },
+            // Malformed lines never reach the wire; report them inline.
+            Err(e) => serde_json::to_string(&ServeError::bad_request(e))
+                .expect("responses always serialize"),
+        };
+        writeln!(out, "{json}").expect("write stdout");
+    }
+    eprintln!(
+        "{}",
+        serde_json::to_string_pretty(&router.backend_states()).expect("states always serialize")
+    );
+    for tagged in router.backend_stats() {
+        match tagged {
+            Ok(tagged) => eprintln!(
+                "{}",
+                serde_json::to_string(&tagged).expect("stats always serialize")
+            ),
+            Err(e) => eprintln!("{{\"error\": \"backend stats failed: {e}\"}}"),
+        }
+    }
+}
+
 /// The value following `flag` on the command line, if present.
 fn flag_value(flag: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -197,6 +264,10 @@ fn main() {
         .collect();
     if let Some(addr) = flag_value("--connect") {
         serve_connect(&addr, &lines, full);
+        return;
+    }
+    if let Some(addrs) = flag_value("--route") {
+        serve_route(&addrs, &lines, full);
         return;
     }
     let service = CompileService::new();

@@ -20,8 +20,10 @@
 //!   [`QftCompiler`], [`CompileOptions`] → [`CompileResult`]);
 //! * [`serve`] — the batched/concurrent compile service: JSON
 //!   [`CompileRequest`]/[`CompileResponse`] types, a [`CompileService`]
-//!   with a bounded worker pool and a keyed LRU result cache, and the
-//!   process-wide shared registry behind [`registry()`].
+//!   with a bounded worker pool and a keyed LRU result cache, the TCP
+//!   front end ([`NetServer`]/[`NetClient`]), a consistent-hash
+//!   [`Router`] for multi-backend scale-out, and the process-wide shared
+//!   registry behind [`registry()`].
 //!
 //! Every compiler — the four analytical mappers *and* the three baselines —
 //! implements the same [`QftCompiler`] trait and is resolvable by name
@@ -69,7 +71,8 @@ pub use qft_core::{
 pub use qft_ir::passes::{Pass, PassCtx, PassError, PassManager, PassReport};
 pub use qft_serve::{
     Backpressure, ClientConfig, CompileRequest, CompileResponse, CompileService, NetClient,
-    NetServer, RetryPolicy, ServeError, ServeStats, ServerConfig, StreamSession, Ticket,
+    NetServer, PoolClient, RetryPolicy, Routed, Router, RouterConfig, ServeError, ServeStats,
+    ServerConfig, StreamSession, Ticket,
 };
 
 /// The process-wide compiler registry: the paper's four analytical mappers

@@ -22,6 +22,14 @@
 //!   `overloaded` frame carrying queue depth and a retry-after hint, the
 //!   connection stays open, and `NetClient`'s retry policy honors the
 //!   hint.
+//!
+//! Plus the ISSUE 9 serve-layer regression pins: a clean shutdown counts
+//! zero denied connections (the drain's self-wake is not a client), a
+//! request pipelined behind the client's goodbye is refused instead of
+//! admitted, `NetClient::stats` correlates its round-trip (no stale
+//! snapshot returned, no spurious one left queued), and
+//! `RetryPolicy::max_attempts == 0` is normalized to 1 at construction so
+//! `ClientError::Overloaded.attempts` means what it says.
 
 mod common;
 
@@ -509,6 +517,255 @@ fn fault_injection_matrix_never_takes_the_server_down() {
     assert!(net.slow_timeouts >= 1, "net stats: {net:?}");
     let summary = server.shutdown();
     assert!(summary.net.accepted >= 8, "net stats: {:?}", summary.net);
+}
+
+// ---------------------------------------------------------------------------
+// Regression pins for the ISSUE 9 serve-layer bug sweep.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn clean_shutdown_counts_zero_denied_connections() {
+    // Pre-fix, the drain's own wake-up connect was counted as a denied
+    // connection, so `denied >= 1` after *every* shutdown — making the
+    // counter useless for telling whether a real client was turned away.
+    let server = NetServer::bind("127.0.0.1:0", Arc::new(CompileService::new())).unwrap();
+    let summary = server.shutdown();
+    assert_eq!(
+        summary.net.denied, 0,
+        "an untouched server turned no one away: {:?}",
+        summary.net
+    );
+    assert_eq!(summary.net.accepted, 0);
+
+    // Same with real traffic beforehand: served-and-said-goodbye clients
+    // are not denials either.
+    let server = NetServer::bind("127.0.0.1:0", Arc::new(CompileService::new())).unwrap();
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    client
+        .request(&serve_request("lnn", "lnn:4", CompileOptions::default()))
+        .unwrap();
+    client.goodbye().unwrap();
+    let summary = server.shutdown();
+    assert_eq!(
+        summary.net.denied, 0,
+        "no client raced this drain: {:?}",
+        summary.net
+    );
+    assert_eq!((summary.net.accepted, summary.net.goodbyes), (1, 1));
+}
+
+static BYE_OPEN: Mutex<bool> = Mutex::new(false);
+static BYE_CV: Condvar = Condvar::new();
+static BYE_ENTERED: AtomicUsize = AtomicUsize::new(0);
+
+fn bye_registry() -> &'static Registry {
+    static GATED: OnceLock<&'static Registry> = OnceLock::new();
+    GATED.get_or_init(|| {
+        let mut r = Registry::with_core();
+        r.register(Box::new(GateCompiler {
+            name: "gate-bye",
+            open: &BYE_OPEN,
+            cv: &BYE_CV,
+            entered: &BYE_ENTERED,
+        }));
+        Box::leak(Box::new(r))
+    })
+}
+
+#[test]
+fn requests_pipelined_behind_a_goodbye_are_refused() {
+    // Pre-fix, `handle_frame` checked `draining` but never `client_done`,
+    // so `goodbye` + more requests kept the session admitting work
+    // indefinitely after the client announced it was done. The gate
+    // parks the first request in flight so the session provably stays
+    // open (pending > 0) while the post-goodbye request arrives.
+    let service = CompileService::builder()
+        .registry(bye_registry())
+        .workers(1)
+        .build();
+    let server = NetServer::bind("127.0.0.1:0", Arc::new(service)).unwrap();
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+
+    let gated = CompileRequest::new("gate-bye", "lnn:4");
+    proto::write_frame(&mut &stream, &Frame::request(0, &gated)).unwrap();
+    wait_until("the gated compile to start", || {
+        BYE_ENTERED.load(Ordering::SeqCst) > 0
+    });
+    proto::write_frame(&mut &stream, &Frame::goodbye("client done", 0)).unwrap();
+    proto::write_frame(&mut &stream, &Frame::request(1, &gated)).unwrap();
+
+    // The post-goodbye request is answered with a descriptive refusal —
+    // before the gated response, which the gate still holds.
+    let frame = proto::read_frame(&mut &stream).expect("a refusal frame");
+    let fault: WireFault = frame.decode().unwrap();
+    assert_eq!(fault.seq, Some(1), "the refusal names the refused seq");
+    assert_eq!(fault.error.kind, "after-goodbye");
+    assert!(
+        fault.error.error.contains("goodbye"),
+        "the refusal must explain itself: {}",
+        fault.error.error
+    );
+
+    // The accepted (pre-goodbye) response still drains, then the server
+    // answers the goodbye with served == 1: the refused request was
+    // never admitted.
+    *BYE_OPEN.lock().unwrap() = true;
+    BYE_CV.notify_all();
+    let frame = proto::read_frame(&mut &stream).expect("the gated response");
+    assert_eq!(frame.kind, proto::FrameKind::Response);
+    let frame = proto::read_frame(&mut &stream).expect("the server goodbye");
+    assert_eq!(frame.kind, proto::FrameKind::Goodbye);
+    let bye: qft_kernels::serve::proto::WireGoodbye = frame.decode().unwrap();
+    assert_eq!(bye.served, 1, "only the pre-goodbye request was served");
+    server.shutdown();
+}
+
+#[test]
+fn stats_round_trips_correlate_after_a_bare_submit_stats() {
+    let server = NetServer::bind("127.0.0.1:0", Arc::new(CompileService::new())).unwrap();
+    let addr = server.local_addr();
+
+    // Observer with a short read timeout so the no-spurious-event check
+    // below settles fast.
+    let mut observer = NetClient::connect_with(
+        addr,
+        ClientConfig {
+            read_timeout: Duration::from_millis(300),
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+
+    // A bare submit_stats leaves snapshot A (requests == 0) in flight,
+    // never read.
+    observer.submit_stats().unwrap();
+
+    // The counters move: another client performs one compile.
+    let mut worker = NetClient::connect(addr).unwrap();
+    worker
+        .request(&serve_request("lnn", "lnn:9", CompileOptions::default()))
+        .unwrap();
+
+    // Pre-fix, stats() returned the *stale* snapshot A off the socket
+    // (requests == 0); correlated, it must skip A and return the fresh
+    // answer to its own request.
+    let stats = observer.stats().unwrap();
+    assert_eq!(
+        stats.requests, 1,
+        "stats() must answer with a snapshot taken after its own request"
+    );
+
+    // ... and it must not leave a spurious Stats event queued: the next
+    // event is a timeout (nothing on the wire), not a phantom snapshot.
+    match observer.next_event() {
+        Err(_) => {}
+        Ok(event) => panic!("expected no queued event, got {event:?}"),
+    }
+
+    // The identity-tagged form stamps which backend answered — the
+    // router's way of telling N otherwise identical backends apart.
+    let tagged = observer.backend_stats().unwrap();
+    assert_eq!(tagged.identity, addr.to_string());
+    assert_eq!(tagged.stats.requests, 1);
+
+    drop(observer);
+    drop(worker);
+    server.shutdown();
+}
+
+static RETRY_OPEN: Mutex<bool> = Mutex::new(false);
+static RETRY_CV: Condvar = Condvar::new();
+static RETRY_ENTERED: AtomicUsize = AtomicUsize::new(0);
+
+fn retry_registry() -> &'static Registry {
+    static GATED: OnceLock<&'static Registry> = OnceLock::new();
+    GATED.get_or_init(|| {
+        let mut r = Registry::with_core();
+        r.register(Box::new(GateCompiler {
+            name: "gate-retry",
+            open: &RETRY_OPEN,
+            cv: &RETRY_CV,
+            entered: &RETRY_ENTERED,
+        }));
+        Box::leak(Box::new(r))
+    })
+}
+
+#[test]
+fn retry_policy_attempt_boundaries_hold_against_a_shedding_server() {
+    // Pre-fix, `max_attempts: 0` silently behaved as 1 via a `.max(1)`
+    // buried in the request loop, while the constructed policy still
+    // read 0 — so `ClientError::Overloaded.attempts` "equals the
+    // policy's max_attempts" was a lie at the boundary. Normalization
+    // now happens once, at construction, where it is observable.
+    let service = CompileService::builder()
+        .registry(retry_registry())
+        .workers(1)
+        .queue_capacity(1)
+        .backpressure(Backpressure::Shed)
+        .build();
+    let server = NetServer::bind("127.0.0.1:0", Arc::new(service)).unwrap();
+    let addr = server.local_addr();
+
+    // Park the worker, fill the one-slot queue: every further submission
+    // sheds until the gate opens.
+    let mut filler = NetClient::connect(addr).unwrap();
+    filler
+        .submit(&CompileRequest::new("gate-retry", "lnn:4"))
+        .unwrap();
+    wait_until("the gated compile to start", || {
+        RETRY_ENTERED.load(Ordering::SeqCst) > 0
+    });
+    filler
+        .submit(&CompileRequest::new("gate-retry", "lnn:5"))
+        .unwrap();
+    wait_until("the queue to fill", || {
+        server.service().stats().queue_depth >= 1
+    });
+
+    for (configured, effective) in [(0u32, 1u32), (1, 1), (3, 3)] {
+        let mut client = NetClient::connect_with(
+            addr,
+            ClientConfig {
+                retry: RetryPolicy {
+                    max_attempts: configured,
+                    backoff_cap: Duration::from_millis(10),
+                },
+                ..ClientConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            client.config().retry.max_attempts,
+            effective,
+            "max_attempts: {configured} must normalize at construction"
+        );
+        match client.request(&CompileRequest::new("gate-retry", "lnn:6")) {
+            Err(ClientError::Overloaded { attempts, last }) => {
+                assert_eq!(
+                    attempts, effective,
+                    "attempts must equal the effective policy for max_attempts: {configured}"
+                );
+                assert_eq!(last.error.kind, "overloaded");
+            }
+            other => panic!("expected ClientError::Overloaded, got {other:?}"),
+        }
+    }
+
+    // Release the gate and drain the filler's two parked compiles.
+    *RETRY_OPEN.lock().unwrap() = true;
+    RETRY_CV.notify_all();
+    for _ in 0..2 {
+        match filler.next_event().unwrap() {
+            NetEvent::Response { .. } => {}
+            other => panic!("expected a response, got {other:?}"),
+        }
+    }
+    drop(filler);
+    server.shutdown();
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,359 @@
+//! The front-tier router suite (ISSUE 9): consistent-hash scale-out over
+//! real localhost sockets — N backend `NetServer` processes-worth of
+//! threads, one `Router`, real failures.
+//!
+//! Contracts under test:
+//!
+//! * **Digest affinity** — the same request key lands on the same
+//!   backend every time (and on the one `Router::route` predicts), so
+//!   each key's cache entry lives in exactly one process: fleet-wide
+//!   misses equal distinct keys, not keys × backends.
+//! * **Fleet-wide singleflight** — an 8-client storm on one key through
+//!   the router performs exactly one compile *across the whole fleet*,
+//!   proven by wire-level stats summed over every backend.
+//! * **Kill-one-backend drain** — killing one of three backends
+//!   mid-traffic loses zero accepted requests: every `Router::request`
+//!   still returns `Ok`, the dead backend is marked down, and its keys
+//!   remap to live backends (byte-identically, by determinism).
+//! * **Probe recovery** — a downed backend that comes back is probed
+//!   back into rotation and its original keys return to it.
+
+mod common;
+
+use common::serve_request;
+use qft_kernels::serve::router::RouterConfig;
+use qft_kernels::serve::{ClientConfig, NetServer, Router};
+use qft_kernels::{CompileOptions, CompileRequest, CompileService};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Backends for one test fleet: small worker pools (the suite runs many
+/// fleets under `--test-threads=8`), each service independent — shared
+/// state between backends would hide affinity bugs.
+fn spawn_fleet(n: usize) -> Vec<NetServer> {
+    (0..n)
+        .map(|_| {
+            let service = CompileService::builder().workers(2).build();
+            NetServer::bind("127.0.0.1:0", Arc::new(service)).expect("bind backend")
+        })
+        .collect()
+}
+
+fn fleet_addrs(fleet: &[NetServer]) -> Vec<SocketAddr> {
+    fleet.iter().map(|s| s.local_addr()).collect()
+}
+
+/// Distinct cheap requests: `lnn` on sizes 4..4+n (every size is its own
+/// cache key and its own digest, so they spread across the ring).
+fn distinct_requests(n: usize) -> Vec<CompileRequest> {
+    (0..n)
+        .map(|i| serve_request("lnn", &format!("lnn:{}", 4 + i), CompileOptions::default()))
+        .collect()
+}
+
+fn artifact_bytes(resp: &qft_kernels::CompileResponse) -> String {
+    serde_json::to_string(&resp.result).expect("serialize artifact")
+}
+
+/// Spins until `check` passes or the deadline expires.
+fn wait_until(what: &str, mut check: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !check() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Digest affinity: one key, one backend, one cache entry fleet-wide.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn same_key_requests_show_digest_affinity_to_one_backend() {
+    let fleet = spawn_fleet(3);
+    let router = Router::new(fleet_addrs(&fleet));
+    let requests = distinct_requests(12);
+
+    // Three passes over twelve distinct keys: each key must land on the
+    // backend `route` predicts, every pass, and only the first pass may
+    // compile.
+    let mut owners = Vec::new();
+    for req in &requests {
+        let predicted = router.route(req).expect("all backends are live");
+        let mut backends = Vec::new();
+        for pass in 0..3 {
+            let routed = router.request(req).expect("routed request");
+            assert_eq!(
+                routed.response.cached,
+                pass > 0,
+                "pass {pass} cache state for {}",
+                req.target
+            );
+            backends.push(routed.backend);
+        }
+        assert_eq!(
+            backends,
+            vec![predicted; 3],
+            "{} must stick to its ring owner",
+            req.target
+        );
+        owners.push(predicted);
+    }
+
+    // Fleet-wide accounting, proven over the wire: misses == distinct
+    // keys (no key compiled on two backends), requests == every routed
+    // call, and each backend's share matches the ring ownership.
+    let mut misses = 0;
+    let mut total_requests = 0;
+    for (index, stats) in router.backend_stats().into_iter().enumerate() {
+        let tagged = stats.expect("wire stats from a live backend");
+        assert_eq!(tagged.identity, fleet[index].local_addr().to_string());
+        misses += tagged.stats.misses;
+        total_requests += tagged.stats.requests;
+        let owned = owners.iter().filter(|&&o| o == index).count() as u64;
+        assert_eq!(
+            tagged.stats.requests,
+            owned * 3,
+            "backend {index} must serve exactly its owned keys"
+        );
+    }
+    assert_eq!(misses, 12, "every key compiles exactly once fleet-wide");
+    assert_eq!(total_requests, 36);
+
+    for server in fleet {
+        server.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fleet-wide singleflight: a storm through the router is one compile.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn storm_through_the_router_performs_exactly_one_compile_fleet_wide() {
+    let fleet = spawn_fleet(3);
+    let router = Router::new(fleet_addrs(&fleet));
+    // The stochastic-search request the byte-identity suites hammer:
+    // wire determinism under dedup is a pipeline property, not an
+    // analytical-construction artifact.
+    let req = serve_request(
+        "sabre",
+        "lattice:4",
+        CompileOptions::default()
+            .with_seed(7)
+            .with_opt_level(2)
+            .with_approximation(3),
+    );
+    let n_clients = 8;
+    let barrier = Barrier::new(n_clients);
+
+    let results: Vec<(usize, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_clients)
+            .map(|_| {
+                let (router, req, barrier) = (&router, &req, &barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    let routed = router.request(req).expect("storm request");
+                    (routed.backend, artifact_bytes(&routed.response))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Affinity under concurrency: every client landed on the same
+    // backend with identical bytes.
+    let (owner, reference) = &results[0];
+    for (backend, bytes) in &results {
+        assert_eq!(backend, owner, "the storm must converge on one backend");
+        assert_eq!(bytes, reference, "every client gets identical bytes");
+    }
+
+    // The fleet-wide proof, over the wire: one compile total, and the
+    // two non-owner backends never saw a request.
+    let mut misses = 0;
+    let mut requests = 0;
+    for (index, stats) in router.backend_stats().into_iter().enumerate() {
+        let stats = stats.expect("wire stats").stats;
+        misses += stats.misses;
+        requests += stats.requests;
+        if index != *owner {
+            assert_eq!(stats.requests, 0, "backend {index} is not the owner");
+        }
+    }
+    assert_eq!(misses, 1, "singleflight must hold across the whole fleet");
+    assert_eq!(requests, n_clients as u64);
+
+    for server in fleet {
+        server.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kill one of three backends mid-traffic: zero accepted requests lost.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn killing_one_backend_mid_traffic_loses_zero_accepted_requests() {
+    let fleet = spawn_fleet(3);
+    let addrs = fleet_addrs(&fleet);
+    let mut fleet: Vec<Option<NetServer>> = fleet.into_iter().map(Some).collect();
+    // A long probe interval keeps the killed backend down for the whole
+    // test, so post-kill affinity is observable.
+    let router = Router::with_config(
+        addrs,
+        RouterConfig {
+            probe_interval: Duration::from_secs(60),
+            ..RouterConfig::default()
+        },
+    );
+
+    let requests = distinct_requests(18);
+    let rounds = 5;
+    let n_threads = 4;
+    let completed = AtomicUsize::new(0);
+    // (round, key, backend, bytes) per successful request.
+    let victim = 1usize;
+
+    let outcomes: Vec<Vec<(usize, usize, usize, String)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_threads)
+            .map(|_| {
+                let (router, requests, completed) = (&router, &requests, &completed);
+                scope.spawn(move || {
+                    let mut log = Vec::new();
+                    for round in 0..rounds {
+                        for (k, req) in requests.iter().enumerate() {
+                            let routed = router
+                                .request(req)
+                                .unwrap_or_else(|e| panic!("request lost in round {round}: {e}"));
+                            completed.fetch_add(1, Ordering::SeqCst);
+                            log.push((round, k, routed.backend, artifact_bytes(&routed.response)));
+                        }
+                    }
+                    log
+                })
+            })
+            .collect();
+
+        // Kill the victim mid-traffic: after roughly one round's worth
+        // of aggregate completions, while requests are in flight.
+        wait_until("the first wave of traffic", || {
+            completed.load(Ordering::SeqCst) >= requests.len()
+        });
+        let summary = fleet[victim].take().unwrap().shutdown();
+        assert!(summary.net.accepted > 0, "the victim saw traffic first");
+
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Zero loss: every request every thread made returned Ok (a panic
+    // above would have failed the join). Exact count:
+    let total: usize = outcomes.iter().map(Vec::len).sum();
+    assert_eq!(total, n_threads * rounds * requests.len());
+
+    // The victim is marked down, with failover(s) recorded.
+    let states = router.backend_states();
+    assert!(
+        !states[victim].healthy,
+        "the killed backend must be marked down: {states:?}"
+    );
+    assert!(
+        states[victim].failovers >= 1,
+        "at least one request must have failed over: {states:?}"
+    );
+
+    // Affinity after the kill: in the final round (well after the kill
+    // settled), each key sticks to one *live* backend, and bytes match
+    // the earliest answer for that key — replays are byte-identical.
+    let mut first_bytes: Vec<Option<&String>> = vec![None; requests.len()];
+    let mut final_owner: Vec<Option<usize>> = vec![None; requests.len()];
+    for (round, k, backend, bytes) in outcomes.iter().flatten() {
+        match first_bytes[*k] {
+            None => first_bytes[*k] = Some(bytes),
+            Some(reference) => assert_eq!(
+                bytes, reference,
+                "key {k} bytes must survive the remap unchanged"
+            ),
+        }
+        if *round == rounds - 1 {
+            assert_ne!(*backend, victim, "a dead backend answered round {round}");
+            match final_owner[*k] {
+                None => final_owner[*k] = Some(*backend),
+                Some(owner) => assert_eq!(
+                    *backend, owner,
+                    "key {k} must stick to one live backend after the kill"
+                ),
+            }
+        }
+    }
+
+    for server in fleet.into_iter().flatten() {
+        server.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Probe recovery: a backend that comes back rejoins the ring.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn downed_backend_rejoins_after_a_successful_probe() {
+    // Reserve an address for the not-yet-started backend by binding and
+    // immediately dropping a listener (nothing else in this process
+    // binds explicit ports, so the reuse race is negligible).
+    let live = spawn_fleet(1).pop().unwrap();
+    let reserved = {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap()
+    };
+    let router = Router::with_config(
+        vec![live.local_addr(), reserved],
+        RouterConfig {
+            probe_interval: Duration::from_millis(100),
+            client: ClientConfig::default(),
+            ..RouterConfig::default()
+        },
+    );
+
+    // Find keys the ring assigns to the (dead) second backend.
+    let requests = distinct_requests(24);
+    let orphaned: Vec<&CompileRequest> = requests
+        .iter()
+        .filter(|req| router.route(req) == Some(1))
+        .collect();
+    assert!(
+        !orphaned.is_empty(),
+        "24 keys must give the second backend at least one"
+    );
+
+    // Its keys fail over to the live backend (connect refused → mark
+    // down), and every request still succeeds.
+    for req in &orphaned {
+        let routed = router.request(req).expect("failover request");
+        assert_eq!(routed.backend, 0, "the dead backend cannot answer");
+    }
+    let states = router.backend_states();
+    assert!(!states[1].healthy && states[1].downs >= 1, "{states:?}");
+
+    // The backend comes back on its reserved address...
+    let service = CompileService::builder().workers(2).build();
+    let revived = NetServer::bind(reserved, Arc::new(service)).expect("rebind the reserved port");
+
+    // ...and after the probe interval, its keys return to it.
+    let req = orphaned[0];
+    wait_until("the probe to restore the backend", || {
+        std::thread::sleep(Duration::from_millis(25));
+        router.request(req).expect("routed request").backend == 1
+    });
+    assert!(router.backend_states()[1].healthy);
+    // Affinity is restored for *every* orphaned key, not just the probe
+    // trigger.
+    for req in &orphaned {
+        assert_eq!(router.request(req).expect("restored request").backend, 1);
+    }
+
+    revived.shutdown();
+    live.shutdown();
+}
