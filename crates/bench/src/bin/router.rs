@@ -35,7 +35,8 @@
 //! by CI).
 
 use qft_serve::{
-    CompileRequest, CompileService, NetServer, Router, RouterConfig, ServeStats, ServerConfig,
+    warmup, ClientConfig, CompileRequest, CompileService, NetServer, Router, RouterConfig,
+    ServeStats, ServerConfig,
 };
 use serde::Serialize;
 use std::net::SocketAddr;
@@ -72,6 +73,27 @@ struct RouterLeg {
     fleet: Vec<BackendLeg>,
 }
 
+/// The elastic-membership measurement: the same 2-donor fleet is grown
+/// to 3 twice — once with the warm-up replay protocol, once cold — and
+/// the joiner's cache-hit rate over the keys it now owns is compared.
+#[derive(Debug, Serialize)]
+struct WarmJoinLeg {
+    donors: usize,
+    /// Workload keys the joiner owns post-join (both runs use the same
+    /// addresses-independent workload, but ephemeral ports differ, so
+    /// the owned sets differ between runs and are reported separately).
+    owned_keys: usize,
+    /// Entries the warm joiner imported from its donors.
+    transferred_entries: u64,
+    warm_hits: usize,
+    warm_hit_rate: f64,
+    cold_owned_keys: usize,
+    cold_hits: usize,
+    cold_hit_rate: f64,
+    warm_floor: f64,
+    cold_ceiling: f64,
+}
+
 /// The whole `BENCH_router.json` document.
 #[derive(Debug, Serialize)]
 struct RouterBench {
@@ -81,6 +103,7 @@ struct RouterBench {
     connections_per_backend: usize,
     effective_cores: usize,
     legs: Vec<RouterLeg>,
+    warm_join: WarmJoinLeg,
     speedup_4v1: f64,
     scaling_floor: f64,
     floor_kind: &'static str,
@@ -175,7 +198,8 @@ fn run_leg(
             connections_per_backend: CONNECTIONS_PER_BACKEND,
             ..RouterConfig::default()
         },
-    );
+    )
+    .expect("distinct ephemeral backend addresses");
 
     // Warm pass: one thread, every key once; all compiles happen here.
     for req in reqs {
@@ -308,6 +332,145 @@ fn run_leg(
     }
 }
 
+/// One join run: warm a 2-donor fleet, grow it to 3, replay the
+/// workload once, and report how many of the joiner's owned keys it
+/// answered from cache. `warm` runs the warm-up replay protocol before
+/// the joiner enters the ring; cold joins with an empty cache. Returns
+/// `(owned_keys, joiner_cache_hits, transferred_entries)`.
+fn run_join(reqs: &[CompileRequest], warm: bool, violations: &mut usize) -> (usize, usize, u64) {
+    let donors = spawn_fleet(2, reqs.len() * 2);
+    let donor_addrs: Vec<SocketAddr> = donors.iter().map(|s| s.local_addr()).collect();
+    let router = Router::with_config(
+        donor_addrs.clone(),
+        RouterConfig {
+            connections_per_backend: CONNECTIONS_PER_BACKEND,
+            ..RouterConfig::default()
+        },
+    )
+    .expect("distinct ephemeral backend addresses");
+
+    // Warm the donors: every key compiled once on its pre-join owner.
+    for req in reqs {
+        if let Err(e) = router.request(req) {
+            eprintln!("WORKLOAD FAILURE: donor warm pass on {} {e}", req.target);
+            *violations += 1;
+        }
+    }
+
+    let joiner = spawn_fleet(1, reqs.len() * 2).remove(0);
+    let joiner_addr = joiner.local_addr();
+    let predicate = router.warmup_predicate(joiner_addr);
+    let owned: Vec<&CompileRequest> = reqs
+        .iter()
+        .filter(|req| predicate.owns(req.key_digest()))
+        .collect();
+
+    let mut transferred = 0u64;
+    if warm {
+        let report = warmup::replay_into(
+            joiner.service(),
+            &donor_addrs,
+            &predicate,
+            &ClientConfig::default(),
+        );
+        transferred = report.import.imported;
+        for donor in &report.donors {
+            if let Some(error) = &donor.error {
+                eprintln!(
+                    "WARM-JOIN FAILURE: donor {} failed after {} attempt(s): {error}",
+                    donor.addr, donor.attempts
+                );
+                *violations += 1;
+            }
+        }
+        if report.import.rejected != 0 {
+            eprintln!(
+                "WARM-JOIN VIOLATION: {} replayed entries failed the integrity re-digest \
+                 on a healthy transfer",
+                report.import.rejected
+            );
+            *violations += 1;
+        }
+    }
+
+    let index = router.add_backend(joiner_addr).expect("join a fresh addr");
+
+    // Replay: each owned key must now route to the joiner; count how
+    // many it answers from cache.
+    let mut hits = 0usize;
+    for req in &owned {
+        match router.request(req) {
+            Ok(routed) if routed.backend == index => {
+                if routed.response.cached {
+                    hits += 1;
+                }
+            }
+            Ok(routed) => {
+                eprintln!(
+                    "REMAP VIOLATION: {} is owned by the joiner but backend {} answered",
+                    req.target, routed.backend
+                );
+                *violations += 1;
+            }
+            Err(e) => {
+                eprintln!("WORKLOAD FAILURE: owned-key replay on {}: {e}", req.target);
+                *violations += 1;
+            }
+        }
+    }
+
+    for server in donors {
+        server.shutdown();
+    }
+    joiner.shutdown();
+    (owned.len(), hits, transferred)
+}
+
+/// Both join runs plus the enforcement: a warm joiner must answer
+/// ≥ 80% of its owned replayed keys from cache; a cold joiner ~0%
+/// (ceiling 20%) — the gap *is* the warm-up protocol's value.
+fn run_warm_join(reqs: &[CompileRequest], violations: &mut usize) -> WarmJoinLeg {
+    let (warm_floor, cold_ceiling) = (0.8, 0.2);
+    let (owned_keys, warm_hits, transferred_entries) = run_join(reqs, true, violations);
+    let (cold_owned_keys, cold_hits, _) = run_join(reqs, false, violations);
+    let warm_hit_rate = warm_hits as f64 / (owned_keys as f64).max(1.0);
+    let cold_hit_rate = cold_hits as f64 / (cold_owned_keys as f64).max(1.0);
+    if owned_keys == 0 || cold_owned_keys == 0 {
+        eprintln!(
+            "WARM-JOIN VIOLATION: the joiner owns no workload keys (warm {owned_keys}, \
+             cold {cold_owned_keys}) — the measurement is vacuous"
+        );
+        *violations += 1;
+    }
+    if warm_hit_rate < warm_floor {
+        eprintln!(
+            "WARM-JOIN VIOLATION: warm joiner answered {warm_hits}/{owned_keys} owned keys \
+             from cache ({warm_hit_rate:.3}; floor {warm_floor})"
+        );
+        *violations += 1;
+    }
+    if cold_hit_rate > cold_ceiling {
+        eprintln!(
+            "WARM-JOIN VIOLATION: cold joiner answered {cold_hits}/{cold_owned_keys} owned \
+             keys from cache ({cold_hit_rate:.3}; ceiling {cold_ceiling}) — the cold \
+             baseline is supposed to be cold"
+        );
+        *violations += 1;
+    }
+    WarmJoinLeg {
+        donors: 2,
+        owned_keys,
+        transferred_entries,
+        warm_hits,
+        warm_hit_rate,
+        cold_owned_keys,
+        cold_hits,
+        cold_hit_rate,
+        warm_floor,
+        cold_ceiling,
+    }
+}
+
 fn main() {
     let fast = qft_bench::has_flag("--fast");
     let reqs = qft_bench::serve_workload(fast);
@@ -330,6 +493,19 @@ fn main() {
         );
         legs.push(leg);
     }
+
+    let warm_join = run_warm_join(&reqs, &mut violations);
+    println!(
+        "warm join: {}/{} owned keys from cache ({:.3}) after importing {} entries; \
+         cold join: {}/{} ({:.3})",
+        warm_join.warm_hits,
+        warm_join.owned_keys,
+        warm_join.warm_hit_rate,
+        warm_join.transferred_entries,
+        warm_join.cold_hits,
+        warm_join.cold_owned_keys,
+        warm_join.cold_hit_rate
+    );
 
     let speedup_4v1 = legs[2].throughput_rps / legs[0].throughput_rps.max(f64::EPSILON);
     let (scaling_floor, floor_kind) = if effective_cores >= 8 {
@@ -373,13 +549,14 @@ fn main() {
         connections_per_backend: CONNECTIONS_PER_BACKEND,
         effective_cores,
         legs,
+        warm_join,
         speedup_4v1,
         scaling_floor,
         floor_kind,
     };
     let json = serde_json::to_string_pretty(&bench).expect("serialize bench");
     std::fs::write("BENCH_router.json", &json).expect("write BENCH_router.json");
-    println!("[wrote BENCH_router.json: 3 fleet widths]");
+    println!("[wrote BENCH_router.json: 3 fleet widths + warm-join leg]");
     if violations > 0 {
         eprintln!("{violations} router violation(s)");
         std::process::exit(1);

@@ -172,6 +172,29 @@ impl LruShard {
         evicted
     }
 
+    /// Inserts `key` only if it is not already resident (evicting the
+    /// stalest entry first if the shard is full). Returns `None` when
+    /// the key was already present — the resident entry wins, which is
+    /// the warm-up import's "local/fresher entry wins" rule — otherwise
+    /// `Some(evictions)`.
+    pub fn insert_if_absent(&mut self, key: u128, entry: CacheEntry) -> Option<u64> {
+        if self.map.contains_key(&key) {
+            return None;
+        }
+        Some(self.insert(key, entry))
+    }
+
+    /// Clones every resident entry whose digest satisfies `keep`,
+    /// without bumping any recency (an export is an observation, not a
+    /// use). Order is map-iteration order — callers must not rely on it.
+    pub fn export_if(&self, keep: &dyn Fn(u128) -> bool) -> Vec<(u128, CacheEntry)> {
+        self.map
+            .iter()
+            .filter(|(&key, _)| keep(key))
+            .map(|(&key, &i)| (key, self.slab[i].entry.clone()))
+            .collect()
+    }
+
     /// Whether `key` is currently resident (no recency bump).
     pub fn contains(&self, key: u128) -> bool {
         self.map.contains_key(&key)
@@ -279,6 +302,28 @@ impl ShardedCache {
             .lock()
             .expect("cache shard mutex")
             .contains(key)
+    }
+
+    /// Inserts under `key` only if absent. `None` when the key was
+    /// already resident (the resident entry wins), else the owning
+    /// shard's eviction count.
+    pub fn insert_if_absent(&self, key: u128, entry: CacheEntry) -> Option<u64> {
+        self.shard_of(key)
+            .lock()
+            .expect("cache shard mutex")
+            .insert_if_absent(key, entry)
+    }
+
+    /// Snapshot of every resident entry whose digest satisfies `keep`,
+    /// shard by shard (each shard locked briefly; the snapshot is not a
+    /// consistent cut across shards, which is fine for warm-up — a miss
+    /// just recompiles).
+    pub fn export_if(&self, keep: &dyn Fn(u128) -> bool) -> Vec<(u128, CacheEntry)> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            out.extend(shard.lock().expect("cache shard mutex").export_if(keep));
+        }
+        out
     }
 }
 

@@ -14,8 +14,10 @@
 
 use crate::proto::{
     self, Frame, FrameKind, ProtoError, WireFault, WireGoodbye, WireOverloaded, WireResponse,
+    WireWarmupBatch,
 };
 use crate::types::{BackendStats, CompileRequest, CompileResponse, ServeError, ServeStats};
+use crate::warmup::{OwnedPredicate, WarmupEntry};
 use std::collections::VecDeque;
 use std::fmt;
 use std::io;
@@ -175,6 +177,9 @@ pub enum NetEvent {
     Stats(BackendStats),
     /// The server's half of a graceful close — its final frame.
     Goodbye(WireGoodbye),
+    /// One chunk of a warm-up reply (answering [`NetClient::warm_up`]'s
+    /// request frame).
+    WarmupBatch(WireWarmupBatch),
 }
 
 /// A blocking client over one TCP connection to a
@@ -294,10 +299,11 @@ impl NetClient {
                 Ok(NetEvent::Stats(frame.decode()?))
             }
             FrameKind::Goodbye => Ok(NetEvent::Goodbye(frame.decode()?)),
+            FrameKind::WarmupBatch => Ok(NetEvent::WarmupBatch(frame.decode()?)),
             kind => Err(ClientError::Proto(ProtoError::Unexpected {
                 kind,
-                context: "a client receives response, error, overloaded, stats, and goodbye \
-                          frames"
+                context: "a client receives response, error, overloaded, stats, warmup-batch, \
+                          and goodbye frames"
                     .to_string(),
             })),
         }
@@ -343,6 +349,47 @@ impl NetClient {
                     }
                     other => deferred.push(other),
                 }
+            }
+        };
+        self.backlog.extend(deferred);
+        outcome
+    }
+
+    /// One warm-up transfer: send the joiner's owned-digest predicate,
+    /// collect every [`WarmupEntry`] the donor's cache holds for keys the
+    /// predicate claims, across however many `warmup-batch` chunks the
+    /// donor needs to stay under the frame cap. Returns once the chunk
+    /// marked `done` arrives. Responses for pipelined compiles observed
+    /// while waiting are preserved for later [`NetClient::next_event`]
+    /// calls. Entries are returned *unverified* — importers must run
+    /// [`WarmupEntry::verify`] (the service's bulk import does) so a
+    /// corrupt donor can never poison a cache.
+    pub fn warm_up(&mut self, predicate: &OwnedPredicate) -> Result<Vec<WarmupEntry>, ClientError> {
+        let seq = self.next_seq;
+        proto::write_frame(&mut &self.stream, &Frame::warmup_request(seq, predicate))?;
+        self.next_seq += 1;
+        let mut deferred: Vec<NetEvent> = Vec::new();
+        let mut entries: Vec<WarmupEntry> = Vec::new();
+        let outcome = loop {
+            match self.next_event() {
+                Ok(NetEvent::WarmupBatch(batch)) if batch.seq == seq => {
+                    entries.extend(batch.entries);
+                    if batch.done {
+                        break Ok(std::mem::take(&mut entries));
+                    }
+                }
+                Ok(NetEvent::Fail { seq: s, error }) if s == Some(seq) || s.is_none() => {
+                    break Err(ClientError::Server(error));
+                }
+                Ok(NetEvent::Overloaded(o)) if o.seq == seq => {
+                    break Err(ClientError::Overloaded {
+                        attempts: 1,
+                        last: o,
+                    });
+                }
+                Ok(NetEvent::Goodbye(g)) => break Err(ClientError::Closed { reason: g.reason }),
+                Ok(other) => deferred.push(other),
+                Err(e) => break Err(e),
             }
         };
         self.backlog.extend(deferred);

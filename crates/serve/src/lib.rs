@@ -41,7 +41,17 @@
 //!   per backend, marking backends down on transport failure, probing
 //!   them back, and replaying failed requests to the next backend on
 //!   the ring — killing a backend mid-traffic loses zero accepted
-//!   requests.
+//!   requests;
+//! * **Elastic ring membership + warm-up replay** ([`crate::warmup`]) —
+//!   [`Router::add_backend`]/[`Router::remove_backend`] resize a *live*
+//!   ring under a versioned snapshot with the minimal-remap guarantee
+//!   (only keys the joiner now owns change owner; removal drains
+//!   in-flight requests first), and a joining backend bulk-fetches the
+//!   cache entries for keys it now owns from the previous owners over
+//!   the wire (`warmup-request`/`warmup-batch` frames, chunked under the
+//!   frame cap, each entry integrity-checked by re-digest at import) —
+//!   so a scale-out event starts warm instead of recompiling the
+//!   working set.
 //!
 //! Cached results are **byte-deterministic**: wall times are stripped
 //! from the artifact (they live in the response metadata instead), so a
@@ -78,6 +88,7 @@ pub mod router;
 pub mod server;
 pub mod service;
 pub mod types;
+pub mod warmup;
 
 pub use client::{ClientConfig, ClientError, NetClient, NetEvent, RetryPolicy};
 pub use pool::PoolClient;
@@ -88,6 +99,7 @@ pub use service::{
     DEFAULT_QUEUE_CAPACITY,
 };
 pub use types::{BackendStats, CompileRequest, CompileResponse, ServeError, ServeStats};
+pub use warmup::{DonorOutcome, OwnedPredicate, WarmupEntry, WarmupImport, WarmupReport};
 
 use qft_core::Registry;
 use std::sync::OnceLock;

@@ -123,6 +123,15 @@ impl PoolClient {
     /// Releases a checkout *without* recycling the connection — the
     /// caller saw a transport or framing failure, so the socket's state
     /// is unknown and nobody else should inherit it.
+    ///
+    /// Accounting audit: every path that increments `active` pairs with
+    /// exactly one decrement — [`PoolClient::checkin`], this method, or
+    /// the connect-error arm inside [`PoolClient::checkout`] (which also
+    /// notifies, so a waiter blocked at the cap is not stranded by a
+    /// failed dial). A request cycle that discards therefore frees its
+    /// permit just like one that checks in; repeated transport failures
+    /// can never leak permits until the pool wedges at `cap`. Pinned by
+    /// the `discard_path_never_leaks_checkout_permits` regression test.
     pub fn discard(&self) {
         self.state.lock().expect("pool mutex").active -= 1;
         self.freed.notify_one();

@@ -33,6 +33,7 @@
 //!   slow-client (slowloris) deadline is built on.
 
 use crate::types::{BackendStats, CompileRequest, CompileResponse, ServeError, ServeStats};
+use crate::warmup::{OwnedPredicate, WarmupEntry};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -78,11 +79,21 @@ pub enum FrameKind {
     /// graceful close ([`WireGoodbye`]) — after the drain contract has
     /// delivered every accepted response.
     Goodbye = 7,
+    /// Client → server: a [`WireWarmupRequest`] — a joining (or
+    /// probe-recovered) backend asking for the cache entries matching
+    /// its owned-digest predicate. Answered from the cache snapshot,
+    /// never the worker pool, and honored even during a drain (the
+    /// hand-off *is* the leave path).
+    WarmupRequest = 8,
+    /// Server → client: one chunk of a warm-up reply
+    /// ([`WireWarmupBatch`]). Chunks respect [`MAX_PAYLOAD`]; the final
+    /// chunk carries `done = true` (possibly with zero entries).
+    WarmupBatch = 9,
 }
 
 impl FrameKind {
     /// Every kind, in wire-byte order (fuzz harnesses iterate this).
-    pub const ALL: [FrameKind; 7] = [
+    pub const ALL: [FrameKind; 9] = [
         FrameKind::Request,
         FrameKind::Response,
         FrameKind::Error,
@@ -90,6 +101,8 @@ impl FrameKind {
         FrameKind::StatsRequest,
         FrameKind::Stats,
         FrameKind::Goodbye,
+        FrameKind::WarmupRequest,
+        FrameKind::WarmupBatch,
     ];
 
     /// Decodes the wire byte.
@@ -108,6 +121,8 @@ impl fmt::Display for FrameKind {
             FrameKind::StatsRequest => "stats-request",
             FrameKind::Stats => "stats",
             FrameKind::Goodbye => "goodbye",
+            FrameKind::WarmupRequest => "warmup-request",
+            FrameKind::WarmupBatch => "warmup-batch",
         };
         f.write_str(name)
     }
@@ -128,7 +143,12 @@ pub enum ProtoError {
         /// The version byte that arrived.
         got: u8,
     },
-    /// The kind byte maps to no [`FrameKind`].
+    /// The kind byte maps to no [`FrameKind`] this build speaks. The
+    /// length field was still validated and the payload consumed, so the
+    /// stream stays framed: receivers treat this as a *per-frame*
+    /// refusal (answer with a descriptive error frame, keep the
+    /// connection) — the forward-compat contract for peers speaking a
+    /// newer protocol revision.
     UnknownKind {
         /// The kind byte that arrived.
         got: u8,
@@ -192,8 +212,11 @@ impl fmt::Display for ProtoError {
             ),
             ProtoError::UnknownKind { got } => write!(
                 f,
-                "unknown frame kind {got}: valid kinds are 1..={} \
-                 (request/response/error/overloaded/stats-request/stats/goodbye)",
+                "unknown frame kind {got}: valid kinds in protocol version {VERSION} are 1..={} \
+                 (request/response/error/overloaded/stats-request/stats/goodbye/\
+                 warmup-request/warmup-batch) — a newer-revision peer should treat this \
+                 refusal as per-frame, not fatal: the frame was consumed and the stream \
+                 is still framed",
                 FrameKind::ALL.len()
             ),
             ProtoError::Oversize { len, max } => write!(
@@ -290,6 +313,33 @@ pub struct WireOverloaded {
     pub error: ServeError,
 }
 
+/// A client → server warm-up request: the joiner's owned-digest
+/// predicate, seq-tagged like a compile request so the chunked reply
+/// can be correlated on a pipelined connection.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireWarmupRequest {
+    /// The client's tag for this transfer; echoed on every batch frame.
+    pub seq: u64,
+    /// Which digests the joiner claims. The donor exports matching
+    /// cache entries; it never compiles anything on this path.
+    pub predicate: OwnedPredicate,
+}
+
+/// One server → client chunk of a warm-up reply.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireWarmupBatch {
+    /// The seq of the [`WireWarmupRequest`] this answers.
+    pub seq: u64,
+    /// 0-based chunk index, so a receiver can detect a gap.
+    pub index: u64,
+    /// Whether this is the final chunk. A transfer with nothing to ship
+    /// is exactly one batch: `index = 0`, `done = true`, no entries.
+    pub done: bool,
+    /// The entries in this chunk, each self-verifying (see
+    /// [`WarmupEntry::verify`]).
+    pub entries: Vec<WarmupEntry>,
+}
+
 /// The final frame of a graceful close, from either side.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WireGoodbye {
@@ -378,6 +428,30 @@ impl Frame {
         )
     }
 
+    /// A [`FrameKind::WarmupRequest`] frame.
+    pub fn warmup_request(seq: u64, predicate: &OwnedPredicate) -> Frame {
+        Frame::json(
+            FrameKind::WarmupRequest,
+            &WireWarmupRequest {
+                seq,
+                predicate: predicate.clone(),
+            },
+        )
+    }
+
+    /// A [`FrameKind::WarmupBatch`] frame.
+    pub fn warmup_batch(seq: u64, index: u64, done: bool, entries: Vec<WarmupEntry>) -> Frame {
+        Frame::json(
+            FrameKind::WarmupBatch,
+            &WireWarmupBatch {
+                seq,
+                index,
+                done,
+                entries,
+            },
+        )
+    }
+
     /// A [`FrameKind::Goodbye`] frame.
     pub fn goodbye(reason: impl Into<String>, served: u64) -> Frame {
         Frame::json(
@@ -421,10 +495,15 @@ impl Frame {
     }
 }
 
-/// Validates a complete 10-byte header, returning the kind and payload
-/// length. The length cap is enforced here — before any caller sizes a
-/// buffer from it.
-fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(FrameKind, usize), ProtoError> {
+/// Validates a complete 10-byte header. The length cap is enforced
+/// here — before any caller sizes a buffer from it — and *before* the
+/// kind byte is judged, so an unknown kind with a sane length is
+/// **skippable**: the inner `Result` carries the raw byte and callers
+/// consume the payload, then surface [`ProtoError::UnknownKind`] as a
+/// per-frame (not connection-fatal) refusal. That is the forward-compat
+/// story for peers speaking a newer protocol revision.
+#[allow(clippy::type_complexity)]
+fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(Result<FrameKind, u8>, usize), ProtoError> {
     let got: [u8; 4] = header[..4].try_into().expect("4-byte slice");
     if got != MAGIC {
         return Err(ProtoError::BadMagic { got });
@@ -432,7 +511,6 @@ fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(FrameKind, usize), ProtoEr
     if header[4] != VERSION {
         return Err(ProtoError::Version { got: header[4] });
     }
-    let kind = FrameKind::from_wire(header[5]).ok_or(ProtoError::UnknownKind { got: header[5] })?;
     let len = u32::from_be_bytes(header[6..10].try_into().expect("4-byte slice")) as usize;
     if len > MAX_PAYLOAD {
         return Err(ProtoError::Oversize {
@@ -440,6 +518,7 @@ fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(FrameKind, usize), ProtoEr
             max: MAX_PAYLOAD,
         });
     }
+    let kind = FrameKind::from_wire(header[5]).ok_or(header[5]);
     Ok((kind, len))
 }
 
@@ -494,16 +573,23 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, ProtoError> {
     let mut header = [0u8; HEADER_LEN];
     read_exact_framed(r, &mut header, "frame header", HEADER_LEN)?;
     let (kind, len) = parse_header(&header)?;
+    let kind_name = match kind {
+        Ok(kind) => kind.to_string(),
+        Err(got) => format!("unknown-kind-{got}"),
+    };
     let mut payload = vec![0u8; len];
     read_exact_framed(r, &mut payload, "frame payload", len).map_err(|e| match e {
         // Payload truncation should report whole-frame progress.
         ProtoError::Truncated { have, .. } => ProtoError::Truncated {
-            context: format!("{kind} frame payload"),
+            context: format!("{kind_name} frame payload"),
             have: HEADER_LEN + have,
             need: HEADER_LEN + len,
         },
         other => other,
     })?;
+    // An unknown kind is reported only now, with its payload consumed,
+    // so the caller's stream is positioned at the next frame.
+    let kind = kind.map_err(|got| ProtoError::UnknownKind { got })?;
     Ok(Frame { kind, payload })
 }
 
@@ -555,8 +641,9 @@ pub struct FrameReader<R> {
     /// Total bytes the current frame needs ([`HEADER_LEN`] until the
     /// header is parsed, then header + payload).
     need: usize,
-    /// Parsed header, once available.
-    header: Option<(FrameKind, usize)>,
+    /// Parsed header, once available. An `Err` kind is an unknown wire
+    /// byte whose payload is still consumed (skippable frame).
+    header: Option<(Result<FrameKind, u8>, usize)>,
     /// When the first byte of the current frame arrived.
     started: Option<Instant>,
 }
@@ -583,7 +670,11 @@ impl<R: Read> FrameReader<R> {
 
     /// Advances the reader by at most one socket read. Returns a frame
     /// once complete, [`FramePoll::Pending`] on a timeout tick, or
-    /// [`FramePoll::Closed`] on a clean between-frames EOF.
+    /// [`FramePoll::Closed`] on a clean between-frames EOF. An
+    /// unknown-kind frame is fully consumed (its length field was
+    /// validated like any other) before [`ProtoError::UnknownKind`] is
+    /// returned, with the reader reset and positioned at the next
+    /// frame — the caller may keep polling.
     pub fn poll(&mut self) -> Result<FramePoll, ProtoError> {
         loop {
             // Promote a complete header, then a complete frame.
@@ -603,7 +694,12 @@ impl<R: Read> FrameReader<R> {
                         self.need = HEADER_LEN;
                         self.header = None;
                         self.started = None;
-                        return Ok(FramePoll::Frame(Frame { kind, payload }));
+                        return match kind {
+                            Ok(kind) => Ok(FramePoll::Frame(Frame { kind, payload })),
+                            // The payload is consumed and the state
+                            // reset: the refusal is per-frame.
+                            Err(got) => Err(ProtoError::UnknownKind { got }),
+                        };
                     }
                     None => unreachable!("need is HEADER_LEN until the header parses"),
                 }
@@ -617,7 +713,10 @@ impl<R: Read> FrameReader<R> {
                     } else {
                         Err(ProtoError::Truncated {
                             context: match self.header {
-                                Some((kind, _)) => format!("{kind} frame payload"),
+                                Some((Ok(kind), _)) => format!("{kind} frame payload"),
+                                Some((Err(got), _)) => {
+                                    format!("unknown-kind-{got} frame payload")
+                                }
                                 None => "frame header".to_string(),
                             },
                             have: self.buf.len(),
@@ -747,7 +846,7 @@ mod tests {
         /// survive the wire byte-exactly.
         #[test]
         fn arbitrary_payloads_roundtrip(
-            kind_idx in 0usize..7,
+            kind_idx in 0usize..9,
             raw in collection::vec(0u16..256, 0..512),
         ) {
             let payload: Vec<u8> = raw.iter().map(|&b| b as u8).collect();
@@ -762,7 +861,7 @@ mod tests {
         /// `Truncated` error naming the progress — never a panic.
         #[test]
         fn truncation_anywhere_is_a_descriptive_error(
-            kind_idx in 0usize..7,
+            kind_idx in 0usize..9,
             raw in collection::vec(0u16..256, 1..256),
             cut_at in 0usize..10_000,
         ) {
@@ -830,7 +929,7 @@ mod tests {
         /// at header-parse time, so no payload-sized buffer exists.
         #[test]
         fn oversize_lengths_are_always_refused(
-            kind_idx in 0usize..7,
+            kind_idx in 0usize..9,
             over in 1u64..1_000_000,
             tail_len in 0usize..64,
         ) {

@@ -29,15 +29,34 @@
 //! `overloaded` shed that survived the client's retry policy — are *not*
 //! failover events: every backend would answer the same, so they pass
 //! through verbatim.
+//!
+//! # Elastic membership
+//!
+//! The ring is no longer fixed at construction: [`Router::add_backend`]
+//! and [`Router::remove_backend`] resize it on a live router under a
+//! versioned, RwLock'd ring state. Because each backend's virtual
+//! points depend only on its own address, adding or removing a node
+//! moves exactly the keys whose nearest ring point changes hands — the
+//! same minimal-remap property the failure path has always had, now
+//! asserted numerically by the membership tests. Removal *drains*: the
+//! node leaves the ring immediately (no new keys route to it), requests
+//! already in flight finish, and only then is its connection pool
+//! dropped. The backend registry itself is append-only, so the indices
+//! reported by [`Routed::backend`] and [`Router::backend_states`]
+//! remain stable across membership changes; a re-added address revives
+//! its original slot. [`Router::warmup_predicate`] derives the
+//! owned-key predicate a prospective joiner ships to donors over the
+//! warm-up replay protocol (see [`crate::warmup`]).
 
 use crate::client::{ClientConfig, ClientError};
 use crate::digest::fnv1a_128;
 use crate::pool::PoolClient;
 use crate::types::{BackendStats, CompileRequest, CompileResponse, ServeError};
+use crate::warmup::OwnedPredicate;
 use serde::{Deserialize, Serialize};
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// Tuning for one [`Router`].
@@ -59,6 +78,11 @@ pub struct RouterConfig {
     /// microseconds on a dead local backend, so the inline cost is
     /// negligible next to a compile).
     pub probe_interval: Duration,
+    /// How long [`Router::remove_backend`] waits for the removed
+    /// backend's in-flight requests to finish before dropping its pool
+    /// anyway. The node leaves the ring immediately either way; this
+    /// bounds only the tail of the drain.
+    pub drain_timeout: Duration,
 }
 
 impl Default for RouterConfig {
@@ -68,6 +92,7 @@ impl Default for RouterConfig {
             connections_per_backend: 4,
             replicas: 64,
             probe_interval: Duration::from_secs(1),
+            drain_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -86,6 +111,13 @@ struct Backend {
     addr: SocketAddr,
     pool: PoolClient,
     health: Mutex<Health>,
+    /// Whether the backend is currently a ring member. Removal flips
+    /// this instead of deleting the registry slot, so indices stay
+    /// stable and a re-added address revives its history.
+    member: AtomicBool,
+    /// Requests currently executing against this backend through this
+    /// router — the drain condition for [`Router::remove_backend`].
+    inflight: AtomicU64,
     served: AtomicU64,
     failovers: AtomicU64,
     downs: AtomicU64,
@@ -97,6 +129,9 @@ struct Backend {
 pub struct BackendState {
     /// The backend's address, as text.
     pub addr: String,
+    /// Whether the backend is currently a ring member (false once
+    /// removed; its slot is retained for index stability).
+    pub member: bool,
     /// Whether the router currently considers the backend live.
     pub healthy: bool,
     /// Requests this router had answered by this backend.
@@ -111,8 +146,8 @@ pub struct BackendState {
 /// A routed response: which backend answered, plus the response itself.
 #[derive(Debug, Clone)]
 pub struct Routed {
-    /// Index of the answering backend (position in the address list the
-    /// router was built with).
+    /// Index of the answering backend (position in the router's
+    /// append-only registry: construction order, then join order).
     pub backend: usize,
     /// The answering backend's address.
     pub addr: SocketAddr,
@@ -123,86 +158,224 @@ pub struct Routed {
     pub response: CompileResponse,
 }
 
-/// The front-tier router. See the module docs for the routing and
-/// failover contracts.
+/// The membership + ring snapshot guarded by the router's RwLock.
+#[derive(Debug)]
+struct RingState {
+    /// Append-only backend registry; removed members stay (with
+    /// `member == false`) so indices remain stable.
+    backends: Vec<Arc<Backend>>,
+    /// The consistent-hash ring: (point, backend index), sorted by
+    /// point, rebuilt from the *member* backends on every membership
+    /// change.
+    ring: Vec<(u64, usize)>,
+    /// Bumped on every membership change. Lets observers detect a
+    /// resize without diffing address lists.
+    version: u64,
+}
+
+impl RingState {
+    /// Rebuilds the ring from the current member set.
+    fn rebuild(&mut self, replicas: usize) {
+        self.ring.clear();
+        for (index, backend) in self.backends.iter().enumerate() {
+            if !backend.member.load(Ordering::Relaxed) {
+                continue;
+            }
+            for point in ring_points(backend.addr, replicas) {
+                self.ring.push((point, index));
+            }
+        }
+        self.ring.sort_unstable();
+    }
+
+    fn member_count(&self) -> usize {
+        self.backends
+            .iter()
+            .filter(|b| b.member.load(Ordering::Relaxed))
+            .count()
+    }
+}
+
+/// The front-tier router. See the module docs for the routing,
+/// failover, and elastic-membership contracts.
 ///
 /// All methods take `&self`; the router is `Sync` and meant to be
 /// shared across request threads.
 #[derive(Debug)]
 pub struct Router {
-    backends: Vec<Backend>,
-    /// The consistent-hash ring: (point, backend index), sorted by
-    /// point. Built once — backends are fixed for the router's life;
-    /// liveness is handled by health state, not ring membership, so a
-    /// recovered backend gets its original keys back.
-    ring: Vec<(u64, usize)>,
+    state: RwLock<RingState>,
     config: RouterConfig,
 }
 
 impl Router {
     /// A router over `addrs` with the default [`RouterConfig`].
     ///
-    /// # Panics
-    /// If `addrs` is empty — a router with no backends cannot route.
-    pub fn new(addrs: Vec<SocketAddr>) -> Router {
+    /// # Errors
+    /// [`ClientError::Server`] with kind `invalid-config` if `addrs` is
+    /// empty or contains a duplicate address.
+    pub fn new(addrs: Vec<SocketAddr>) -> Result<Router, ClientError> {
         Router::with_config(addrs, RouterConfig::default())
     }
 
     /// [`Router::new`] with explicit tuning.
-    pub fn with_config(addrs: Vec<SocketAddr>, config: RouterConfig) -> Router {
-        assert!(
-            !addrs.is_empty(),
-            "a Router needs at least one backend address"
-        );
-        let backends: Vec<Backend> = addrs
-            .into_iter()
-            .map(|addr| Backend {
-                addr,
-                pool: PoolClient::new(addr, config.client.clone(), config.connections_per_backend),
-                health: Mutex::new(Health {
-                    up: true,
-                    last_probe: None,
-                }),
-                served: AtomicU64::new(0),
-                failovers: AtomicU64::new(0),
-                downs: AtomicU64::new(0),
-            })
-            .collect();
-        let mut ring: Vec<(u64, usize)> = Vec::with_capacity(backends.len() * config.replicas);
-        for (index, backend) in backends.iter().enumerate() {
-            for replica in 0..config.replicas {
-                let point = fold(fnv1a_128(format!("{}#{replica}", backend.addr).as_bytes()));
-                ring.push((point, index));
+    pub fn with_config(
+        addrs: Vec<SocketAddr>,
+        config: RouterConfig,
+    ) -> Result<Router, ClientError> {
+        if addrs.is_empty() {
+            return Err(invalid_config(
+                "a Router needs at least one backend address",
+            ));
+        }
+        for (i, addr) in addrs.iter().enumerate() {
+            if addrs[..i].contains(addr) {
+                return Err(invalid_config(format!(
+                    "duplicate backend address {addr}: each backend may appear on the ring once"
+                )));
             }
         }
-        ring.sort_unstable();
-        Router {
+        let backends: Vec<Arc<Backend>> = addrs
+            .into_iter()
+            .map(|addr| Arc::new(new_backend(addr, &config)))
+            .collect();
+        let mut state = RingState {
             backends,
-            ring,
+            ring: Vec::new(),
+            version: 0,
+        };
+        state.rebuild(config.replicas);
+        Ok(Router {
+            state: RwLock::new(state),
             config,
-        }
+        })
     }
 
-    /// How many backends the router was built with (live or not).
+    /// How many backends the registry holds (members and removed).
     pub fn backend_count(&self) -> usize {
-        self.backends.len()
+        self.read().backends.len()
     }
 
-    /// The backend addresses, in construction order (the indices
-    /// [`Routed::backend`] and [`Router::route`] refer to).
+    /// The registry addresses, in registry order (the indices
+    /// [`Routed::backend`] and [`Router::route`] refer to). Includes
+    /// removed backends; see [`Router::backend_states`] for membership.
     pub fn addrs(&self) -> Vec<SocketAddr> {
-        self.backends.iter().map(|b| b.addr).collect()
+        self.read().backends.iter().map(|b| b.addr).collect()
+    }
+
+    /// The current ring version: 0 at construction, bumped by every
+    /// [`Router::add_backend`] / [`Router::remove_backend`].
+    pub fn version(&self) -> u64 {
+        self.read().version
+    }
+
+    /// Adds `addr` to the ring on the live router. A previously removed
+    /// `addr` revives its registry slot (keeping its counters); a new
+    /// address appends one. Only keys whose nearest ring point now
+    /// belongs to `addr` change owner — every other key keeps its warm
+    /// backend. Returns the backend's registry index.
+    ///
+    /// # Errors
+    /// Kind `invalid-config` if `addr` is already a ring member.
+    pub fn add_backend(&self, addr: SocketAddr) -> Result<usize, ClientError> {
+        let mut state = self.state.write().expect("ring state lock");
+        let index = match state.backends.iter().position(|b| b.addr == addr) {
+            Some(i) if state.backends[i].member.load(Ordering::Relaxed) => {
+                return Err(invalid_config(format!(
+                    "backend {addr} is already a ring member"
+                )));
+            }
+            Some(i) => {
+                // Revive the removed slot: fresh health, old counters.
+                let backend = &state.backends[i];
+                let mut health = backend.health.lock().expect("health mutex");
+                health.up = true;
+                health.last_probe = None;
+                drop(health);
+                backend.member.store(true, Ordering::Relaxed);
+                i
+            }
+            None => {
+                state
+                    .backends
+                    .push(Arc::new(new_backend(addr, &self.config)));
+                state.backends.len() - 1
+            }
+        };
+        state.version += 1;
+        state.rebuild(self.config.replicas);
+        Ok(index)
+    }
+
+    /// Removes `addr` from the ring on the live router, draining it:
+    /// the node stops receiving new keys immediately, requests already
+    /// in flight are given up to [`RouterConfig::drain_timeout`] to
+    /// finish, and only then are its pooled connections dropped. The
+    /// registry slot is retained (indices stay stable) and the address
+    /// may be re-added later.
+    ///
+    /// # Errors
+    /// Kind `invalid-config` if `addr` is not a current ring member, or
+    /// if it is the *last* member — a router must keep at least one.
+    pub fn remove_backend(&self, addr: SocketAddr) -> Result<(), ClientError> {
+        let backend = {
+            let mut state = self.state.write().expect("ring state lock");
+            let index = state
+                .backends
+                .iter()
+                .position(|b| b.addr == addr && b.member.load(Ordering::Relaxed))
+                .ok_or_else(|| invalid_config(format!("backend {addr} is not a ring member")))?;
+            if state.member_count() == 1 {
+                return Err(invalid_config(format!(
+                    "cannot remove {addr}: it is the last ring member"
+                )));
+            }
+            state.backends[index].member.store(false, Ordering::Relaxed);
+            state.version += 1;
+            state.rebuild(self.config.replicas);
+            Arc::clone(&state.backends[index])
+        };
+        // Drain outside the lock: new requests already cannot pick this
+        // backend (it left the ring above); wait for in-flight ones.
+        let deadline = Instant::now() + self.config.drain_timeout;
+        while backend.inflight.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        backend.pool.clear_idle();
+        Ok(())
+    }
+
+    /// The owned-key predicate a prospective joiner at `addr` would
+    /// ship to warm-up donors: "the keys whose nearest ring point is
+    /// mine, against the ring formed by the *current* members plus me".
+    /// Computed against the pre-join ring on purpose — the donors are
+    /// the keys' previous owners. Also correct for a probe-recovered
+    /// member refreshing entries it may have lost: its own points are
+    /// excluded from the "others" side.
+    pub fn warmup_predicate(&self, addr: SocketAddr) -> OwnedPredicate {
+        let state = self.read();
+        let member_points = ring_points(addr, self.config.replicas);
+        let mut other_points = Vec::new();
+        for backend in &state.backends {
+            if backend.addr != addr && backend.member.load(Ordering::Relaxed) {
+                other_points.extend(ring_points(backend.addr, self.config.replicas));
+            }
+        }
+        OwnedPredicate {
+            member_points,
+            other_points,
+        }
     }
 
     /// The backend [`Router::request`] would try first for `req` right
-    /// now: the first backend on the ring from the request's digest
-    /// point that is not currently marked down. `None` if every backend
+    /// now: the first member on the ring from the request's digest
+    /// point that is not currently marked down. `None` if every member
     /// is marked down. Side-effect-free (no probes, no dials) — this is
     /// the observability/affinity view, not the request path.
     pub fn route(&self, req: &CompileRequest) -> Option<usize> {
         self.candidates(req.key_digest())
             .into_iter()
-            .find(|&b| self.backends[b].health.lock().expect("health mutex").up)
+            .find(|(_, b)| b.health.lock().expect("health mutex").up)
+            .map(|(index, _)| index)
     }
 
     /// Submit-and-wait through the ring: try the request's candidate
@@ -214,13 +387,15 @@ impl Router {
     pub fn request(&self, req: &CompileRequest) -> Result<Routed, ClientError> {
         let mut tried: Vec<String> = Vec::new();
         let mut failovers = 0u32;
-        for index in self.candidates(req.key_digest()) {
-            let backend = &self.backends[index];
-            if !self.usable(index) {
+        for (index, backend) in self.candidates(req.key_digest()) {
+            if !self.usable(&backend) {
                 tried.push(format!("{} is marked down", backend.addr));
                 continue;
             }
-            match backend.pool.request(req) {
+            backend.inflight.fetch_add(1, Ordering::AcqRel);
+            let outcome = backend.pool.request(req);
+            backend.inflight.fetch_sub(1, Ordering::AcqRel);
+            match outcome {
                 Ok(response) => {
                     backend.served.fetch_add(1, Ordering::Relaxed);
                     return Ok(Routed {
@@ -231,7 +406,7 @@ impl Router {
                     });
                 }
                 Err(e) if failover_worthy(&e) => {
-                    self.mark_down(index);
+                    self.mark_down(&backend);
                     backend.failovers.fetch_add(1, Ordering::Relaxed);
                     failovers += 1;
                     tried.push(format!("{} failed over ({e})", backend.addr));
@@ -244,12 +419,14 @@ impl Router {
         )))
     }
 
-    /// A routing-state snapshot per backend, in construction order.
+    /// A routing-state snapshot per backend, in registry order.
     pub fn backend_states(&self) -> Vec<BackendState> {
-        self.backends
+        self.read()
+            .backends
             .iter()
             .map(|b| BackendState {
                 addr: b.addr.to_string(),
+                member: b.member.load(Ordering::Relaxed),
                 healthy: b.health.lock().expect("health mutex").up,
                 served: b.served.load(Ordering::Relaxed),
                 failovers: b.failovers.load(Ordering::Relaxed),
@@ -258,28 +435,40 @@ impl Router {
             .collect()
     }
 
-    /// Wire-level stats from every backend (a fresh identity-tagged
-    /// snapshot each), in construction order. Per-backend errors are
-    /// returned in place, not short-circuited — a fleet with one dead
-    /// backend still reports the other N−1.
+    /// Wire-level stats from every *member* backend (a fresh
+    /// identity-tagged snapshot each), in registry order. Per-backend
+    /// errors are returned in place, not short-circuited — a fleet with
+    /// one dead backend still reports the other N−1.
     pub fn backend_stats(&self) -> Vec<Result<BackendStats, ClientError>> {
-        self.backends
+        let backends: Vec<Arc<Backend>> = self
+            .read()
+            .backends
             .iter()
-            .map(|b| b.pool.backend_stats())
-            .collect()
+            .filter(|b| b.member.load(Ordering::Relaxed))
+            .map(Arc::clone)
+            .collect();
+        backends.iter().map(|b| b.pool.backend_stats()).collect()
     }
 
-    /// The request's candidate backends: every backend exactly once, in
-    /// ring order starting from the digest's point.
-    fn candidates(&self, digest: u128) -> Vec<usize> {
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, RingState> {
+        self.state.read().expect("ring state lock")
+    }
+
+    /// The request's candidate backends: every current member exactly
+    /// once, in ring order starting from the digest's point. The
+    /// snapshot is taken under the read lock and released before any
+    /// dialing, so a slow backend never blocks membership changes.
+    fn candidates(&self, digest: u128) -> Vec<(usize, Arc<Backend>)> {
+        let state = self.read();
+        let members = state.member_count();
         let point = fold(digest);
-        let start = self.ring.partition_point(|&(p, _)| p < point);
-        let mut order: Vec<usize> = Vec::with_capacity(self.backends.len());
-        for i in 0..self.ring.len() {
-            let (_, index) = self.ring[(start + i) % self.ring.len()];
-            if !order.contains(&index) {
-                order.push(index);
-                if order.len() == self.backends.len() {
+        let start = state.ring.partition_point(|&(p, _)| p < point);
+        let mut order: Vec<(usize, Arc<Backend>)> = Vec::with_capacity(members);
+        for i in 0..state.ring.len() {
+            let (_, index) = state.ring[(start + i) % state.ring.len()];
+            if !order.iter().any(|&(seen, _)| seen == index) {
+                order.push((index, Arc::clone(&state.backends[index])));
+                if order.len() == members {
                     break;
                 }
             }
@@ -287,14 +476,13 @@ impl Router {
         order
     }
 
-    /// Whether `index` may be tried right now. Live backends: yes.
+    /// Whether `backend` may be tried right now. Live backends: yes.
     /// Downed backends: only by probing — at most one probe per
     /// [`RouterConfig::probe_interval`] (the claim happens under the
     /// health lock, so concurrent requests cannot stampede a dead
     /// backend with dials), and the backend is usable again only once a
     /// probe completes a full stats round-trip.
-    fn usable(&self, index: usize) -> bool {
-        let backend = &self.backends[index];
+    fn usable(&self, backend: &Backend) -> bool {
         {
             let mut health = backend.health.lock().expect("health mutex");
             if health.up {
@@ -321,8 +509,7 @@ impl Router {
     /// health (counting the transition once, however many threads saw
     /// the failure), starts the probe clock, and drops the pool's idle
     /// sockets — they predate the failure and prove nothing.
-    fn mark_down(&self, index: usize) {
-        let backend = &self.backends[index];
+    fn mark_down(&self, backend: &Backend) {
         let mut health = backend.health.lock().expect("health mutex");
         if health.up {
             health.up = false;
@@ -334,12 +521,42 @@ impl Router {
     }
 }
 
+fn new_backend(addr: SocketAddr, config: &RouterConfig) -> Backend {
+    Backend {
+        addr,
+        pool: PoolClient::new(addr, config.client.clone(), config.connections_per_backend),
+        health: Mutex::new(Health {
+            up: true,
+            last_probe: None,
+        }),
+        member: AtomicBool::new(true),
+        inflight: AtomicU64::new(0),
+        served: AtomicU64::new(0),
+        failovers: AtomicU64::new(0),
+        downs: AtomicU64::new(0),
+    }
+}
+
+fn invalid_config(reason: impl std::fmt::Display) -> ClientError {
+    ClientError::Server(ServeError::invalid_config(reason))
+}
+
+/// The virtual ring points one backend address owns: `replicas` folds
+/// of `fnv1a_128("{addr}#{replica}")`. Shared between ring construction
+/// and [`Router::warmup_predicate`], so the predicate a joiner ships is
+/// by construction the same geometry the router will route by.
+pub(crate) fn ring_points(addr: SocketAddr, replicas: usize) -> Vec<u64> {
+    (0..replicas)
+        .map(|replica| fold(fnv1a_128(format!("{addr}#{replica}").as_bytes())))
+        .collect()
+}
+
 /// Folds the 128-bit request digest onto the 64-bit ring with a
 /// splitmix64-style avalanche. FNV-1a diffuses weakly for short, similar
 /// inputs (ring point pre-images differ by a few characters), so a plain
 /// XOR/truncation fold clusters points and can starve a backend of ring
 /// share entirely; the avalanche makes every input bit load-bearing.
-fn fold(digest: u128) -> u64 {
+pub(crate) fn fold(digest: u128) -> u64 {
     let lo = digest as u64;
     let hi = (digest >> 64) as u64;
     let mut z = hi.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -375,26 +592,34 @@ mod tests {
             .collect()
     }
 
+    fn owners(router: &Router, digest: u128) -> Vec<usize> {
+        router
+            .candidates(digest)
+            .into_iter()
+            .map(|(index, _)| index)
+            .collect()
+    }
+
     #[test]
     fn ring_is_deterministic_and_candidates_cover_every_backend_once() {
-        let a = Router::new(addrs(3));
-        let b = Router::new(addrs(3));
-        assert_eq!(a.ring, b.ring);
+        let a = Router::new(addrs(3)).unwrap();
+        let b = Router::new(addrs(3)).unwrap();
+        assert_eq!(a.read().ring, b.read().ring);
         for digest in (0..200u128).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15)) {
-            let order = a.candidates(digest);
+            let order = owners(&a, digest);
             let mut sorted = order.clone();
             sorted.sort_unstable();
             assert_eq!(sorted, vec![0, 1, 2], "order {order:?}");
-            assert_eq!(order, b.candidates(digest));
+            assert_eq!(order, owners(&b, digest));
         }
     }
 
     #[test]
     fn virtual_points_spread_first_choice_across_backends() {
-        let router = Router::new(addrs(4));
+        let router = Router::new(addrs(4)).unwrap();
         let mut first = [0usize; 4];
         for digest in (0..4000u128).map(|i| fnv1a_128(&i.to_le_bytes())) {
-            first[router.candidates(digest)[0]] += 1;
+            first[owners(&router, digest)[0]] += 1;
         }
         for (index, &count) in first.iter().enumerate() {
             // With 64 replicas each of 4 backends owns roughly a quarter
@@ -406,18 +631,133 @@ mod tests {
 
     #[test]
     fn killing_a_backend_remaps_only_its_own_keys() {
-        let router = Router::new(addrs(3));
+        let router = Router::new(addrs(3)).unwrap();
         let digests: Vec<u128> = (0..500u128).map(|i| fnv1a_128(&i.to_le_bytes())).collect();
-        let before: Vec<usize> = digests.iter().map(|&d| router.candidates(d)[0]).collect();
+        let before: Vec<usize> = digests.iter().map(|&d| owners(&router, d)[0]).collect();
         // Simulate backend 1 dying: its keys move to the next ring
         // candidate; keys owned by 0 and 2 must not move at all.
         for (&digest, &owner) in digests.iter().zip(&before) {
-            let order = router.candidates(digest);
+            let order = owners(&router, digest);
             let survivor = order.iter().copied().find(|&b| b != 1).unwrap();
             if owner != 1 {
                 assert_eq!(survivor, owner, "a live backend's key moved");
             }
         }
+    }
+
+    #[test]
+    fn constructors_reject_empty_and_duplicate_address_lists() {
+        let err = Router::new(Vec::new()).unwrap_err();
+        match err {
+            ClientError::Server(e) => {
+                assert_eq!(e.kind, "invalid-config");
+                assert!(e.error.contains("at least one"), "{}", e.error);
+            }
+            other => panic!("expected invalid-config, got {other:?}"),
+        }
+        let mut list = addrs(3);
+        list.push(list[1]);
+        let err = Router::new(list).unwrap_err();
+        match err {
+            ClientError::Server(e) => {
+                assert_eq!(e.kind, "invalid-config");
+                assert!(e.error.contains("duplicate"), "{}", e.error);
+                assert!(e.error.contains("127.0.0.1:4001"), "{}", e.error);
+            }
+            other => panic!("expected invalid-config, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn add_backend_moves_only_keys_the_joiner_now_owns() {
+        let router = Router::new(addrs(3)).unwrap();
+        let digests: Vec<u128> = (0..2000u128).map(|i| fnv1a_128(&i.to_le_bytes())).collect();
+        let before: Vec<usize> = digests.iter().map(|&d| owners(&router, d)[0]).collect();
+        let joiner: SocketAddr = "127.0.0.1:4999".parse().unwrap();
+        let predicate = router.warmup_predicate(joiner);
+        let joiner_index = router.add_backend(joiner).unwrap();
+        assert_eq!(joiner_index, 3);
+        assert_eq!(router.version(), 1);
+        let mut moved = 0usize;
+        for (&digest, &owner) in digests.iter().zip(&before) {
+            let now = owners(&router, digest)[0];
+            if now != owner {
+                // Every key that changed owner moved *to the joiner*…
+                assert_eq!(now, joiner_index, "key moved to a non-joiner backend");
+                // …and the pre-join predicate agreed it would.
+                assert!(predicate.owns(digest), "predicate missed a moved key");
+                moved += 1;
+            } else {
+                assert!(!predicate.owns(digest), "predicate claimed an unmoved key");
+            }
+        }
+        // The joiner owns roughly 1/4 of the keyspace; far outside
+        // [5%, 50%] would mean the ring geometry broke.
+        assert!(
+            (100..1000).contains(&moved),
+            "joiner took {moved}/2000 keys"
+        );
+    }
+
+    #[test]
+    fn remove_backend_moves_only_the_removed_nodes_keys() {
+        let router = Router::new(addrs(4)).unwrap();
+        let digests: Vec<u128> = (0..2000u128).map(|i| fnv1a_128(&i.to_le_bytes())).collect();
+        let before: Vec<usize> = digests.iter().map(|&d| owners(&router, d)[0]).collect();
+        let victim = router.addrs()[2];
+        router.remove_backend(victim).unwrap();
+        assert_eq!(router.version(), 1);
+        for (&digest, &owner) in digests.iter().zip(&before) {
+            let now = owners(&router, digest)[0];
+            if owner == 2 {
+                assert_ne!(now, 2, "a key stayed on the removed backend");
+            } else {
+                assert_eq!(now, owner, "a surviving backend's key moved");
+            }
+        }
+        // The registry keeps the slot; the ring does not.
+        assert_eq!(router.backend_count(), 4);
+        let states = router.backend_states();
+        assert!(!states[2].member);
+        assert!(states.iter().enumerate().all(|(i, s)| s.member || i == 2));
+    }
+
+    #[test]
+    fn membership_edge_cases_are_refused() {
+        let router = Router::new(addrs(2)).unwrap();
+        // Duplicate add.
+        let err = router.add_backend(router.addrs()[0]).unwrap_err();
+        assert!(matches!(err, ClientError::Server(ref e) if e.kind == "invalid-config"));
+        // Unknown remove.
+        let unknown: SocketAddr = "127.0.0.1:9999".parse().unwrap();
+        let err = router.remove_backend(unknown).unwrap_err();
+        assert!(matches!(err, ClientError::Server(ref e) if e.kind == "invalid-config"));
+        // Removing down to one member is fine; removing the last is not.
+        router.remove_backend(router.addrs()[1]).unwrap();
+        let err = router.remove_backend(router.addrs()[0]).unwrap_err();
+        assert!(matches!(err, ClientError::Server(ref e) if e.kind == "invalid-config"));
+        assert_eq!(router.version(), 1);
+    }
+
+    #[test]
+    fn readding_a_removed_backend_revives_its_slot_and_keys() {
+        let router = Router::new(addrs(3)).unwrap();
+        let digests: Vec<u128> = (0..500u128).map(|i| fnv1a_128(&i.to_le_bytes())).collect();
+        let before: Vec<usize> = digests.iter().map(|&d| owners(&router, d)[0]).collect();
+        let addr = router.addrs()[1];
+        router.remove_backend(addr).unwrap();
+        assert_eq!(router.add_backend(addr).unwrap(), 1);
+        assert_eq!(
+            router.backend_count(),
+            3,
+            "revival must not grow the registry"
+        );
+        assert_eq!(router.version(), 2);
+        let after: Vec<usize> = digests.iter().map(|&d| owners(&router, d)[0]).collect();
+        assert_eq!(
+            before, after,
+            "a remove/re-add round trip must restore ownership"
+        );
     }
 
     #[test]

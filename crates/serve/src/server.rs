@@ -30,9 +30,12 @@
 //! threads — before returning. Nothing is detached.
 
 use crate::metrics::{Metrics, NetCounters};
-use crate::proto::{self, Frame, FrameKind, FramePoll, FrameReader, ProtoError, WireRequest};
+use crate::proto::{
+    self, Frame, FrameKind, FramePoll, FrameReader, ProtoError, WireRequest, WireWarmupRequest,
+};
 use crate::service::{CompileService, StreamSession};
 use crate::types::ServeError;
+use crate::warmup;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::io;
@@ -455,6 +458,24 @@ fn serve_connection(shared: &Shared, stream: &TcpStream) -> Result<(), ProtoErro
                 Metrics::bump(&shared.net.disconnects);
                 return Ok(());
             }
+            Err(e @ ProtoError::UnknownKind { .. }) => {
+                // Forward compatibility: a peer speaking a newer protocol
+                // revision sent a kind byte this build does not know. The
+                // reader consumed the payload (the length field parsed),
+                // so the stream is still framed — refuse the *frame* with
+                // a descriptive error and keep the connection, rather
+                // than dropping a peer whose other frames we understand.
+                Metrics::bump(&shared.net.proto_errors);
+                if proto::write_frame(
+                    &mut &*stream,
+                    &Frame::error(None, &ServeError::protocol(&e)),
+                )
+                .is_err()
+                {
+                    Metrics::bump(&shared.net.disconnects);
+                    return Ok(());
+                }
+            }
             Err(e) => {
                 Metrics::bump(&shared.net.proto_errors);
                 if matches!(e, ProtoError::Truncated { .. }) {
@@ -538,6 +559,34 @@ fn handle_frame(
             &mut &*stream,
             &Frame::stats(&shared.identity, &shared.service.stats()),
         ),
+        FrameKind::WarmupRequest => {
+            let wire: WireWarmupRequest = match frame.decode() {
+                Ok(wire) => wire,
+                Err(e) => {
+                    Metrics::bump(&shared.net.proto_errors);
+                    proto::write_frame(
+                        &mut &*stream,
+                        &Frame::error(None, &ServeError::protocol(&e)),
+                    )?;
+                    return Ok(());
+                }
+            };
+            // Served straight from the cache snapshot — the worker pool
+            // is never touched, so a warm-up costs a donor no compile
+            // capacity. Deliberately answered even while draining: the
+            // hand-off *is* the leave path, and refusing it would turn
+            // every graceful leave into a cold join elsewhere.
+            let entries = shared.service.export_warmup(&wire.predicate);
+            let chunks = warmup::chunk_entries(entries, warmup::WARMUP_CHUNK_BUDGET);
+            let last = chunks.len() - 1;
+            for (index, chunk) in chunks.into_iter().enumerate() {
+                proto::write_frame(
+                    &mut &*stream,
+                    &Frame::warmup_batch(wire.seq, index as u64, index == last, chunk),
+                )?;
+            }
+            Ok(())
+        }
         FrameKind::Goodbye => {
             // The client is done submitting; pending responses still
             // drain before the server's answering goodbye.
@@ -548,7 +597,8 @@ fn handle_frame(
             Metrics::bump(&shared.net.proto_errors);
             let e = ProtoError::Unexpected {
                 kind,
-                context: "the server accepts request, stats-request, and goodbye frames"
+                context: "the server accepts request, stats-request, warmup-request, and \
+                          goodbye frames"
                     .to_string(),
             };
             let _ = proto::write_frame(

@@ -6,6 +6,7 @@ use crate::flight::{FlightRole, Singleflight};
 use crate::metrics::Metrics;
 use crate::queue::{BoundedQueue, PushError};
 use crate::types::{CompileRequest, CompileResponse, ServeError, ServeStats};
+use crate::warmup::{OwnedPredicate, WarmupEntry, WarmupImport};
 use qft_core::Registry;
 use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc};
@@ -472,6 +473,65 @@ impl CompileService {
         out.into_iter()
             .map(|slot| slot.expect("every batch job is answered exactly once"))
             .collect()
+    }
+
+    /// Exports every cache entry whose key digest the predicate claims,
+    /// as verifiable [`WarmupEntry`] records (digests stamped at export,
+    /// re-checked at import). Reads only the cache — the worker pool and
+    /// admission queue are never touched, so a donor answers warm-up
+    /// traffic at zero compile cost. Shards are locked one at a time;
+    /// the export is a best-effort snapshot, not a consistent cut, which
+    /// is exactly what a warm-up wants (entries compiled mid-export just
+    /// arrive on the next probe or recompile).
+    pub fn export_warmup(&self, predicate: &OwnedPredicate) -> Vec<WarmupEntry> {
+        self.inner
+            .cache
+            .export_if(&|key| predicate.owns(key))
+            .into_iter()
+            .map(|(_, entry)| WarmupEntry::from_cache(&entry))
+            .collect()
+    }
+
+    /// Bulk-imports replayed entries from a donor, idempotently.
+    ///
+    /// Every entry is re-verified against its embedded digests before it
+    /// can touch the cache ([`WarmupEntry::verify`]): a corrupt or
+    /// tampered entry is counted in [`WarmupImport::rejected`] and
+    /// dropped, never inserted — a lying donor cannot poison this cache.
+    /// Wall-clock timings are stripped on import (they measured the
+    /// *donor's* machine), and insertion is insert-if-absent: an entry
+    /// this service already holds — including one it compiled itself
+    /// while the transfer was in flight — wins over the replayed copy,
+    /// so double-importing the same batch is a no-op.
+    pub fn import_warmup(&self, entries: &[WarmupEntry]) -> WarmupImport {
+        let mut report = WarmupImport::default();
+        for entry in entries {
+            let key = match entry.verify() {
+                Ok(key) => key,
+                Err(_) => {
+                    report.rejected += 1;
+                    continue;
+                }
+            };
+            let mut result = (*entry.result).clone();
+            result.strip_wall_times();
+            let cached = CacheEntry {
+                result: Arc::new(result),
+                cold_compile_s: entry.cold_compile_s,
+                key_json: Arc::from(entry.key_json.as_str()),
+            };
+            match self.inner.cache.insert_if_absent(key, cached) {
+                None => report.already_present += 1,
+                Some(evicted) => {
+                    report.imported += 1;
+                    self.inner
+                        .metrics
+                        .evictions
+                        .fetch_add(evicted, Ordering::Relaxed);
+                }
+            }
+        }
+        report
     }
 
     /// A snapshot of the admission metrics. Lock-free: counters are

@@ -122,9 +122,11 @@ pub struct ServeError {
     /// `draining` for a request that arrived after the server began a
     /// graceful shutdown, `after-goodbye` for a request pipelined behind
     /// the client's own goodbye frame, `unavailable` for a routed request
-    /// that found no live backend (see [`crate::router`]), or `protocol`
+    /// that found no live backend (see [`crate::router`]), `protocol`
     /// for a connection whose byte stream violated the wire framing (see
-    /// [`crate::proto`]).
+    /// [`crate::proto`]), or `invalid-config` for a router membership
+    /// operation that can never be correct (empty/duplicate backend
+    /// lists, removing the last member).
     pub kind: String,
     /// Human-readable diagnosis (the [`CompileError`] display text).
     pub error: String,
@@ -202,6 +204,18 @@ impl ServeError {
         ServeError {
             kind: "protocol".to_string(),
             error: diagnosis.to_string(),
+        }
+    }
+
+    /// A configuration that can never route or serve correctly — an
+    /// empty backend list, a duplicate backend address, removing the
+    /// last ring member. Raised at construction or membership-change
+    /// time, before any socket is touched, so a misconfigured fleet
+    /// fails loudly instead of degenerating silently.
+    pub fn invalid_config(reason: impl fmt::Display) -> Self {
+        ServeError {
+            kind: "invalid-config".to_string(),
+            error: reason.to_string(),
         }
     }
 }

@@ -33,6 +33,17 @@
 //!   with the answering backend. The final stderr snapshot reports
 //!   per-backend routing state and wire-level stats.
 //!
+//! Two elastic-membership flags modify `--route` mode:
+//!
+//! * `--join <addr>` — before serving, bind a *new* in-process backend
+//!   on `<addr>` (port 0 for ephemeral), warm it up by replaying the
+//!   cache entries for the keys it will own from the existing backends
+//!   (the wire-level `warmup-request`/`warmup-batch` protocol), then
+//!   grow the ring with it; the warm-up report goes to stderr.
+//! * `--leave <addr>` — before serving, remove `<addr>` from the ring:
+//!   it stops receiving new keys, in-flight requests drain, then its
+//!   pooled connections drop. The backend process itself keeps running.
+//!
 //! ```text
 //! $ cargo run --release --example qft_serve <<'EOF'
 //! {"compiler": "heavyhex", "target": "heavyhex:4"}
@@ -45,7 +56,8 @@
 //! ```
 
 use qft_kernels::serve::{
-    CompileRequest, CompileResponse, CompileService, NetClient, NetServer, Router, ServeError,
+    warmup, ClientConfig, CompileRequest, CompileResponse, CompileService, NetClient, NetServer,
+    Router, ServeError,
 };
 use serde::Serialize;
 use std::io::{BufRead, Write};
@@ -192,8 +204,10 @@ struct RoutedRow {
 
 /// `--route` mode: consistent-hash each stdin request across a fleet of
 /// `--listen` backends, tagging every row with the answering backend.
-fn serve_route(addrs: &str, lines: &[String], full: bool) {
-    let addrs: Vec<SocketAddr> = addrs
+/// `--join` grows the ring with a freshly bound, warm-up-replayed
+/// backend first; `--leave` shrinks it with a drain.
+fn serve_route(addrs: &str, join: Option<&str>, leave: Option<&str>, lines: &[String], full: bool) {
+    let donor_addrs: Vec<SocketAddr> = addrs
         .split(',')
         .map(|a| {
             a.trim()
@@ -201,7 +215,38 @@ fn serve_route(addrs: &str, lines: &[String], full: bool) {
                 .unwrap_or_else(|e| panic!("bad backend address {a:?}: {e}"))
         })
         .collect();
-    let router = Router::new(addrs);
+    let router =
+        Router::new(donor_addrs.clone()).unwrap_or_else(|e| panic!("bad backend list: {e}"));
+
+    // Held for the process lifetime so the joined backend keeps serving.
+    let mut joined: Option<NetServer> = None;
+    if let Some(addr) = join {
+        let service = Arc::new(CompileService::new());
+        let server = NetServer::bind(addr, Arc::clone(&service))
+            .unwrap_or_else(|e| panic!("cannot bind the joining backend on {addr}: {e}"));
+        let join_addr = server.local_addr();
+        let predicate = router.warmup_predicate(join_addr);
+        let report =
+            warmup::replay_into(&service, &donor_addrs, &predicate, &ClientConfig::default());
+        router
+            .add_backend(join_addr)
+            .unwrap_or_else(|e| panic!("cannot join {join_addr}: {e}"));
+        eprintln!(
+            "joined {join_addr} warm: {}",
+            serde_json::to_string(&report).expect("reports always serialize")
+        );
+        joined = Some(server);
+    }
+    if let Some(addr) = leave {
+        let addr: SocketAddr = addr
+            .parse()
+            .unwrap_or_else(|e| panic!("bad --leave address {addr:?}: {e}"));
+        router
+            .remove_backend(addr)
+            .unwrap_or_else(|e| panic!("cannot leave {addr}: {e}"));
+        eprintln!("left {addr}: drained and out of the ring");
+    }
+
     let mut out = std::io::stdout().lock();
     for line in lines {
         let json = match serde_json::from_str::<CompileRequest>(line) {
@@ -239,6 +284,7 @@ fn serve_route(addrs: &str, lines: &[String], full: bool) {
             Err(e) => eprintln!("{{\"error\": \"backend stats failed: {e}\"}}"),
         }
     }
+    drop(joined);
 }
 
 /// The value following `flag` on the command line, if present.
@@ -267,7 +313,9 @@ fn main() {
         return;
     }
     if let Some(addrs) = flag_value("--route") {
-        serve_route(&addrs, &lines, full);
+        let join = flag_value("--join");
+        let leave = flag_value("--leave");
+        serve_route(&addrs, join.as_deref(), leave.as_deref(), &lines, full);
         return;
     }
     let service = CompileService::new();

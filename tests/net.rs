@@ -30,6 +30,11 @@
 //! snapshot returned, no spurious one left queued), and
 //! `RetryPolicy::max_attempts == 0` is normalized to 1 at construction so
 //! `ClientError::Overloaded.attempts` means what it says.
+//!
+//! And the ISSUE 10 forward-compatibility pin: a frame with an *unknown
+//! kind byte* (a future protocol revision) is refused per-frame with a
+//! descriptive error naming the byte — the payload is consumed, the
+//! stream stays framed, and the same connection keeps serving.
 
 mod common;
 
@@ -509,6 +514,43 @@ fn fault_injection_matrix_never_takes_the_server_down() {
         assert!(raw_read_frame(&stream).is_err());
     }
     healthy("after oversize length prefix");
+
+    // (e) An unknown frame kind (here: 200, a hypothetical future
+    // protocol revision) is refused *per frame*, not per connection: the
+    // server names the byte in a structured error, skips the payload,
+    // and keeps serving the same socket — proven by pipelining a valid
+    // request behind the alien frame and reading its response after the
+    // refusal.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut alien = Vec::new();
+        alien.extend_from_slice(&MAGIC);
+        alien.push(VERSION);
+        alien.push(200); // unknown kind byte
+        let payload = br#"{"future":"frame"}"#;
+        alien.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        alien.extend_from_slice(payload);
+        stream.write_all(&alien).unwrap();
+        proto::write_frame(&mut &stream, &Frame::request(3, &healthy_req)).unwrap();
+        stream.flush().unwrap();
+
+        let frame = raw_read_frame(&stream).expect("an unknown-kind error frame");
+        let fault: WireFault = frame.decode().unwrap();
+        assert_eq!(fault.seq, None, "an unframeable kind has no seq");
+        assert_eq!(fault.error.kind, "protocol");
+        assert!(
+            fault.error.error.contains("unknown frame kind 200"),
+            "the refusal must name the alien byte: {}",
+            fault.error.error
+        );
+        // The connection survived: the pipelined request is answered.
+        let frame = raw_read_frame(&stream).expect("the pipelined response");
+        assert_eq!(frame.kind, proto::FrameKind::Response);
+        let wire: proto::WireResponse = frame.decode().unwrap();
+        assert_eq!(wire.seq, 3);
+        assert_eq!(wire.response.result.n, 5);
+    }
+    healthy("after an unknown frame kind");
 
     // The server recorded every fault class and is still fully alive.
     let net = server.net_stats();

@@ -17,15 +17,22 @@
 //!   remap to live backends (byte-identically, by determinism).
 //! * **Probe recovery** — a downed backend that comes back is probed
 //!   back into rotation and its original keys return to it.
+//! * **Constructor validation** — empty and duplicate backend lists are
+//!   refused with a descriptive `invalid-config` error, not a panic or
+//!   a silently degenerate ring.
+//! * **Pool permit accounting** — the discard-on-transport-failure path
+//!   releases its checkout permit every time: cycling failures past the
+//!   pool cap never wedges a checkout, and the pool serves again the
+//!   moment the backend recovers.
 
 mod common;
 
 use common::serve_request;
 use qft_kernels::serve::router::RouterConfig;
-use qft_kernels::serve::{ClientConfig, NetServer, Router};
+use qft_kernels::serve::{ClientConfig, ClientError, NetServer, PoolClient, Router};
 use qft_kernels::{CompileOptions, CompileRequest, CompileService};
-use std::net::{SocketAddr, TcpListener};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
@@ -73,7 +80,7 @@ fn wait_until(what: &str, mut check: impl FnMut() -> bool) {
 #[test]
 fn same_key_requests_show_digest_affinity_to_one_backend() {
     let fleet = spawn_fleet(3);
-    let router = Router::new(fleet_addrs(&fleet));
+    let router = Router::new(fleet_addrs(&fleet)).expect("distinct backend addresses");
     let requests = distinct_requests(12);
 
     // Three passes over twelve distinct keys: each key must land on the
@@ -134,7 +141,7 @@ fn same_key_requests_show_digest_affinity_to_one_backend() {
 #[test]
 fn storm_through_the_router_performs_exactly_one_compile_fleet_wide() {
     let fleet = spawn_fleet(3);
-    let router = Router::new(fleet_addrs(&fleet));
+    let router = Router::new(fleet_addrs(&fleet)).expect("distinct backend addresses");
     // The stochastic-search request the byte-identity suites hammer:
     // wire determinism under dedup is a pipeline property, not an
     // analytical-construction artifact.
@@ -208,7 +215,8 @@ fn killing_one_backend_mid_traffic_loses_zero_accepted_requests() {
             probe_interval: Duration::from_secs(60),
             ..RouterConfig::default()
         },
-    );
+    )
+    .expect("distinct backend addresses");
 
     let requests = distinct_requests(18);
     let rounds = 5;
@@ -315,7 +323,8 @@ fn downed_backend_rejoins_after_a_successful_probe() {
             client: ClientConfig::default(),
             ..RouterConfig::default()
         },
-    );
+    )
+    .expect("distinct backend addresses");
 
     // Find keys the ring assigns to the (dead) second backend.
     let requests = distinct_requests(24);
@@ -356,4 +365,137 @@ fn downed_backend_rejoins_after_a_successful_probe() {
 
     revived.shutdown();
     live.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Constructor validation: degenerate backend lists are refused, described.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn router_constructors_reject_empty_and_duplicate_backend_lists() {
+    let assert_invalid = |err: ClientError, needle: &str| match err {
+        ClientError::Server(e) => {
+            assert_eq!(e.kind, "invalid-config", "{e}");
+            assert!(
+                e.error.contains(needle),
+                "{:?} must mention {needle:?}",
+                e.error
+            );
+        }
+        other => panic!("expected an invalid-config server error, got {other}"),
+    };
+
+    assert_invalid(
+        Router::new(Vec::new()).expect_err("an empty backend list cannot form a ring"),
+        "at least one backend",
+    );
+
+    let addr: SocketAddr = "127.0.0.1:4242".parse().unwrap();
+    let other: SocketAddr = "127.0.0.1:4243".parse().unwrap();
+    assert_invalid(
+        Router::new(vec![addr, other, addr])
+            .expect_err("a duplicated backend address cannot join the ring twice"),
+        "duplicate backend address 127.0.0.1:4242",
+    );
+
+    // The same validation guards the tuned constructor.
+    assert_invalid(
+        Router::with_config(Vec::new(), RouterConfig::default())
+            .expect_err("with_config applies the same validation"),
+        "at least one backend",
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Pool permit accounting: discards release their checkout, every time.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn discard_path_never_leaks_checkout_permits() {
+    let real = spawn_fleet(1).pop().unwrap();
+    let real_addr = real.local_addr();
+
+    // A rogue listener the pool dials instead of the backend. In fail
+    // mode it accepts and immediately slams the connection shut (the
+    // client sees a transport-layer EOF, the pool's discard path). In
+    // recover mode it turns into a transparent byte proxy to the real
+    // backend, so the *same pool address* comes back healthy.
+    let rogue = TcpListener::bind("127.0.0.1:0").unwrap();
+    let rogue_addr = rogue.local_addr().unwrap();
+    let healthy = Arc::new(AtomicBool::new(false));
+    let mode = Arc::clone(&healthy);
+    std::thread::spawn(move || {
+        for stream in rogue.incoming() {
+            let Ok(stream) = stream else { break };
+            if !mode.load(Ordering::SeqCst) {
+                drop(stream);
+                continue;
+            }
+            let upstream = TcpStream::connect(real_addr).expect("proxy upstream");
+            let (mut up_r, mut up_w) = (upstream.try_clone().unwrap(), upstream);
+            let (mut down_r, mut down_w) = (stream.try_clone().unwrap(), stream);
+            std::thread::spawn(move || {
+                let _ = std::io::copy(&mut down_r, &mut up_w);
+                let _ = up_w.shutdown(std::net::Shutdown::Write);
+            });
+            std::thread::spawn(move || {
+                let _ = std::io::copy(&mut up_r, &mut down_w);
+                let _ = down_w.shutdown(std::net::Shutdown::Write);
+            });
+            break; // one proxied connection is all the recovery needs
+        }
+    });
+
+    let cap = 2;
+    let pool = PoolClient::new(
+        rogue_addr,
+        ClientConfig {
+            read_timeout: Duration::from_secs(2),
+            ..ClientConfig::default()
+        },
+        cap,
+    );
+    let req = serve_request("lnn", "lnn:6", CompileOptions::default());
+
+    // 3× the cap: every cycle checks out a permit, fails at the
+    // transport/framing layer, and must give the permit back via
+    // `discard`. A single leaked permit wedges the pool at `cap`
+    // checkouts and a later cycle blocks forever — caught here by the
+    // watchdog deadline rather than a hung test.
+    let done = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            for cycle in 0..3 * cap {
+                let err = pool
+                    .request(&req)
+                    .expect_err("the rogue listener answers nothing");
+                assert!(
+                    matches!(
+                        err,
+                        ClientError::Proto(_) | ClientError::Io { .. } | ClientError::Closed { .. }
+                    ),
+                    "cycle {cycle} must fail transport-shaped, got: {err}"
+                );
+                done.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        wait_until("3x-cap failing cycles to complete without wedging", || {
+            done.load(Ordering::SeqCst) == 3 * cap
+        });
+    });
+    assert_eq!(
+        pool.idle_connections(),
+        0,
+        "a discarded connection must never return to the idle set"
+    );
+
+    // Recovery on the same pool: the next checkout must find a permit
+    // free and a fresh dial must complete a compile end to end.
+    healthy.store(true, Ordering::SeqCst);
+    let resp = pool
+        .request(&req)
+        .expect("the pool serves again after cycling failures past its cap");
+    assert_eq!(resp.result.n, 6);
+
+    real.shutdown();
 }
